@@ -1,0 +1,251 @@
+package hyperm
+
+// One benchmark per figure of the paper's evaluation (DESIGN.md §3). Each
+// benchmark runs the corresponding experiment driver at the scaled-down
+// default parameters and reports the figure's headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` regenerates every result series.
+// The CLI (cmd/hyperm-bench) runs the same drivers, optionally at paper
+// scale, and prints the full tables.
+
+import (
+	"testing"
+
+	"hyperm/internal/experiments"
+)
+
+func BenchmarkFig8aReplicationOverhead(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig8a(p, []int{5, 10, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.AvgHopsWithReplication, "hops/cluster")
+		b.ReportMetric(last.AvgHopsWithReplication-last.AvgHopsNoReplication, "replication-hops/cluster")
+	}
+}
+
+func BenchmarkFig8bInsertionVsVolume(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig8b(p, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.HyperM, "hyperm-hops/item")
+		b.ReportMetric(last.CAN2D, "can2d-hops/item")
+		b.ReportMetric(last.CANFull, "canfull-hops/item")
+		if last.CANFull > 0 {
+			b.ReportMetric(last.CANFull/last.HyperM, "speedup-vs-canfull")
+		}
+	}
+}
+
+func BenchmarkFig8cInsertionVsLayers(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig8c(p, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].HyperM, "hops/item-1layer")
+		b.ReportMetric(rows[len(rows)-1].HyperM, "hops/item-4layers")
+	}
+}
+
+func BenchmarkFig9DataDistribution(b *testing.B) {
+	p := experiments.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig9(p, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Gini, "gini-can-original")
+		b.ReportMetric(rows[1].Gini, "gini-A-only")
+		b.ReportMetric(rows[len(rows)-1].Gini, "gini-all-levels")
+		b.ReportMetric(float64(rows[len(rows)-1].NonEmptyPeers), "peers-holding-data")
+	}
+}
+
+func BenchmarkFig10aRangeRecall(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig10a(p, []int{1, 3, 8, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RecallAvg, "recall-1peer")
+		b.ReportMetric(rows[len(rows)-1].RecallAvg, "recall-unlimited")
+		b.ReportMetric(rows[len(rows)-1].Precision, "precision")
+	}
+}
+
+func BenchmarkFig10bKnn(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig10b(p, []int{10}, []float64{1, 1.5, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].PrecisionAvg, "precision-C1")
+		b.ReportMetric(rows[0].RecallAvg, "recall-C1")
+		b.ReportMetric(rows[len(rows)-1].PrecisionAvg, "precision-C2")
+		b.ReportMetric(rows[len(rows)-1].RecallAvg, "recall-C2")
+	}
+}
+
+func BenchmarkFig10cPostInsertion(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig10c(p, []float64{0, 0.45})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RecallAvg, "recall-0pct-new")
+		b.ReportMetric(rows[len(rows)-1].RecallAvg, "recall-45pct-new")
+		b.ReportMetric(rows[len(rows)-1].RecallLossPercent, "recall-loss-pct")
+	}
+}
+
+func BenchmarkFig11ClusterQuality(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig11(p, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Space {
+			case "original":
+				b.ReportMetric(r.Ratio, "quality-original")
+			case "D_1":
+				b.ReportMetric(r.Ratio, "quality-D1")
+			case "D_3":
+				b.ReportMetric(r.Ratio, "quality-D3")
+			}
+		}
+	}
+}
+
+func BenchmarkExtEnergy(b *testing.B) {
+	p := experiments.DefaultEnergyParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtEnergy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Joules, "hyperm-joules")
+		b.ReportMetric(rows[1].Joules, "can-joules")
+		b.ReportMetric(rows[0].MakespanSeconds, "hyperm-makespan-s")
+		b.ReportMetric(rows[1].MakespanSeconds, "can-makespan-s")
+	}
+}
+
+func BenchmarkExtOverlayIndependence(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtOverlayIndependence(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].RecallAvg, "recall-can")
+		b.ReportMetric(rows[1].RecallAvg, "recall-ring")
+	}
+}
+
+func BenchmarkExtAggregationPolicy(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtAggregation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.RecallAvg, "recall-"+r.Policy)
+		}
+	}
+}
+
+func BenchmarkExtLevelsTradeoff(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtLevels(p, []int{1, 4, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].HopsPerItem, "hops/item-1level")
+		b.ReportMetric(rows[1].HopsPerItem, "hops/item-4levels")
+		b.ReportMetric(rows[1].RecallBudgeted, "recall-4levels")
+		b.ReportMetric(rows[len(rows)-1].RecallBudgeted, "recall-6levels")
+	}
+}
+
+func BenchmarkExtWaveletConvention(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtWavelet(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.RecallBudgeted, "recall@budget-"+r.Convention)
+		}
+	}
+}
+
+func BenchmarkExtLossRobustness(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtLoss(p, []float64{0, 0.2, 0.4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Recall, "recall-0pct-loss")
+		b.ReportMetric(rows[1].Recall, "recall-20pct-loss")
+		b.ReportMetric(rows[2].Recall, "recall-40pct-loss")
+	}
+}
+
+func BenchmarkExtChurn(b *testing.B) {
+	p := experiments.DefaultEffectiveness()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.ExtChurn(p, []float64{0, 0.3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].RecallVsAll, "recall-vs-all-30pct-churn")
+		b.ReportMetric(rows[1].RecallVsSurviving, "recall-vs-surviving-30pct-churn")
+	}
+}
+
+// BenchmarkPublishThroughput measures raw library throughput: items
+// disseminated per publish call at default scale.
+func BenchmarkPublishThroughput(b *testing.B) {
+	p := experiments.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		rows, err := experiments.Fig8c(p, []int{p.Levels})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].HyperM, "hops/item")
+	}
+}

@@ -1,0 +1,175 @@
+// Command hyperm-demo builds a Hyper-M network over the ALOI-substitute
+// image corpus and runs an interactive query loop, printing per-query cost
+// and quality against the exact centralized baseline.
+//
+// Commands at the prompt:
+//
+//	range <item-id> <radius>   distributed range query around an item
+//	knn <item-id> <k>          distributed k-nn query around an item
+//	peer <peer-id>             show a peer's collection size
+//	stats                      network statistics
+//	quit
+//
+// Run with -script to feed commands non-interactively:
+//
+//	hyperm-demo -script "range 10 0.08; knn 3 5; stats; quit"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hyperm"
+	"hyperm/internal/dataset"
+	"hyperm/internal/eval"
+	"hyperm/internal/flatindex"
+)
+
+func main() {
+	peers := flag.Int("peers", 25, "number of peers")
+	objects := flag.Int("objects", 200, "ALOI-substitute objects")
+	views := flag.Int("views", 12, "views per object")
+	bins := flag.Int("bins", 64, "histogram bins (power of two)")
+	levels := flag.Int("levels", 4, "wavelet levels")
+	clusters := flag.Int("clusters", 10, "clusters per peer per level")
+	seed := flag.Int64("seed", 1, "random seed")
+	script := flag.String("script", "", "semicolon-separated commands to run instead of stdin")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("generating %d objects x %d views (%d-d histograms)...\n", *objects, *views, *bins)
+	data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: *objects, Views: *views, Bins: *bins}, rng)
+
+	net, err := hyperm.New(hyperm.Options{
+		Peers: *peers, Dim: *bins, Levels: *levels, ClustersPerPeer: *clusters, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, x := range data {
+		if err := net.AddItems(labels[i]%*peers, []int{i}, [][]float64{x}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	rep, err := net.Publish()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("published %d items as %d cluster summaries in %.2fs — %d overlay hops (%.3f hops/item)\n",
+		rep.Items, rep.Clusters, time.Since(start).Seconds(), rep.OverlayHops, rep.HopsPerItem())
+	truth := flatindex.New(data)
+
+	var lines []string
+	if *script != "" {
+		lines = strings.Split(*script, ";")
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	next := func() (string, bool) {
+		if *script != "" {
+			if len(lines) == 0 {
+				return "", false
+			}
+			l := lines[0]
+			lines = lines[1:]
+			return l, true
+		}
+		fmt.Print("hyperm> ")
+		if !sc.Scan() {
+			return "", false
+		}
+		return sc.Text(), true
+	}
+
+	for {
+		line, ok := next()
+		if !ok {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "stats":
+			fmt.Printf("peers=%d items=%d clusters=%d publish-hops=%d hops/item=%.3f\n",
+				net.Peers(), net.Items(), rep.Clusters, rep.OverlayHops, rep.HopsPerItem())
+		case "peer":
+			id, err := argInt(fields, 1)
+			if err != nil || id < 0 || id >= *peers {
+				fmt.Println("usage: peer <peer-id>")
+				continue
+			}
+			count := 0
+			for i := range data {
+				if labels[i]%*peers == id {
+					count++
+				}
+			}
+			fmt.Printf("peer %d holds %d items\n", id, count)
+		case "range":
+			id, err1 := argInt(fields, 1)
+			r, err2 := argFloat(fields, 2)
+			if err1 != nil || err2 != nil || id < 0 || id >= len(data) {
+				fmt.Println("usage: range <item-id> <radius>")
+				continue
+			}
+			ans, err := net.Range(0, data[id], r)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			rel := truth.Range(data[id], r)
+			p, rec := eval.PrecisionRecall(ans.Items, rel)
+			fmt.Printf("range(item %d, r=%.3f): %d items, %d peers contacted, %d overlay hops — precision %.2f recall %.2f (exact: %d)\n",
+				id, r, len(ans.Items), ans.PeersContacted, ans.OverlayHops, p, rec, len(rel))
+		case "knn":
+			id, err1 := argInt(fields, 1)
+			k, err2 := argInt(fields, 2)
+			if err1 != nil || err2 != nil || id < 0 || id >= len(data) || k < 1 {
+				fmt.Println("usage: knn <item-id> <k>")
+				continue
+			}
+			ans, err := net.KNN(0, data[id], k)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			rel := truth.KNN(data[id], k)
+			p, rec := eval.PrecisionRecall(ans.Items, rel)
+			top := ans.Items
+			if len(top) > k {
+				top = top[:k]
+			}
+			fmt.Printf("knn(item %d, k=%d): top %v, %d peers contacted, %d overlay hops — precision %.2f recall %.2f\n",
+				id, k, top, ans.PeersContacted, ans.OverlayHops, p, rec)
+		default:
+			fmt.Println("commands: range <id> <radius> | knn <id> <k> | peer <id> | stats | quit")
+		}
+	}
+}
+
+func argInt(fields []string, i int) (int, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing arg")
+	}
+	return strconv.Atoi(fields[i])
+}
+
+func argFloat(fields []string, i int) (float64, error) {
+	if i >= len(fields) {
+		return 0, fmt.Errorf("missing arg")
+	}
+	return strconv.ParseFloat(fields[i], 64)
+}

@@ -1,0 +1,77 @@
+// Command hyperm-gen generates the repository's evaluation datasets to disk
+// so external tooling can inspect or reuse them.
+//
+// Usage:
+//
+//	hyperm-gen -kind markov -n 10000 -dim 512 -o markov.csv
+//	hyperm-gen -kind aloi -objects 1000 -views 12 -bins 64 -o aloi.csv
+//
+// The output is CSV: one row per vector; for the ALOI-substitute corpus the
+// first column is the object label.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"hyperm/internal/dataset"
+)
+
+func main() {
+	kind := flag.String("kind", "markov", "dataset kind: 'markov' (§5.1) or 'aloi' (§6 substitute)")
+	n := flag.Int("n", 10000, "markov: number of vectors")
+	dim := flag.Int("dim", 512, "markov: dimensionality")
+	objects := flag.Int("objects", 1000, "aloi: number of objects")
+	views := flag.Int("views", 12, "aloi: views per object")
+	bins := flag.Int("bins", 64, "aloi: histogram bins")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	defer bw.Flush()
+
+	rng := rand.New(rand.NewSource(*seed))
+	switch *kind {
+	case "markov":
+		data := dataset.Markov(dataset.MarkovConfig{N: *n, Dim: *dim}, rng)
+		for _, v := range data {
+			writeRow(bw, -1, v)
+		}
+	case "aloi":
+		data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: *objects, Views: *views, Bins: *bins}, rng)
+		for i, v := range data {
+			writeRow(bw, labels[i], v)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q (want 'markov' or 'aloi')\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func writeRow(w *bufio.Writer, label int, v []float64) {
+	if label >= 0 {
+		w.WriteString(strconv.Itoa(label))
+	}
+	for i, x := range v {
+		if i > 0 || label >= 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(strconv.FormatFloat(x, 'g', -1, 64))
+	}
+	w.WriteByte('\n')
+}

@@ -1,0 +1,151 @@
+// Busride: a short-lived commuter network (§1's public-transport scenario)
+// exercising the paper's Figure 10c setting. Passengers publish their music
+// collections when the ride starts; new tracks keep arriving mid-ride and
+// are inserted without re-announcing summaries (the network is too
+// short-lived to amortize republication). The example quantifies how
+// retrieval quality degrades as the share of unannounced content grows, and
+// shows that a cheap re-publication restores it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hyperm"
+	"hyperm/internal/dataset"
+	"hyperm/internal/eval"
+	"hyperm/internal/flatindex"
+)
+
+const (
+	passengers = 20
+	objects    = 120 // albums
+	views      = 10  // tracks per album (views share an acoustic signature)
+	bins       = 64  // tone-histogram features
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(88))
+	data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: objects, Views: views, Bins: bins}, rng)
+
+	// 70% of each album is on someone's phone when the bus departs; the
+	// remaining tracks arrive mid-ride (downloads, AirDrops) on arbitrary
+	// phones.
+	var base, late []int
+	for i := range data {
+		if i%views < 7 {
+			base = append(base, i)
+		} else {
+			late = append(late, i)
+		}
+	}
+	fmt.Printf("bus departs: %d passengers, %d tracks on board, %d arriving mid-ride\n",
+		passengers, len(base), len(late))
+
+	net := buildAndPublish(base, data, labels, 88)
+
+	// Ride progresses: late tracks arrive in three waves on whichever phone
+	// downloads them; after each wave, measure recall against the exact
+	// index over everything on the bus.
+	irng := rand.New(rand.NewSource(99))
+	holder := make(map[int]int) // item -> phone actually storing it
+	for _, i := range base {
+		holder[i] = labels[i] % passengers
+	}
+	live := append([]int(nil), base...)
+	third := len(late) / 3
+	for wave := 0; wave < 3; wave++ {
+		for _, i := range late[wave*third : (wave+1)*third] {
+			p := irng.Intn(passengers)
+			if err := net.Insert(p, i, data[i]); err != nil {
+				log.Fatal(err)
+			}
+			holder[i] = p
+			live = append(live, i)
+		}
+		recall := measureRecall(net, data, live, int64(wave))
+		fmt.Printf("wave %d: %d unannounced tracks on board -> range recall %.3f\n",
+			wave+1, (wave+1)*third, recall)
+	}
+
+	// A stop: three passengers get off. Graceful departure (the CAN leave
+	// protocol) hands their stored index records to neighbors, so the
+	// remaining network keeps finding everything that is still on board.
+	for _, p := range []int{2, 9, 14} {
+		if _, err := net.LeavePeer(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var onBoard []int
+	for _, i := range live {
+		if h := holder[i]; h != 2 && h != 9 && h != 14 {
+			onBoard = append(onBoard, i)
+		}
+	}
+	fmt.Printf("stop: 3 passengers got off (%d peers remain) -> recall over on-board tracks %.3f\n",
+		net.AlivePeers(), measureRecall(net, data, onBoard, 5))
+
+	// End of the line for stale summaries: a fresh publication (e.g. at a
+	// terminus stop, or every N minutes) re-announces everything.
+	fresh := buildAndPublishAll(onBoard, data, labels, 89)
+	recall := measureRecall(fresh, data, onBoard, 7)
+	fmt.Printf("after re-publication: range recall %.3f\n", recall)
+}
+
+// buildAndPublish creates the network with the given items pre-loaded on the
+// phones that own their albums, and publishes.
+func buildAndPublish(items []int, data [][]float64, labels []int, seed int64) *hyperm.Network {
+	net, err := hyperm.New(hyperm.Options{
+		Peers: passengers, Dim: bins, Levels: 4, ClustersPerPeer: 6, Seed: seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, i := range items {
+		if err := net.AddItems(labels[i]%passengers, []int{i}, [][]float64{data[i]}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := net.Publish(); err != nil {
+		log.Fatal(err)
+	}
+	return net
+}
+
+func buildAndPublishAll(items []int, data [][]float64, labels []int, seed int64) *hyperm.Network {
+	return buildAndPublish(items, data, labels, seed)
+}
+
+// measureRecall averages range-query recall over a sample of live tracks.
+func measureRecall(net *hyperm.Network, data [][]float64, live []int, seed int64) float64 {
+	liveVecs := make([][]float64, len(live))
+	for j, i := range live {
+		liveVecs[j] = data[i]
+	}
+	truth := flatindex.New(liveVecs)
+	qrng := rand.New(rand.NewSource(1000 + seed))
+	var sum float64
+	var n int
+	for n < 15 {
+		pick := qrng.Intn(len(live))
+		q := data[live[pick]]
+		eps := 0.04 + qrng.Float64()*0.06
+		relLocal := truth.Range(q, eps)
+		if len(relLocal) < 2 {
+			continue
+		}
+		rel := make([]int, len(relLocal))
+		for j, id := range relLocal {
+			rel[j] = live[id]
+		}
+		ans, err := net.Range(0, q, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, rec := eval.PrecisionRecall(ans.Items, rel)
+		sum += rec
+		n++
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,86 @@
+// Quickstart: the minimal end-to-end Hyper-M flow — build a network, give
+// each peer some vectors, publish the wavelet-cluster summaries, and run a
+// range and a k-nn query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hyperm"
+)
+
+func main() {
+	const (
+		peers = 8
+		dim   = 16 // must be a power of two
+	)
+	net, err := hyperm.New(hyperm.Options{
+		Peers:           peers,
+		Dim:             dim,
+		Levels:          3,  // overlays: A, D_0, D_1
+		ClustersPerPeer: 4,  // summaries per peer per level
+		Seed:            42, // fully deterministic
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every peer holds 50 vectors drawn around its own "interest" center —
+	// like a phone full of similar songs.
+	rng := rand.New(rand.NewSource(7))
+	id := 0
+	var q []float64
+	for p := 0; p < peers; p++ {
+		center := make([]float64, dim)
+		for i := range center {
+			center[i] = rng.Float64() * 10
+		}
+		ids := make([]int, 50)
+		vecs := make([][]float64, 50)
+		for j := range vecs {
+			v := make([]float64, dim)
+			for i := range v {
+				v[i] = center[i] + rng.NormFloat64()*0.3
+			}
+			ids[j] = id
+			vecs[j] = v
+			id++
+		}
+		if p == 3 {
+			q = append([]float64(nil), vecs[0]...) // remember a query target
+		}
+		if err := net.AddItems(p, ids, vecs); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Publish: each peer announces ~12 cluster spheres instead of 50 items.
+	rep, err := net.Publish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published %d items as %d summaries: %d overlay hops (%.2f hops/item)\n",
+		rep.Items, rep.Clusters, rep.OverlayHops, rep.HopsPerItem())
+
+	// Range query: find everything within radius 2 of q. No false
+	// dismissals — every true match is returned, and nothing else.
+	ans, err := net.Range(0, q, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query: %d items from %d peers (%d overlay hops)\n",
+		len(ans.Items), ans.PeersContacted, ans.OverlayHops)
+
+	// k-nn query: the 5 closest items (approximate, Fig 5 heuristic).
+	knn, err := net.KNN(0, q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := knn.Items
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Printf("k-nn query: top-5 = %v (%d peers contacted)\n", top, knn.PeersContacted)
+}

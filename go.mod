@@ -1,0 +1,3 @@
+module hyperm
+
+go 1.22

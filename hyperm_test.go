@@ -1,0 +1,379 @@
+package hyperm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperm/internal/dataset"
+)
+
+// buildNet creates a small published network over ALOI-like data and returns
+// it with the corpus.
+func buildNet(t testing.TB, kind OverlayKind) (*Network, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: 30, Views: 8, Bins: 32}, rng)
+	net, err := New(Options{Peers: 10, Dim: 32, Levels: 3, ClustersPerPeer: 4, Overlay: kind, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range data {
+		if err := net.AddItems(labels[i]%10, []int{i}, [][]float64{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := net.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	return net, data
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Peers: 0, Dim: 32}); err == nil {
+		t.Error("expected error for zero peers")
+	}
+	if _, err := New(Options{Peers: 2, Dim: 33}); err == nil {
+		t.Error("expected error for non-pow2 dim")
+	}
+	if _, err := New(Options{Peers: 2, Dim: 32, Overlay: OverlayKind(9)}); err == nil {
+		t.Error("expected error for unknown overlay")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	net, err := New(Options{Peers: 3, Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dim 8 has 4 subspaces; default Levels=4 fits exactly.
+	if net.opts.Levels != 4 || net.opts.ClustersPerPeer != 10 {
+		t.Errorf("defaults not applied: %+v", net.opts)
+	}
+	// Dim 4 has only 3 subspaces; Levels must clamp.
+	net2, err := New(Options{Peers: 3, Dim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.opts.Levels != 3 {
+		t.Errorf("Levels should clamp to 3 for Dim=4, got %d", net2.opts.Levels)
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	net, err := New(Options{Peers: 2, Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := net.Publish(); err == nil {
+		t.Error("publish with no items should fail")
+	}
+	if _, err := net.Range(0, v, 1); err == nil {
+		t.Error("query before publish should fail")
+	}
+	if err := net.Insert(0, 1, v); err == nil {
+		t.Error("Insert before publish should fail")
+	}
+	if err := net.AddItems(5, []int{0}, [][]float64{v}); err == nil {
+		t.Error("out-of-range peer should fail")
+	}
+	if err := net.AddItems(0, []int{0}, [][]float64{{1}}); err == nil {
+		t.Error("wrong dim should fail")
+	}
+	if err := net.AddItems(0, []int{0, 1}, [][]float64{v}); err == nil {
+		t.Error("id/vector length mismatch should fail")
+	}
+	if err := net.AddItems(0, []int{0}, [][]float64{v}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddItems(1, []int{0}, [][]float64{v}); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if _, err := net.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Publish(); err == nil {
+		t.Error("double publish should fail")
+	}
+	if err := net.AddItems(0, []int{2}, [][]float64{v}); err == nil {
+		t.Error("AddItems after publish should fail")
+	}
+	if err := net.Insert(0, 0, v); err == nil {
+		t.Error("duplicate id on Insert should fail")
+	}
+	if err := net.Insert(0, 3, v); err != nil {
+		t.Errorf("valid Insert failed: %v", err)
+	}
+	if _, err := net.Range(0, []float64{1}, 1); err == nil {
+		t.Error("wrong query dim should fail")
+	}
+	if _, err := net.Range(0, v, -1); err == nil {
+		t.Error("negative radius should fail")
+	}
+	if _, err := net.KNN(0, v, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := net.KNNWithC(0, v, 2, -1); err == nil {
+		t.Error("negative C should fail")
+	}
+}
+
+func TestEndToEndRangeAndKNN(t *testing.T) {
+	for _, kind := range []OverlayKind{CAN, Ring, Baton} {
+		t.Run(kind.String(), func(t *testing.T) {
+			net, data := buildNet(t, kind)
+			q := data[17]
+			ans, err := net.Range(0, q, 0.08)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sort.IntsAreSorted(ans.Items) {
+				t.Error("Range items not sorted")
+			}
+			found := false
+			for _, id := range ans.Items {
+				if id == 17 {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("Range missed the query item itself")
+			}
+			knn, err := net.KNN(0, q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(knn.Items) == 0 || knn.Items[0] != 17 {
+				t.Errorf("KNN top hit = %v, want item 17", knn.Items)
+			}
+			if knn.PeersContacted < 1 || ans.PeersContacted < 1 {
+				t.Error("queries should contact at least one peer")
+			}
+		})
+	}
+}
+
+func TestPublishReport(t *testing.T) {
+	net, _ := buildNet(t, CAN)
+	// buildNet already published; rebuild to capture the report.
+	net2, data := func() (*Network, [][]float64) {
+		rng := rand.New(rand.NewSource(6))
+		data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: 20, Views: 6, Bins: 32}, rng)
+		n, err := New(Options{Peers: 8, Dim: 32, Levels: 3, ClustersPerPeer: 4, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, x := range data {
+			if err := n.AddItems(labels[i]%8, []int{i}, [][]float64{x}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return n, data
+	}()
+	rep, err := net2.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Items != len(data) {
+		t.Errorf("report items %d, want %d", rep.Items, len(data))
+	}
+	if rep.Clusters == 0 || rep.Clusters > 8*3*4 {
+		t.Errorf("clusters = %d out of expected range", rep.Clusters)
+	}
+	if len(rep.HopsPerLevel) != 3 {
+		t.Errorf("HopsPerLevel has %d entries", len(rep.HopsPerLevel))
+	}
+	if rep.HopsPerItem() <= 0 {
+		t.Errorf("HopsPerItem = %v", rep.HopsPerItem())
+	}
+	if (PublishReport{}).HopsPerItem() != 0 {
+		t.Error("empty report HopsPerItem should be 0")
+	}
+	_ = net
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		net, data := buildNet(t, CAN)
+		ans, err := net.Range(0, data[3], 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans.Items
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed gave different answers: %v vs %v", a, b)
+	}
+}
+
+func TestOverlayKindString(t *testing.T) {
+	if CAN.String() != "CAN" || Ring.String() != "ring" || Baton.String() != "BATON" || OverlayKind(7).String() == "" {
+		t.Error("OverlayKind String broken")
+	}
+}
+
+// ExampleNew demonstrates the minimal end-to-end flow.
+func ExampleNew() {
+	net, err := New(Options{Peers: 4, Dim: 8, Levels: 3, ClustersPerPeer: 2, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	// Two peers with two items each.
+	net.AddItems(0, []int{0, 1}, [][]float64{
+		{1, 1, 1, 1, 0, 0, 0, 0},
+		{0, 0, 0, 0, 1, 1, 1, 1},
+	})
+	net.AddItems(1, []int{2, 3}, [][]float64{
+		{1, 1, 1, 1, 0.1, 0, 0, 0},
+		{5, 5, 5, 5, 5, 5, 5, 5},
+	})
+	if _, err := net.Publish(); err != nil {
+		panic(err)
+	}
+	ans, err := net.Range(0, []float64{1, 1, 1, 1, 0, 0, 0, 0}, 0.2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans.Items)
+	// Output: [0 2]
+}
+
+func TestWaveletOptionEndToEnd(t *testing.T) {
+	for _, w := range []Wavelet{HaarAveraging, HaarOrthonormal, Daubechies4} {
+		t.Run(w.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: 20, Views: 6, Bins: 32}, rng)
+			net, err := New(Options{Peers: 8, Dim: 32, Levels: 3, ClustersPerPeer: 4,
+				Wavelet: w, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, x := range data {
+				if err := net.AddItems(labels[i]%8, []int{i}, [][]float64{x}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := net.Publish(); err != nil {
+				t.Fatal(err)
+			}
+			ans, err := net.Range(0, data[5], 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, id := range ans.Items {
+				if id == 5 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("convention %v missed the query item", w)
+			}
+		})
+	}
+}
+
+func TestFailPeer(t *testing.T) {
+	net, data := buildNet(t, CAN)
+	if net.AlivePeers() != 10 {
+		t.Fatalf("AlivePeers = %d", net.AlivePeers())
+	}
+	if _, err := net.FailPeer(99); err == nil {
+		t.Error("out-of-range FailPeer should error")
+	}
+	lost, err := net.FailPeer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost == 0 {
+		t.Error("failing a publishing peer should lose index records")
+	}
+	if net.AlivePeers() != 9 {
+		t.Errorf("AlivePeers = %d after one failure", net.AlivePeers())
+	}
+	// Failing twice is a no-op.
+	lost2, err := net.FailPeer(3)
+	if err != nil || lost2 != 0 {
+		t.Errorf("double failure: lost=%d err=%v", lost2, err)
+	}
+	// Queries still work and never return the dead peer's items.
+	ans, err := net.Range(0, data[0], 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ans.Items {
+		// buildNet assigns item i to peer labels[i]%10 where labels[i]=i/8.
+		if (id/8)%10 == 3 {
+			t.Errorf("item %d belongs to the failed peer but was returned", id)
+		}
+	}
+}
+
+func TestFailPeerBeforePublishErrors(t *testing.T) {
+	net, err := New(Options{Peers: 2, Dim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.FailPeer(0); err == nil {
+		t.Error("FailPeer before publish should error")
+	}
+}
+
+func TestLeavePeerGraceful(t *testing.T) {
+	net, data := buildNet(t, CAN)
+	msgs, err := net.LeavePeer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs == 0 {
+		t.Error("graceful leave should hand records over")
+	}
+	if net.AlivePeers() != 9 {
+		t.Errorf("AlivePeers = %d", net.AlivePeers())
+	}
+	if _, err := net.LeavePeer(4); err == nil {
+		t.Error("double leave should error")
+	}
+	// Graceful leave preserves other peers' summaries: survivors' items
+	// remain perfectly retrievable (no false dismissals).
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 8; trial++ {
+		qi := rng.Intn(len(data))
+		if (qi/8)%10 == 4 {
+			continue // the departed peer's items are gone with it
+		}
+		ans, err := net.Range(0, data[qi], 0.001)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, id := range ans.Items {
+			if id == qi {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("survivor item %d lost after graceful departure", qi)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	net, data := buildNet(t, CAN)
+	ids, err := net.Lookup(0, data[9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Lookup missed exact item: %v", ids)
+	}
+}

@@ -1,0 +1,348 @@
+// Package baton implements a BATON-style overlay (Jagadish, Ooi, Vu:
+// "BATON: a balanced tree structure for peer-to-peer networks", VLDB 2005) —
+// the first of the substrates the paper names as alternatives to CAN (§5).
+//
+// BATON organizes peers as a balanced binary tree in which every node
+// (internal and leaf) owns one contiguous range of the key space, ordered by
+// in-order traversal. Each node links to its parent, children, adjacent
+// nodes (in-order neighbors) and left/right routing tables holding the
+// same-level nodes at horizontal distances 2^j — giving O(log N) routing.
+//
+// Multi-dimensional keys are linearized with the same z-order curve the ring
+// overlay uses (hyperm/internal/zorder); a node's range corresponds to a set
+// of axis-aligned boxes, which is how sphere inserts and searches decide
+// which nodes a sphere touches. (The paper's own multi-dimensional tree,
+// VBI-tree, is BATON's successor; the z-order mapping is the standard
+// single-dimensional-overlay alternative.)
+package baton
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"hyperm/internal/overlay"
+	"hyperm/internal/zorder"
+)
+
+// Overlay is a simulated BATON tree. It implements overlay.Network.
+// Node ids are heap indices: node 0 is the root, node i's children are
+// 2i+1 and 2i+2; ids double as peer ids.
+type Overlay struct {
+	dim      int
+	curve    zorder.Curve
+	n        int
+	starts   []uint64 // starts[r]: start of the r-th in-order range; starts[0] == 0
+	rankOf   []int    // rankOf[node] = in-order rank of the node's range
+	nodeAt   []int    // nodeAt[rank] = node id (inverse of rankOf)
+	links    [][]int  // per node: parent, children, adjacents, routing tables
+	entries  [][]rec
+	nextSeq  int
+	observer overlay.Observer
+}
+
+type rec struct {
+	seq int
+	e   overlay.Entry
+}
+
+var _ overlay.Network = (*Overlay)(nil)
+
+// Config parameterizes construction.
+type Config struct {
+	// Nodes is the number of peers.
+	Nodes int
+	// Dim is the key-space dimensionality.
+	Dim int
+	// Rng draws the range boundaries. Required.
+	Rng *rand.Rand
+	// Observer, when non-nil, is invoked once per overlay message.
+	Observer overlay.Observer
+}
+
+// Build constructs the balanced tree, assigns in-order ranges, and wires the
+// BATON link structure.
+func Build(cfg Config) (*Overlay, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("baton: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("baton: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("baton: rng must be non-nil")
+	}
+	curve, err := zorder.NewCurve(cfg.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("baton: %w", err)
+	}
+	if uint64(cfg.Nodes) > curve.Space() {
+		return nil, fmt.Errorf("baton: %d nodes exceed the %d-cell z-space at dim %d",
+			cfg.Nodes, curve.Space(), cfg.Dim)
+	}
+	o := &Overlay{
+		dim:      cfg.Dim,
+		curve:    curve,
+		n:        cfg.Nodes,
+		entries:  make([][]rec, cfg.Nodes),
+		observer: cfg.Observer,
+	}
+	o.assignRanges(cfg.Rng)
+	o.buildLinks()
+	return o, nil
+}
+
+// assignRanges draws n distinct sorted boundaries (first anchored at 0) and
+// maps the r-th range to the node with in-order rank r.
+func (o *Overlay) assignRanges(rng *rand.Rand) {
+	space := o.curve.Space()
+	used := map[uint64]bool{0: true}
+	o.starts = []uint64{0}
+	for len(o.starts) < o.n {
+		v := rng.Uint64() % space
+		if !used[v] {
+			used[v] = true
+			o.starts = append(o.starts, v)
+		}
+	}
+	sort.Slice(o.starts, func(i, j int) bool { return o.starts[i] < o.starts[j] })
+
+	// In-order traversal of the heap-shaped tree.
+	o.rankOf = make([]int, o.n)
+	o.nodeAt = make([]int, o.n)
+	rank := 0
+	var walk func(node int)
+	walk = func(node int) {
+		if node >= o.n {
+			return
+		}
+		walk(2*node + 1)
+		o.rankOf[node] = rank
+		o.nodeAt[rank] = node
+		rank++
+		walk(2*node + 2)
+	}
+	walk(0)
+}
+
+// depthPos returns a node's depth and its left-to-right position within its
+// level (heap numbering).
+func depthPos(node int) (depth, pos int) {
+	depth = bits.Len(uint(node+1)) - 1
+	pos = node + 1 - (1 << depth)
+	return depth, pos
+}
+
+// buildLinks wires, per node: parent, children, in-order adjacents, and the
+// BATON left/right routing tables (same-level nodes at distance 2^j).
+func (o *Overlay) buildLinks() {
+	o.links = make([][]int, o.n)
+	for node := 0; node < o.n; node++ {
+		seen := map[int]bool{node: true}
+		add := func(id int) {
+			if id >= 0 && id < o.n && !seen[id] {
+				seen[id] = true
+				o.links[node] = append(o.links[node], id)
+			}
+		}
+		add((node - 1) / 2) // parent (node 0 maps to itself; filtered by seen)
+		add(2*node + 1)     // left child
+		add(2*node + 2)     // right child
+		// In-order adjacents.
+		r := o.rankOf[node]
+		if r > 0 {
+			add(o.nodeAt[r-1])
+		}
+		if r+1 < o.n {
+			add(o.nodeAt[r+1])
+		}
+		// Routing tables: same level, positions pos ± 2^j.
+		depth, pos := depthPos(node)
+		base := 1<<depth - 1
+		width := 1 << depth
+		for j := 0; 1<<j < width; j++ {
+			if p := pos - 1<<j; p >= 0 {
+				add(base + p)
+			}
+			if p := pos + 1<<j; p < width {
+				add(base + p)
+			}
+		}
+	}
+}
+
+// rangeOf returns node id's z-range [lo, hi).
+func (o *Overlay) rangeOf(id int) (uint64, uint64) {
+	r := o.rankOf[id]
+	lo := o.starts[r]
+	var hi uint64
+	if r+1 < o.n {
+		hi = o.starts[r+1]
+	} else {
+		hi = o.curve.Space()
+	}
+	return lo, hi
+}
+
+// ownerOfZ returns the node owning z.
+func (o *Overlay) ownerOfZ(z uint64) int {
+	idx := sort.Search(len(o.starts), func(i int) bool { return o.starts[i] > z })
+	return o.nodeAt[idx-1]
+}
+
+// route forwards from node `from` toward the owner of z. Each hop picks the
+// link whose range-rank is closest to the target's; the in-order adjacents
+// guarantee progress, the routing tables provide the O(log N) jumps.
+func (o *Overlay) route(from int, z uint64) (int, int) {
+	targetRank := o.rankOf[o.ownerOfZ(z)]
+	cur := from
+	hops := 0
+	for {
+		lo, hi := o.rangeOf(cur)
+		if z >= lo && z < hi {
+			return cur, hops
+		}
+		curDist := absInt(o.rankOf[cur] - targetRank)
+		best, bestDist := -1, curDist
+		for _, l := range o.links[cur] {
+			if d := absInt(o.rankOf[l] - targetRank); d < bestDist {
+				best, bestDist = l, d
+			}
+		}
+		if best < 0 {
+			panic("baton: routing stalled — link structure corrupt")
+		}
+		o.message(cur, best)
+		cur = best
+		hops++
+		if hops > 4*o.n+16 {
+			panic("baton: routing did not converge")
+		}
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func (o *Overlay) message(from, to int) {
+	if o.observer != nil {
+		o.observer(from, to)
+	}
+}
+
+// ClearNode wipes node id's stored records (owned and replicas), modeling a
+// device crash. The node's range remains routable. Implements
+// overlay.StorageFailer.
+func (o *Overlay) ClearNode(id int) int {
+	lost := len(o.entries[id])
+	o.entries[id] = nil
+	return lost
+}
+
+// Dim returns the key-space dimensionality.
+func (o *Overlay) Dim() int { return o.dim }
+
+// Size returns the number of nodes.
+func (o *Overlay) Size() int { return o.n }
+
+// OwnerOf returns the node owning the point key (no messages charged).
+func (o *Overlay) OwnerOf(key []float64) int {
+	o.checkKey(key)
+	return o.ownerOfZ(o.curve.Z(key))
+}
+
+func (o *Overlay) checkKey(key []float64) {
+	if len(key) != o.dim {
+		panic(fmt.Sprintf("baton: key dimension %d, overlay dimension %d", len(key), o.dim))
+	}
+	for _, v := range key {
+		if v < 0 || v >= 1 {
+			panic(fmt.Sprintf("baton: key %v outside the unit cube", key))
+		}
+	}
+}
+
+// nodeTouchesSphere reports whether node id's range maps to any box within
+// radius of key.
+func (o *Overlay) nodeTouchesSphere(id int, key []float64, radius float64) bool {
+	lo, hi := o.rangeOf(id)
+	return o.curve.ArcTouchesSphere(lo, hi, key, radius)
+}
+
+// InsertSphere routes to the key's owner, stores the entry, and replicates
+// it to every other node whose range the sphere touches (one message per
+// replica).
+func (o *Overlay) InsertSphere(from int, e overlay.Entry) int {
+	o.checkKey(e.Key)
+	if e.Radius < 0 {
+		panic("baton: negative entry radius")
+	}
+	owner, hops := o.route(from, o.curve.Z(e.Key))
+	r := rec{seq: o.nextSeq, e: e}
+	o.nextSeq++
+	o.entries[owner] = append(o.entries[owner], r)
+	if e.Radius > 0 {
+		for id := 0; id < o.n; id++ {
+			if id == owner {
+				continue
+			}
+			if o.nodeTouchesSphere(id, e.Key, e.Radius) {
+				o.message(owner, id)
+				o.entries[id] = append(o.entries[id], r)
+				hops++
+			}
+		}
+	}
+	return hops
+}
+
+// SearchSphere routes to the owner of key and visits every node whose range
+// the query sphere touches, collecting intersecting entries (deduplicated
+// across replicas).
+func (o *Overlay) SearchSphere(from int, key []float64, radius float64) ([]overlay.Entry, int) {
+	o.checkKey(key)
+	if radius < 0 {
+		panic("baton: negative query radius")
+	}
+	owner, hops := o.route(from, o.curve.Z(key))
+	seen := map[int]bool{}
+	var results []overlay.Entry
+	collect := func(node int) {
+		for _, r := range o.entries[node] {
+			if seen[r.seq] {
+				continue
+			}
+			if euclid(r.e.Key, key) <= r.e.Radius+radius {
+				seen[r.seq] = true
+				results = append(results, r.e)
+			}
+		}
+	}
+	collect(owner)
+	for id := 0; id < o.n; id++ {
+		if id == owner {
+			continue
+		}
+		if o.nodeTouchesSphere(id, key, radius) {
+			o.message(owner, id)
+			hops++
+			collect(id)
+		}
+	}
+	return results, hops
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

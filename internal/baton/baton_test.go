@@ -1,0 +1,249 @@
+package baton
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperm/internal/overlay"
+)
+
+func build(t *testing.T, nodes, dim int, seed int64) *Overlay {
+	t.Helper()
+	o, err := Build(Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return o
+}
+
+func randKey(rng *rand.Rand, dim int) []float64 {
+	k := make([]float64, dim)
+	for i := range k {
+		k[i] = rng.Float64()
+	}
+	return k
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(Config{Nodes: 0, Dim: 2, Rng: rng}); err == nil {
+		t.Error("expected error for 0 nodes")
+	}
+	if _, err := Build(Config{Nodes: 3, Dim: 0, Rng: rng}); err == nil {
+		t.Error("expected error for 0 dim")
+	}
+	if _, err := Build(Config{Nodes: 3, Dim: 2}); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+// The in-order rank assignment must be a bijection and respect the BST
+// property: ranks in a node's left subtree < node's rank < right subtree.
+func TestInOrderRanks(t *testing.T) {
+	o := build(t, 41, 2, 3)
+	seen := make([]bool, o.n)
+	for node := 0; node < o.n; node++ {
+		r := o.rankOf[node]
+		if seen[r] {
+			t.Fatalf("rank %d assigned twice", r)
+		}
+		seen[r] = true
+		if o.nodeAt[r] != node {
+			t.Fatalf("nodeAt inverse broken at node %d", node)
+		}
+		if l := 2*node + 1; l < o.n && o.rankOf[l] >= r {
+			t.Fatalf("left child rank %d >= parent rank %d", o.rankOf[l], r)
+		}
+		if rc := 2*node + 2; rc < o.n && o.rankOf[rc] <= r {
+			t.Fatalf("right child rank %d <= parent rank %d", o.rankOf[rc], rc)
+		}
+	}
+}
+
+// Ranges tile the z-space: every z-value has exactly one owner.
+func TestRangesTile(t *testing.T) {
+	o := build(t, 30, 2, 5)
+	var total uint64
+	for id := 0; id < o.n; id++ {
+		lo, hi := o.rangeOf(id)
+		if hi <= lo {
+			t.Fatalf("node %d has empty range [%d,%d)", id, lo, hi)
+		}
+		total += hi - lo
+	}
+	if total != o.curve.Space() {
+		t.Fatalf("ranges cover %d of %d cells", total, o.curve.Space())
+	}
+}
+
+func TestDepthPos(t *testing.T) {
+	cases := []struct{ node, depth, pos int }{
+		{0, 0, 0}, {1, 1, 0}, {2, 1, 1}, {3, 2, 0}, {6, 2, 3}, {7, 3, 0},
+	}
+	for _, tc := range cases {
+		d, p := depthPos(tc.node)
+		if d != tc.depth || p != tc.pos {
+			t.Errorf("depthPos(%d) = (%d,%d), want (%d,%d)", tc.node, d, p, tc.depth, tc.pos)
+		}
+	}
+}
+
+// Links must be symmetric enough for routing: adjacents and routing-table
+// entries always include the in-order neighbors, guaranteeing progress.
+func TestLinksIncludeAdjacents(t *testing.T) {
+	o := build(t, 25, 2, 7)
+	for node := 0; node < o.n; node++ {
+		r := o.rankOf[node]
+		want := []int{}
+		if r > 0 {
+			want = append(want, o.nodeAt[r-1])
+		}
+		if r+1 < o.n {
+			want = append(want, o.nodeAt[r+1])
+		}
+		for _, w := range want {
+			found := false
+			for _, l := range o.links[node] {
+				if l == w {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %d missing adjacent link to %d", node, w)
+			}
+		}
+	}
+}
+
+func TestRoutingReachesOwnerLogarithmically(t *testing.T) {
+	o := build(t, 127, 2, 9)
+	rng := rand.New(rand.NewSource(10))
+	maxHops := 0
+	for q := 0; q < 300; q++ {
+		key := randKey(rng, 2)
+		from := rng.Intn(o.n)
+		owner, hops := o.route(from, o.curve.Z(key))
+		if owner != o.OwnerOf(key) {
+			t.Fatalf("routed to %d, owner is %d", owner, o.OwnerOf(key))
+		}
+		if hops > maxHops {
+			maxHops = hops
+		}
+	}
+	// BATON routing is O(log N); 127 nodes, depth 7 — allow generous slack
+	// but far below linear.
+	if maxHops > 25 {
+		t.Errorf("max route hops %d too large for a 127-node BATON", maxHops)
+	}
+}
+
+func TestInsertThenSearchPoint(t *testing.T) {
+	o := build(t, 30, 2, 11)
+	key := []float64{0.42, 0.77}
+	o.InsertSphere(3, overlay.Entry{Key: key, Payload: "x"})
+	res, _ := o.SearchSphere(9, key, 0.01)
+	if len(res) != 1 || res[0].Payload != "x" {
+		t.Fatalf("search results %v", res)
+	}
+	res, _ = o.SearchSphere(9, []float64{0.1, 0.1}, 0.05)
+	if len(res) != 0 {
+		t.Fatalf("distant search returned %v", res)
+	}
+}
+
+// The overlay contract Hyper-M depends on: no false dismissals, no false
+// positives at the overlay level.
+func TestSearchNoFalseDismissals(t *testing.T) {
+	o := build(t, 40, 3, 13)
+	rng := rand.New(rand.NewSource(14))
+	type ins struct {
+		key    []float64
+		radius float64
+		id     int
+	}
+	var all []ins
+	for i := 0; i < 50; i++ {
+		e := ins{key: randKey(rng, 3), radius: rng.Float64() * 0.2, id: i}
+		all = append(all, e)
+		o.InsertSphere(rng.Intn(o.n), overlay.Entry{Key: e.key, Radius: e.radius, Payload: e.id})
+	}
+	for q := 0; q < 40; q++ {
+		qkey := randKey(rng, 3)
+		qrad := rng.Float64() * 0.3
+		res, _ := o.SearchSphere(rng.Intn(o.n), qkey, qrad)
+		got := map[int]bool{}
+		for _, e := range res {
+			got[e.Payload.(int)] = true
+		}
+		for _, e := range all {
+			want := euclid(e.key, qkey) <= e.radius+qrad
+			if want != got[e.id] {
+				t.Fatalf("query %d entry %d: returned=%v intersects=%v", q, e.id, got[e.id], want)
+			}
+		}
+	}
+}
+
+func TestObserverCountsMatchHops(t *testing.T) {
+	msgs := 0
+	o, err := Build(Config{Nodes: 31, Dim: 2, Rng: rand.New(rand.NewSource(15)),
+		Observer: func(from, to int) { msgs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs = 0
+	hops := o.InsertSphere(0, overlay.Entry{Key: []float64{0.3, 0.3}, Radius: 0.2})
+	if msgs != hops {
+		t.Errorf("observer saw %d messages, hops = %d", msgs, hops)
+	}
+	msgs = 0
+	_, shops := o.SearchSphere(1, []float64{0.8, 0.8}, 0.1)
+	if msgs != shops {
+		t.Errorf("observer saw %d messages, search hops = %d", msgs, shops)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	o := build(t, 1, 2, 17)
+	hops := o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5}, Radius: 0.3, Payload: 1})
+	if hops != 0 {
+		t.Errorf("single-node insert cost %d hops", hops)
+	}
+	res, shops := o.SearchSphere(0, []float64{0.5, 0.5}, 0.1)
+	if len(res) != 1 || shops != 0 {
+		t.Errorf("single-node search: %d results, %d hops", len(res), shops)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	o := build(t, 5, 2, 19)
+	for _, fn := range []func(){
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{1.0, 0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{0.1, 0.1}, Radius: -1}) },
+		func() { o.SearchSphere(0, []float64{0.1, 0.1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkBatonRoute(b *testing.B) {
+	o, err := Build(Config{Nodes: 255, Dim: 2, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := randKey(rng, 2)
+		o.route(rng.Intn(255), o.curve.Z(key))
+	}
+}

@@ -1,0 +1,864 @@
+// Package can implements the Content-Addressable Network overlay
+// (Ratnasamy et al., SIGCOMM 2001) that the paper uses as its evaluation
+// substrate (§5). The key space is the unit d-torus [0,1)^d partitioned into
+// axis-aligned zones, one per node:
+//
+//   - joins route a random point to its current owner, whose zone is split
+//     in half (longest side first) between owner and joiner;
+//   - routing is greedy: each node forwards to the neighbor whose zone is
+//     closest to the target under the torus metric;
+//   - inserts of non-zero-sized objects (cluster spheres) are stored at the
+//     centroid's owner and replicated to every zone the sphere overlaps
+//     (paper Fig 6) via neighbor flooding, with the replication messages
+//     charged to insertion cost — exactly the overhead Figure 8a measures;
+//   - sphere searches route to the query center's owner and flood over the
+//     zones the query sphere touches, collecting intersecting entries.
+package can
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperm/internal/overlay"
+)
+
+// Zone is an axis-aligned half-open box [Lo, Hi) inside the unit torus.
+// Zones produced by binary splits never wrap around the torus boundary.
+type Zone struct {
+	Lo, Hi []float64
+}
+
+// Contains reports whether point p lies inside the zone.
+func (z Zone) Contains(p []float64) bool {
+	for i := range z.Lo {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the zone's key-space volume.
+func (z Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.Lo {
+		v *= z.Hi[i] - z.Lo[i]
+	}
+	return v
+}
+
+// String renders the zone box.
+func (z Zone) String() string { return fmt.Sprintf("zone%v-%v", z.Lo, z.Hi) }
+
+// circDist is the distance between two coordinates on the unit circle.
+func circDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// coordDistToSpan returns the torus distance from coordinate x to the
+// interval [lo, hi) on the unit circle.
+func coordDistToSpan(x, lo, hi float64) float64 {
+	if hi-lo >= 1 { // full axis
+		return 0
+	}
+	if x >= lo && x < hi {
+		return 0
+	}
+	return math.Min(circDist(x, lo), circDist(x, hi))
+}
+
+// DistToPoint returns the torus distance from point p to the closest point
+// of the zone.
+func (z Zone) DistToPoint(p []float64) float64 {
+	var s float64
+	for i := range z.Lo {
+		d := coordDistToSpan(p[i], z.Lo[i], z.Hi[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// IntersectsSphere reports whether a sphere of the given radius centered at
+// key touches the zone (under the torus metric).
+func (z Zone) IntersectsSphere(key []float64, radius float64) bool {
+	return z.DistToPoint(key) <= radius
+}
+
+// TorusDist returns the torus (wrap-around) Euclidean distance between two
+// key-space points.
+func TorusDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := circDist(a[i], b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// node is one overlay participant: a zone, its neighbor set, and the entries
+// it stores (both owned — centroid in zone — and replicated).
+type node struct {
+	id        int
+	zones     []Zone // usually one; temporarily more after a takeover (Leave)
+	alive     bool
+	neighbors []int
+	owned     []record
+	replicas  []record
+}
+
+// containsPoint reports whether any of the node's zones contains p.
+func (n *node) containsPoint(p []float64) bool {
+	for _, z := range n.zones {
+		if z.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// distToPoint is the torus distance from p to the node's closest zone.
+func (n *node) distToPoint(p []float64) float64 {
+	best := math.Inf(1)
+	for _, z := range n.zones {
+		if d := z.DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// intersectsSphere reports whether any zone touches the sphere.
+func (n *node) intersectsSphere(key []float64, radius float64) bool {
+	for _, z := range n.zones {
+		if z.IntersectsSphere(key, radius) {
+			return true
+		}
+	}
+	return false
+}
+
+// volume is the node's total key-space volume.
+func (n *node) volume() float64 {
+	var v float64
+	for _, z := range n.zones {
+		v += z.Volume()
+	}
+	return v
+}
+
+type record struct {
+	seq int // unique per logical entry; replicas share it
+	e   overlay.Entry
+}
+
+// Stats accumulates overlay-wide message accounting.
+type Stats struct {
+	// JoinHops is the routing cost of building the overlay (node joins).
+	JoinHops int
+	// InsertRouteHops counts greedy-routing hops of insert operations.
+	InsertRouteHops int
+	// InsertReplicationHops counts the extra messages spent replicating
+	// sphere entries into overlapping zones (Fig 6 / Fig 8a overhead).
+	InsertReplicationHops int
+	// SearchHops counts routing + flooding hops of search operations.
+	SearchHops int
+	// RouteFallbacks counts greedy dead-ends resolved by the safety escape
+	// hatch (should stay zero; a nonzero value flags a topology bug).
+	RouteFallbacks int
+}
+
+// Overlay is a simulated CAN network. It implements overlay.Network.
+type Overlay struct {
+	dim      int
+	nodes    []*node
+	nextSeq  int
+	observer overlay.Observer
+	stats    Stats
+	dropRate float64
+	failRng  *rand.Rand
+}
+
+var _ overlay.Network = (*Overlay)(nil)
+
+// Config parameterizes construction.
+type Config struct {
+	// Nodes is the number of peers to join.
+	Nodes int
+	// Dim is the key-space dimensionality.
+	Dim int
+	// Rng drives join-point selection. Required.
+	Rng *rand.Rand
+	// Observer, when non-nil, is invoked once per overlay message.
+	Observer overlay.Observer
+	// DropRate is the probability that a single overlay message is lost in
+	// the (lossy, mobile) radio medium. Routing messages are retransmitted
+	// (costing extra hops); replication and search-flood messages are
+	// fire-and-forget and silently lost, degrading replica coverage and
+	// recall — the failure-injection knob of the robustness experiments.
+	DropRate float64
+	// FailRng drives message-loss decisions; required when DropRate > 0 so
+	// failures are reproducible independent of topology randomness.
+	FailRng *rand.Rand
+}
+
+// Build constructs a CAN of cfg.Nodes nodes by sequential joins at random
+// points, as in the original CAN bootstrap. Join routing costs accumulate in
+// Stats().JoinHops.
+func Build(cfg Config) (*Overlay, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("can: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("can: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("can: rng must be non-nil")
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		if cfg.DropRate != 0 {
+			return nil, fmt.Errorf("can: drop rate %v outside [0,1)", cfg.DropRate)
+		}
+	}
+	if cfg.DropRate > 0 && cfg.FailRng == nil {
+		return nil, fmt.Errorf("can: FailRng required when DropRate > 0")
+	}
+	o := &Overlay{dim: cfg.Dim, observer: cfg.Observer, dropRate: cfg.DropRate, failRng: cfg.FailRng}
+	full := Zone{Lo: make([]float64, cfg.Dim), Hi: make([]float64, cfg.Dim)}
+	for i := range full.Hi {
+		full.Hi[i] = 1
+	}
+	o.nodes = append(o.nodes, &node{id: 0, alive: true, zones: []Zone{full}})
+	for i := 1; i < cfg.Nodes; i++ {
+		o.join(cfg.Rng)
+	}
+	return o, nil
+}
+
+// join adds one node: pick a random point, route to its owner from a random
+// alive bootstrap node, split the owner's zone.
+func (o *Overlay) join(rng *rand.Rand) {
+	p := make([]float64, o.dim)
+	for i := range p {
+		p[i] = rng.Float64()
+	}
+	var start *node
+	for {
+		start = o.nodes[rng.Intn(len(o.nodes))]
+		if start.alive {
+			break
+		}
+	}
+	owner, hops := o.route(start, p)
+	o.stats.JoinHops += hops
+
+	newNode := &node{id: len(o.nodes), alive: true}
+	o.nodes = append(o.nodes, newNode)
+	o.split(owner, newNode, p)
+}
+
+// split halves owner's zone along its longest side; the half containing the
+// join point goes to the joiner. Stored entries are redistributed.
+func (o *Overlay) split(owner, joiner *node, joinPoint []float64) {
+	zi := 0
+	for i, z := range owner.zones {
+		if z.Contains(joinPoint) {
+			zi = i
+			break
+		}
+	}
+	z := owner.zones[zi]
+	// Longest side, lowest index on ties: keeps zones near-cubical, which is
+	// the standard refinement of CAN's round-robin split ordering.
+	splitDim, best := 0, -1.0
+	for i := range z.Lo {
+		if ext := z.Hi[i] - z.Lo[i]; ext > best {
+			splitDim, best = i, ext
+		}
+	}
+	mid := (z.Lo[splitDim] + z.Hi[splitDim]) / 2
+	lower := Zone{Lo: cloneVec(z.Lo), Hi: cloneVec(z.Hi)}
+	upper := Zone{Lo: cloneVec(z.Lo), Hi: cloneVec(z.Hi)}
+	lower.Hi[splitDim] = mid
+	upper.Lo[splitDim] = mid
+	if joinPoint[splitDim] < mid {
+		joiner.zones = []Zone{lower}
+		owner.zones[zi] = upper
+	} else {
+		joiner.zones = []Zone{upper}
+		owner.zones[zi] = lower
+	}
+
+	// Redistribute owned entries by centroid containment and re-derive
+	// replicas by sphere overlap against the two halves.
+	oldOwned, oldReplicas := owner.owned, owner.replicas
+	owner.owned, owner.replicas = nil, nil
+	for _, rec := range oldOwned {
+		target := owner
+		if joiner.containsPoint(rec.e.Key) {
+			target = joiner
+		}
+		target.owned = append(target.owned, rec)
+		other := owner
+		if target == owner {
+			other = joiner
+		}
+		if rec.e.Radius > 0 && other.intersectsSphere(rec.e.Key, rec.e.Radius) {
+			other.replicas = append(other.replicas, rec)
+		}
+	}
+	for _, rec := range oldReplicas {
+		for _, n := range []*node{owner, joiner} {
+			if n.intersectsSphere(rec.e.Key, rec.e.Radius) {
+				n.replicas = append(n.replicas, rec)
+			}
+		}
+	}
+
+	// Rewire neighbor sets: the former neighbor set of the pre-split zone,
+	// plus the owner/joiner pair itself, covers every affected node.
+	affected := map[int]bool{owner.id: true, joiner.id: true}
+	for _, nb := range oldNeighborsPlus(owner, joiner) {
+		affected[nb] = true
+	}
+	for id := range affected {
+		o.recomputeNeighbors(o.nodes[id])
+	}
+}
+
+func oldNeighborsPlus(owner, joiner *node) []int {
+	out := append([]int{}, owner.neighbors...)
+	out = append(out, joiner.neighbors...)
+	return out
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// recomputeNeighbors rebuilds n's neighbor list by scanning all nodes, and
+// symmetrically fixes the reverse edges. O(N) per call — acceptable for the
+// simulated network sizes (hundreds of nodes).
+func (o *Overlay) recomputeNeighbors(n *node) {
+	n.neighbors = n.neighbors[:0]
+	for _, m := range o.nodes {
+		if m.id == n.id {
+			continue
+		}
+		if n.alive && m.alive && nodesAdjacent(n, m) {
+			n.neighbors = append(n.neighbors, m.id)
+			if !contains(m.neighbors, n.id) {
+				m.neighbors = append(m.neighbors, n.id)
+			}
+		} else if contains(m.neighbors, n.id) {
+			m.neighbors = removeID(m.neighbors, n.id)
+		}
+	}
+}
+
+// nodesAdjacent reports whether any zone of a is CAN-adjacent to any zone
+// of b.
+func nodesAdjacent(a, b *node) bool {
+	for _, za := range a.zones {
+		for _, zb := range b.zones {
+			if zonesAdjacent(za, zb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func contains(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func removeID(ids []int, id int) []int {
+	out := ids[:0]
+	for _, v := range ids {
+		if v != id {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// zonesAdjacent reports CAN neighborship: the zones abut along exactly one
+// dimension (touching boundaries, torus-wrapped) and overlap along every
+// other dimension.
+func zonesAdjacent(a, b Zone) bool {
+	abut, overlap := 0, 0
+	d := len(a.Lo)
+	for i := 0; i < d; i++ {
+		switch spanRelation(a.Lo[i], a.Hi[i], b.Lo[i], b.Hi[i]) {
+		case spanOverlap:
+			overlap++
+		case spanAbut:
+			abut++
+		default:
+			return false
+		}
+	}
+	if d == 1 {
+		return abut == 1 || overlap == 1
+	}
+	// Zones that overlap in every dimension can only be the two halves of a
+	// not-yet-split axis pairing with a full-span axis; treat full overlap in
+	// all dims as adjacency too (happens transiently with <= 2 nodes).
+	return (abut == 1 && overlap == d-1) || overlap == d
+}
+
+type spanRel int
+
+const (
+	spanDisjoint spanRel = iota
+	spanAbut
+	spanOverlap
+)
+
+// spanRelation classifies two half-open intervals on the unit circle.
+func spanRelation(alo, ahi, blo, bhi float64) spanRel {
+	afull := ahi-alo >= 1
+	bfull := bhi-blo >= 1
+	if afull || bfull {
+		return spanOverlap
+	}
+	// Positive-measure intersection (no wrap: split intervals never wrap).
+	if alo < bhi && blo < ahi {
+		return spanOverlap
+	}
+	// Abutment, including across the torus seam at 0/1.
+	if ahi == blo || bhi == alo {
+		return spanAbut
+	}
+	if (ahi == 1 && blo == 0) || (bhi == 1 && alo == 0) {
+		return spanAbut
+	}
+	return spanDisjoint
+}
+
+// route greedily forwards from start toward the owner of target, returning
+// the owner and the number of hops taken. A visited set plus a linear-scan
+// escape hatch guarantee termination even if greedy progress stalls.
+func (o *Overlay) route(start *node, target []float64) (*node, int) {
+	cur := start
+	hops := 0
+	visited := map[int]bool{cur.id: true}
+	limit := 8*len(o.nodes) + 16
+	for !cur.containsPoint(target) {
+		if hops > limit {
+			// Should be unreachable; keep the simulation alive and flag it.
+			o.stats.RouteFallbacks++
+			owner := o.ownerScan(target)
+			o.message(cur.id, owner.id)
+			return owner, hops + 1
+		}
+		bestID, bestDist := -1, math.Inf(1)
+		for _, nb := range cur.neighbors {
+			nz := o.nodes[nb]
+			d := nz.distToPoint(target)
+			if visited[nb] {
+				d += 1e6 // strongly avoid revisits, but allow as last resort
+			}
+			if d < bestDist {
+				bestID, bestDist = nb, d
+			}
+		}
+		if bestID < 0 {
+			o.stats.RouteFallbacks++
+			owner := o.ownerScan(target)
+			o.message(cur.id, owner.id)
+			return owner, hops + 1
+		}
+		hops += o.reliableMessage(cur.id, bestID)
+		cur = o.nodes[bestID]
+		visited[cur.id] = true
+	}
+	return cur, hops
+}
+
+func (o *Overlay) ownerScan(target []float64) *node {
+	for _, n := range o.nodes {
+		if n.alive && n.containsPoint(target) {
+			return n
+		}
+	}
+	panic(fmt.Sprintf("can: no zone contains %v — zones do not tile the space", target))
+}
+
+func (o *Overlay) message(from, to int) {
+	if o.observer != nil {
+		o.observer(from, to)
+	}
+}
+
+// dropped decides whether a fire-and-forget message is lost. Each loss is a
+// real transmission: it is observed and charged before the content
+// disappears.
+func (o *Overlay) dropped() bool {
+	return o.dropRate > 0 && o.failRng.Float64() < o.dropRate
+}
+
+// reliableMessage models a routing hop with link-layer retransmission: the
+// message is repeated until it gets through, and every attempt costs one
+// transmission. It returns the number of attempts (>= 1).
+func (o *Overlay) reliableMessage(from, to int) int {
+	attempts := 1
+	for o.dropped() {
+		o.message(from, to)
+		attempts++
+	}
+	o.message(from, to)
+	return attempts
+}
+
+// Dim returns the key-space dimensionality.
+func (o *Overlay) Dim() int { return o.dim }
+
+// Size returns the number of nodes.
+func (o *Overlay) Size() int { return len(o.nodes) }
+
+// Stats returns a copy of the accumulated message statistics.
+func (o *Overlay) Stats() Stats { return o.stats }
+
+// ResetStats zeroes the message statistics (topology is untouched).
+func (o *Overlay) ResetStats() { o.stats = Stats{} }
+
+// OwnerOf returns the id of the node whose zone contains key, without
+// charging any messages.
+func (o *Overlay) OwnerOf(key []float64) int {
+	o.checkKey(key)
+	return o.ownerScan(key).id
+}
+
+func (o *Overlay) checkKey(key []float64) {
+	if len(key) != o.dim {
+		panic(fmt.Sprintf("can: key dimension %d, overlay dimension %d", len(key), o.dim))
+	}
+	for _, v := range key {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			panic(fmt.Sprintf("can: key %v outside the unit torus", key))
+		}
+	}
+}
+
+// InsertSphere publishes e from the given node: greedy-route to the
+// centroid's owner, store, then replicate into every zone the sphere
+// overlaps (one hop per replica, flooding through overlapping zones).
+// The returned hop count is routing + replication.
+func (o *Overlay) InsertSphere(from int, e overlay.Entry) int {
+	o.checkKey(e.Key)
+	if e.Radius < 0 {
+		panic("can: negative entry radius")
+	}
+	if !o.nodes[from].alive {
+		panic(fmt.Sprintf("can: node %d has left the overlay", from))
+	}
+	owner, hops := o.route(o.nodes[from], e.Key)
+	o.stats.InsertRouteHops += hops
+	rec := record{seq: o.nextSeq, e: e}
+	o.nextSeq++
+	owner.owned = append(owner.owned, rec)
+	if e.Radius > 0 {
+		hops += o.replicate(owner, rec)
+	}
+	return hops
+}
+
+// replicate floods rec from its owner into every other zone the sphere
+// overlaps, returning the number of replication messages.
+func (o *Overlay) replicate(owner *node, rec record) int {
+	msgs := 0
+	visited := map[int]bool{owner.id: true}
+	frontier := []*node{owner}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, n := range frontier {
+			for _, nbID := range n.neighbors {
+				if visited[nbID] {
+					continue
+				}
+				visited[nbID] = true
+				nb := o.nodes[nbID]
+				if !nb.intersectsSphere(rec.e.Key, rec.e.Radius) {
+					continue
+				}
+				o.message(n.id, nbID)
+				msgs++
+				if o.dropped() {
+					continue // replica lost in the air; coverage degrades
+				}
+				nb.replicas = append(nb.replicas, rec)
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	o.stats.InsertReplicationHops += msgs
+	return msgs
+}
+
+// SearchSphere routes to the owner of key and floods the zones intersecting
+// the query sphere, returning every stored entry whose own sphere intersects
+// the query (deduplicated across replicas) plus the hops spent.
+func (o *Overlay) SearchSphere(from int, key []float64, radius float64) ([]overlay.Entry, int) {
+	o.checkKey(key)
+	if radius < 0 {
+		panic("can: negative query radius")
+	}
+	if !o.nodes[from].alive {
+		panic(fmt.Sprintf("can: node %d has left the overlay", from))
+	}
+	owner, hops := o.route(o.nodes[from], key)
+
+	seen := map[int]bool{}
+	var results []overlay.Entry
+	collect := func(n *node) {
+		for _, recs := range [][]record{n.owned, n.replicas} {
+			for _, rec := range recs {
+				if seen[rec.seq] {
+					continue
+				}
+				if TorusDist(rec.e.Key, key) <= rec.e.Radius+radius {
+					seen[rec.seq] = true
+					results = append(results, rec.e)
+				}
+			}
+		}
+	}
+
+	visited := map[int]bool{owner.id: true}
+	collect(owner)
+	frontier := []*node{owner}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, n := range frontier {
+			for _, nbID := range n.neighbors {
+				if visited[nbID] {
+					continue
+				}
+				visited[nbID] = true
+				nb := o.nodes[nbID]
+				if !nb.intersectsSphere(key, radius) {
+					continue
+				}
+				o.message(n.id, nbID)
+				hops++
+				if o.dropped() {
+					continue // flood message lost; this zone goes unsearched
+				}
+				collect(nb)
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	o.stats.SearchHops += hops
+	return results, hops
+}
+
+// NodeLoad returns how many entries node id stores: owned (centroid in the
+// node's zone) and replicated (sphere overlap only). Feeds the Figure 9
+// load-distribution analysis.
+func (o *Overlay) NodeLoad(id int) (owned, replicas int) {
+	n := o.nodes[id]
+	return len(n.owned), len(n.replicas)
+}
+
+// ClearNode wipes node id's stored records (owned and replicas), modeling a
+// device crash. The zone remains routable. Implements
+// overlay.StorageFailer.
+func (o *Overlay) ClearNode(id int) int {
+	n := o.nodes[id]
+	lost := len(n.owned) + len(n.replicas)
+	n.owned, n.replicas = nil, nil
+	return lost
+}
+
+// Leave removes node id gracefully, following the CAN departure protocol:
+// each of its zones is merged with a neighbor zone when the union forms a
+// valid box (the sibling-merge case); otherwise the alive neighbor managing
+// the least key-space volume takes the zone over as an extra zone. Stored
+// records move with their zones (one message per transferred record).
+//
+// It returns the number of transfer messages and an error if the node has
+// already left or is the last one standing.
+func (o *Overlay) Leave(id int) (int, error) {
+	leaving := o.nodes[id]
+	if !leaving.alive {
+		return 0, fmt.Errorf("can: node %d has already left", id)
+	}
+	alive := 0
+	for _, n := range o.nodes {
+		if n.alive {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		return 0, fmt.Errorf("can: node %d is the last member and cannot leave", id)
+	}
+
+	// Hand each zone over, one at a time: prefer the sibling merge (an
+	// alive neighbor holding a zone whose union with this one is a box);
+	// otherwise the smallest-volume alive neighbor takes it as an extra
+	// zone (CAN's temporary multi-zone takeover state).
+	affected := map[int]bool{id: true}
+	takers := map[int]*node{}
+	for _, z := range leaving.zones {
+		var taker *node
+		merged := false
+		for _, nbID := range leaving.neighbors {
+			nb := o.nodes[nbID]
+			if !nb.alive {
+				continue
+			}
+			for zi, nz := range nb.zones {
+				if u, ok := unionBox(z, nz); ok {
+					nb.zones[zi] = u
+					taker, merged = nb, true
+					break
+				}
+			}
+			if merged {
+				break
+			}
+		}
+		if taker == nil {
+			best := math.Inf(1)
+			for _, nbID := range leaving.neighbors {
+				nb := o.nodes[nbID]
+				if nb.alive && nb.volume() < best {
+					best = nb.volume()
+					taker = nb
+				}
+			}
+			if taker == nil {
+				return 0, fmt.Errorf("can: node %d has no alive neighbor to hand zones to", id)
+			}
+			taker.zones = append(taker.zones, z)
+		}
+		affected[taker.id] = true
+		takers[taker.id] = taker
+	}
+
+	// Move records: owned go to the node now owning their key; replicas go
+	// to takers whose zones overlap. Each transferred record is one message.
+	msgs := 0
+	oldOwned, oldReplicas := leaving.owned, leaving.replicas
+	leaving.owned, leaving.replicas, leaving.zones = nil, nil, nil
+	leaving.alive = false
+	for _, rec := range oldOwned {
+		taker := o.ownerScan(rec.e.Key)
+		taker.owned = append(taker.owned, rec)
+		o.message(id, taker.id)
+		msgs++
+	}
+	for _, rec := range oldReplicas {
+		for _, taker := range takers {
+			if taker.intersectsSphere(rec.e.Key, rec.e.Radius) && !taker.holds(rec.seq) {
+				taker.replicas = append(taker.replicas, rec)
+				o.message(id, taker.id)
+				msgs++
+			}
+		}
+	}
+
+	// Rewire: the leaver's former neighborhood plus the takers.
+	for _, nbID := range leaving.neighbors {
+		affected[nbID] = true
+	}
+	for aid := range affected {
+		o.recomputeNeighbors(o.nodes[aid])
+	}
+	return msgs, nil
+}
+
+// holds reports whether the node already stores record seq.
+func (n *node) holds(seq int) bool {
+	for _, r := range n.owned {
+		if r.seq == seq {
+			return true
+		}
+	}
+	for _, r := range n.replicas {
+		if r.seq == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// unionBox returns the union of two zones when it forms a valid box: the
+// zones must agree on every dimension except one, where they abut.
+func unionBox(a, b Zone) (Zone, bool) {
+	joinDim := -1
+	for i := range a.Lo {
+		if a.Lo[i] == b.Lo[i] && a.Hi[i] == b.Hi[i] {
+			continue
+		}
+		if joinDim >= 0 {
+			return Zone{}, false // differ in more than one dimension
+		}
+		if a.Hi[i] == b.Lo[i] || b.Hi[i] == a.Lo[i] {
+			joinDim = i
+			continue
+		}
+		return Zone{}, false // differ but do not abut
+	}
+	if joinDim < 0 {
+		return Zone{}, false // identical zones (impossible between nodes)
+	}
+	out := Zone{Lo: cloneVec(a.Lo), Hi: cloneVec(a.Hi)}
+	if a.Hi[joinDim] == b.Lo[joinDim] {
+		out.Hi[joinDim] = b.Hi[joinDim]
+	} else {
+		out.Lo[joinDim] = b.Lo[joinDim]
+	}
+	return out, true
+}
+
+// OwnedEntries returns copies of the entries whose centroid lies in node
+// id's zone (replicas excluded). Feeds load-distribution analysis.
+func (o *Overlay) OwnedEntries(id int) []overlay.Entry {
+	n := o.nodes[id]
+	out := make([]overlay.Entry, len(n.owned))
+	for i, rec := range n.owned {
+		out[i] = rec.e
+	}
+	return out
+}
+
+// ZoneOf returns a copy of node id's first zone (nodes own exactly one zone
+// until a takeover; see Zones for the general form).
+func (o *Overlay) ZoneOf(id int) Zone {
+	z := o.nodes[id].zones[0]
+	return Zone{Lo: cloneVec(z.Lo), Hi: cloneVec(z.Hi)}
+}
+
+// Zones returns copies of every zone node id currently manages.
+func (o *Overlay) Zones(id int) []Zone {
+	out := make([]Zone, len(o.nodes[id].zones))
+	for i, z := range o.nodes[id].zones {
+		out[i] = Zone{Lo: cloneVec(z.Lo), Hi: cloneVec(z.Hi)}
+	}
+	return out
+}
+
+// Alive reports whether node id is still part of the overlay.
+func (o *Overlay) Alive(id int) bool { return o.nodes[id].alive }
+
+// Neighbors returns a copy of node id's neighbor list.
+func (o *Overlay) Neighbors(id int) []int {
+	return append([]int{}, o.nodes[id].neighbors...)
+}

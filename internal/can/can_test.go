@@ -1,0 +1,409 @@
+package can
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperm/internal/overlay"
+)
+
+func build(t *testing.T, nodes, dim int, seed int64) *Overlay {
+	t.Helper()
+	o, err := Build(Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return o
+}
+
+func randKey(rng *rand.Rand, dim int) []float64 {
+	k := make([]float64, dim)
+	for i := range k {
+		k[i] = rng.Float64()
+	}
+	return k
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(Config{Nodes: 0, Dim: 2, Rng: rng}); err == nil {
+		t.Error("expected error for 0 nodes")
+	}
+	if _, err := Build(Config{Nodes: 5, Dim: 0, Rng: rng}); err == nil {
+		t.Error("expected error for 0 dim")
+	}
+	if _, err := Build(Config{Nodes: 5, Dim: 2}); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+// Invariant: zones partition the unit torus — volumes sum to 1 and every
+// random point has exactly one owner.
+func TestZonesTileSpace(t *testing.T) {
+	for _, dim := range []int{1, 2, 3, 4} {
+		for _, nodes := range []int{1, 2, 7, 50} {
+			o := build(t, nodes, dim, int64(dim*100+nodes))
+			var vol float64
+			for i := 0; i < o.Size(); i++ {
+				vol += o.ZoneOf(i).Volume()
+			}
+			if math.Abs(vol-1) > 1e-9 {
+				t.Errorf("dim=%d nodes=%d: zone volumes sum to %v", dim, nodes, vol)
+			}
+			rng := rand.New(rand.NewSource(99))
+			for q := 0; q < 50; q++ {
+				p := randKey(rng, dim)
+				owners := 0
+				for i := 0; i < o.Size(); i++ {
+					if o.ZoneOf(i).Contains(p) {
+						owners++
+					}
+				}
+				if owners != 1 {
+					t.Fatalf("dim=%d nodes=%d: point %v has %d owners", dim, nodes, p, owners)
+				}
+			}
+		}
+	}
+}
+
+// Invariant: the neighbor relation is symmetric and matches zonesAdjacent.
+func TestNeighborSymmetry(t *testing.T) {
+	o := build(t, 60, 2, 5)
+	for i := 0; i < o.Size(); i++ {
+		for _, j := range o.Neighbors(i) {
+			if !contains(o.Neighbors(j), i) {
+				t.Fatalf("neighbor asymmetry: %d -> %d", i, j)
+			}
+			if !zonesAdjacent(o.ZoneOf(i), o.ZoneOf(j)) {
+				t.Fatalf("nodes %d,%d are neighbors but zones not adjacent", i, j)
+			}
+		}
+	}
+	// And completeness: adjacent zones must be in each other's lists.
+	for i := 0; i < o.Size(); i++ {
+		for j := 0; j < o.Size(); j++ {
+			if i != j && zonesAdjacent(o.ZoneOf(i), o.ZoneOf(j)) && !contains(o.Neighbors(i), j) {
+				t.Fatalf("adjacent zones %d,%d missing from neighbor lists", i, j)
+			}
+		}
+	}
+}
+
+func TestRoutingTerminatesWithoutFallback(t *testing.T) {
+	for _, dim := range []int{1, 2, 4} {
+		o := build(t, 80, dim, int64(dim))
+		rng := rand.New(rand.NewSource(7))
+		for q := 0; q < 200; q++ {
+			key := randKey(rng, dim)
+			from := rng.Intn(o.Size())
+			owner, _ := o.route(o.nodes[from], key)
+			if !owner.containsPoint(key) {
+				t.Fatalf("routing returned non-owner for %v", key)
+			}
+		}
+		if fb := o.Stats().RouteFallbacks; fb != 0 {
+			t.Errorf("dim=%d: %d route fallbacks, want 0", dim, fb)
+		}
+	}
+}
+
+func TestInsertThenSearchPoint(t *testing.T) {
+	o := build(t, 40, 2, 11)
+	rng := rand.New(rand.NewSource(12))
+	key := randKey(rng, 2)
+	hops := o.InsertSphere(3, overlay.Entry{Key: key, Payload: "hello"})
+	if hops < 0 {
+		t.Fatalf("negative hops %d", hops)
+	}
+	res, _ := o.SearchSphere(9, key, 0.001)
+	if len(res) != 1 || res[0].Payload != "hello" {
+		t.Fatalf("search results %v", res)
+	}
+}
+
+func TestSearchMissesDistantEntry(t *testing.T) {
+	o := build(t, 40, 2, 13)
+	o.InsertSphere(0, overlay.Entry{Key: []float64{0.1, 0.1}, Payload: 1})
+	res, _ := o.SearchSphere(0, []float64{0.4, 0.4}, 0.05)
+	if len(res) != 0 {
+		t.Fatalf("distant entry should not match, got %v", res)
+	}
+}
+
+// Invariant (Fig 6): after inserting a sphere, every node whose zone the
+// sphere overlaps holds the record, and no other node does.
+func TestSphereReplicationCoverage(t *testing.T) {
+	o := build(t, 50, 2, 17)
+	rng := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 30; trial++ {
+		key := randKey(rng, 2)
+		radius := rng.Float64() * 0.3
+		before := make([]int, o.Size())
+		for i := range before {
+			ow, rep := o.NodeLoad(i)
+			before[i] = ow + rep
+		}
+		o.InsertSphere(rng.Intn(o.Size()), overlay.Entry{Key: key, Radius: radius, Payload: trial})
+		for i := 0; i < o.Size(); i++ {
+			ow, rep := o.NodeLoad(i)
+			gained := ow + rep - before[i]
+			intersects := o.ZoneOf(i).IntersectsSphere(key, radius)
+			if intersects && gained != 1 {
+				t.Fatalf("trial %d: node %d intersects sphere but gained %d records", trial, i, gained)
+			}
+			if !intersects && gained != 0 {
+				t.Fatalf("trial %d: node %d does not intersect sphere but gained %d records", trial, i, gained)
+			}
+		}
+	}
+}
+
+// Invariant: sphere search has no false dismissals at the overlay level —
+// every entry whose sphere intersects the query sphere is returned.
+func TestPropSearchNoFalseDismissals(t *testing.T) {
+	o := build(t, 50, 3, 19)
+	rng := rand.New(rand.NewSource(20))
+	type ins struct {
+		key    []float64
+		radius float64
+		id     int
+	}
+	var all []ins
+	for i := 0; i < 60; i++ {
+		e := ins{key: randKey(rng, 3), radius: rng.Float64() * 0.2, id: i}
+		all = append(all, e)
+		o.InsertSphere(rng.Intn(o.Size()), overlay.Entry{Key: e.key, Radius: e.radius, Payload: e.id})
+	}
+	for q := 0; q < 40; q++ {
+		qkey := randKey(rng, 3)
+		qrad := rng.Float64() * 0.3
+		res, _ := o.SearchSphere(rng.Intn(o.Size()), qkey, qrad)
+		got := map[int]bool{}
+		for _, e := range res {
+			got[e.Payload.(int)] = true
+		}
+		for _, e := range all {
+			want := TorusDist(e.key, qkey) <= e.radius+qrad
+			if want && !got[e.id] {
+				t.Fatalf("query %d: entry %d intersects but was not returned", q, e.id)
+			}
+			if !want && got[e.id] {
+				t.Fatalf("query %d: entry %d does not intersect but was returned", q, e.id)
+			}
+		}
+	}
+}
+
+func TestReplicasDedupedInSearch(t *testing.T) {
+	o := build(t, 30, 2, 23)
+	// A big sphere replicated almost everywhere must come back exactly once.
+	o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5}, Radius: 0.45, Payload: "big"})
+	res, _ := o.SearchSphere(7, []float64{0.5, 0.5}, 0.45)
+	if len(res) != 1 {
+		t.Fatalf("expected 1 deduplicated result, got %d", len(res))
+	}
+}
+
+func TestObserverSeesEveryHop(t *testing.T) {
+	msgs := 0
+	o, err := Build(Config{Nodes: 40, Dim: 2, Rng: rand.New(rand.NewSource(29)),
+		Observer: func(from, to int) { msgs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != o.Stats().JoinHops {
+		t.Errorf("observer saw %d join messages, stats say %d", msgs, o.Stats().JoinHops)
+	}
+	msgs = 0
+	hops := o.InsertSphere(0, overlay.Entry{Key: []float64{0.9, 0.9}, Radius: 0.2})
+	if msgs != hops {
+		t.Errorf("observer saw %d insert messages, hops = %d", msgs, hops)
+	}
+	msgs = 0
+	_, shops := o.SearchSphere(0, []float64{0.2, 0.2}, 0.15)
+	if msgs != shops {
+		t.Errorf("observer saw %d search messages, hops = %d", msgs, shops)
+	}
+}
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	o := build(t, 30, 2, 31)
+	o.InsertSphere(0, overlay.Entry{Key: []float64{0.3, 0.7}, Radius: 0.2})
+	st := o.Stats()
+	if st.InsertRouteHops+st.InsertReplicationHops == 0 {
+		t.Error("insert should consume hops in a 30-node network")
+	}
+	o.ResetStats()
+	if o.Stats() != (Stats{}) {
+		t.Error("ResetStats should zero everything")
+	}
+}
+
+func TestTorusDist(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{[]float64{0.1}, []float64{0.9}, 0.2}, // wraps
+		{[]float64{0.2}, []float64{0.5}, 0.3},
+		{[]float64{0.05, 0.05}, []float64{0.95, 0.05}, 0.1},
+	}
+	for _, tc := range cases {
+		if got := TorusDist(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("TorusDist(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestZoneDistToPoint(t *testing.T) {
+	z := Zone{Lo: []float64{0.25, 0.25}, Hi: []float64{0.5, 0.5}}
+	if got := z.DistToPoint([]float64{0.3, 0.3}); got != 0 {
+		t.Errorf("interior point distance %v", got)
+	}
+	if got := z.DistToPoint([]float64{0.6, 0.3}); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("side distance = %v, want 0.1", got)
+	}
+	// Wraparound: x=0.95 is 0.05+0.25=0.30 away going right through the seam
+	// to lo=0.25... actually circ distance from 0.95 to 0.25 is 0.3, to 0.5
+	// is 0.45; min is 0.3.
+	if got := z.DistToPoint([]float64{0.95, 0.3}); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("wrap distance = %v, want 0.3", got)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	o := build(t, 5, 2, 37)
+	for _, fn := range []func(){
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{1.0, 0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{-0.1, 0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5}, Radius: -1}) },
+		func() { o.SearchSphere(0, []float64{0.5, 0.5}, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	o := build(t, 20, 2, 41)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		p := randKey(rng, 2)
+		id := o.OwnerOf(p)
+		if !o.ZoneOf(id).Contains(p) {
+			t.Fatalf("OwnerOf(%v) = %d but zone does not contain it", p, id)
+		}
+	}
+}
+
+func TestSingleNodeOverlay(t *testing.T) {
+	o := build(t, 1, 3, 43)
+	hops := o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5, 0.5}, Radius: 0.3, Payload: "x"})
+	if hops != 0 {
+		t.Errorf("single-node insert cost %d hops, want 0", hops)
+	}
+	res, shops := o.SearchSphere(0, []float64{0.5, 0.5, 0.5}, 0.1)
+	if len(res) != 1 || shops != 0 {
+		t.Errorf("single-node search: %d results, %d hops", len(res), shops)
+	}
+}
+
+// Routing cost should grow sublinearly with network size (CAN gives
+// O(d * N^(1/d))); sanity-check the trend rather than the constant.
+func TestRoutingScalesSublinearly(t *testing.T) {
+	avgHops := func(nodes int) float64 {
+		o := build(t, nodes, 2, int64(nodes))
+		rng := rand.New(rand.NewSource(55))
+		total := 0
+		const queries = 100
+		for q := 0; q < queries; q++ {
+			_, h := o.route(o.nodes[rng.Intn(o.Size())], randKey(rng, 2))
+			total += h
+		}
+		return float64(total) / queries
+	}
+	small, large := avgHops(25), avgHops(400)
+	if large > small*6 {
+		t.Errorf("routing not sublinear: 25 nodes %.2f hops, 400 nodes %.2f hops", small, large)
+	}
+	if large <= small {
+		t.Logf("note: larger network routed cheaper (%.2f vs %.2f) — acceptable variance", large, small)
+	}
+}
+
+// Property: build determinism — identical seeds give identical topologies.
+func TestPropBuildDeterministic(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		nodes := int(n%50) + 2
+		a := mustBuild(nodes, 2, seed)
+		b := mustBuild(nodes, 2, seed)
+		for i := 0; i < nodes; i++ {
+			za, zb := a.ZoneOf(i), b.ZoneOf(i)
+			for j := range za.Lo {
+				if za.Lo[j] != zb.Lo[j] || za.Hi[j] != zb.Hi[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustBuild(nodes, dim int, seed int64) *Overlay {
+	o, err := Build(Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func BenchmarkBuild100Nodes2D(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mustBuild(100, 2, int64(i))
+	}
+}
+
+func BenchmarkInsertSphere(b *testing.B) {
+	o := mustBuild(100, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.InsertSphere(rng.Intn(100), overlay.Entry{Key: randKeyB(rng, 2), Radius: 0.05})
+	}
+}
+
+func BenchmarkSearchSphere(b *testing.B) {
+	o := mustBuild(100, 2, 1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		o.InsertSphere(rng.Intn(100), overlay.Entry{Key: randKeyB(rng, 2), Radius: 0.05})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.SearchSphere(rng.Intn(100), randKeyB(rng, 2), 0.1)
+	}
+}
+
+func randKeyB(rng *rand.Rand, dim int) []float64 {
+	k := make([]float64, dim)
+	for i := range k {
+		k[i] = rng.Float64()
+	}
+	return k
+}

@@ -1,0 +1,147 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+
+	"hyperm/internal/overlay"
+)
+
+func buildLossy(t *testing.T, nodes, dim int, drop float64, seed int64) *Overlay {
+	t.Helper()
+	o, err := Build(Config{
+		Nodes:    nodes,
+		Dim:      dim,
+		Rng:      rand.New(rand.NewSource(seed)),
+		DropRate: drop,
+		FailRng:  rand.New(rand.NewSource(seed + 1000)),
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return o
+}
+
+func TestDropRateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(Config{Nodes: 3, Dim: 2, Rng: rng, DropRate: -0.1,
+		FailRng: rng}); err == nil {
+		t.Error("negative drop rate should fail")
+	}
+	if _, err := Build(Config{Nodes: 3, Dim: 2, Rng: rng, DropRate: 1.0,
+		FailRng: rng}); err == nil {
+		t.Error("drop rate 1.0 should fail")
+	}
+	if _, err := Build(Config{Nodes: 3, Dim: 2, Rng: rng, DropRate: 0.5}); err == nil {
+		t.Error("drop rate without FailRng should fail")
+	}
+}
+
+// Zero drop rate must behave identically to the lossless overlay.
+func TestZeroDropRateIdenticalToLossless(t *testing.T) {
+	a := build(t, 30, 2, 77)
+	b := buildLossy(t, 30, 2, 0, 77)
+	rng := rand.New(rand.NewSource(78))
+	for i := 0; i < 40; i++ {
+		key := randKey(rng, 2)
+		radius := rng.Float64() * 0.2
+		from := rng.Intn(30)
+		ha := a.InsertSphere(from, overlay.Entry{Key: key, Radius: radius, Payload: i})
+		hb := b.InsertSphere(from, overlay.Entry{Key: key, Radius: radius, Payload: i})
+		if ha != hb {
+			t.Fatalf("insert %d: hops differ %d vs %d", i, ha, hb)
+		}
+	}
+}
+
+// Routing still always reaches the owner under loss (retransmission), but
+// costs more hops on average.
+func TestRoutingSurvivesLoss(t *testing.T) {
+	lossless := build(t, 50, 2, 79)
+	lossy := buildLossy(t, 50, 2, 0.3, 79)
+	rng := rand.New(rand.NewSource(80))
+	totalLossless, totalLossy := 0, 0
+	for i := 0; i < 100; i++ {
+		key := randKey(rng, 2)
+		from := rng.Intn(50)
+		oa, ha := lossless.route(lossless.nodes[from], key)
+		ob, hb := lossy.route(lossy.nodes[from], key)
+		if !oa.containsPoint(key) || !ob.containsPoint(key) {
+			t.Fatal("routing failed to reach owner")
+		}
+		totalLossless += ha
+		totalLossy += hb
+	}
+	if totalLossy <= totalLossless {
+		t.Errorf("30%% loss should cost extra retransmissions: %d vs %d hops",
+			totalLossy, totalLossless)
+	}
+}
+
+// Under loss, replication coverage degrades but the owner always stores the
+// entry, so point search at the exact key still succeeds; and at 50% drop
+// the total replica count must fall short of a lossless run on the same
+// topology and workload.
+func TestLossyReplicationDegradesButOwnerHolds(t *testing.T) {
+	lossless := build(t, 40, 2, 81)
+	lossy := buildLossy(t, 40, 2, 0.5, 81)
+	rng := rand.New(rand.NewSource(82))
+	for i := 0; i < 30; i++ {
+		key := randKey(rng, 2)
+		radius := 0.15 + rng.Float64()*0.15
+		from := rng.Intn(40)
+		lossless.InsertSphere(from, overlay.Entry{Key: key, Radius: radius, Payload: i})
+		lossy.InsertSphere(from, overlay.Entry{Key: key, Radius: radius, Payload: i})
+		// The centroid owner must hold the entry regardless of loss.
+		res, _ := lossy.SearchSphere(0, key, 0.001)
+		found := false
+		for _, e := range res {
+			if e.Payload == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("insert %d: owner lost the entry", i)
+		}
+	}
+	replicas := func(o *Overlay) int {
+		total := 0
+		for id := 0; id < o.Size(); id++ {
+			_, rep := o.NodeLoad(id)
+			total += rep
+		}
+		return total
+	}
+	if got, want := replicas(lossy), replicas(lossless); got >= want {
+		t.Errorf("50%% drop placed %d replicas, lossless run placed %d — loss had no effect", got, want)
+	}
+}
+
+// Search under loss can miss entries (recall < 1), but never fabricates
+// results (precision stays 1 at the overlay level).
+func TestLossySearchNeverFabricates(t *testing.T) {
+	o := buildLossy(t, 40, 3, 0.3, 83)
+	rng := rand.New(rand.NewSource(84))
+	type ins struct {
+		key    []float64
+		radius float64
+		id     int
+	}
+	var all []ins
+	for i := 0; i < 40; i++ {
+		e := ins{key: randKey(rng, 3), radius: rng.Float64() * 0.2, id: i}
+		all = append(all, e)
+		o.InsertSphere(rng.Intn(40), overlay.Entry{Key: e.key, Radius: e.radius, Payload: e.id})
+	}
+	for q := 0; q < 30; q++ {
+		qkey := randKey(rng, 3)
+		qrad := rng.Float64() * 0.3
+		res, _ := o.SearchSphere(rng.Intn(40), qkey, qrad)
+		for _, e := range res {
+			id := e.Payload.(int)
+			if TorusDist(all[id].key, qkey) > all[id].radius+qrad+1e-12 {
+				t.Fatalf("query %d returned non-intersecting entry %d", q, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package can
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperm/internal/overlay"
+)
+
+// totalVolume sums the key-space volume across alive nodes — must stay 1
+// through any sequence of joins and leaves.
+func totalVolume(o *Overlay) float64 {
+	var v float64
+	for _, n := range o.nodes {
+		v += n.volume()
+	}
+	return v
+}
+
+func TestUnionBox(t *testing.T) {
+	a := Zone{Lo: []float64{0, 0}, Hi: []float64{0.5, 0.5}}
+	b := Zone{Lo: []float64{0.5, 0}, Hi: []float64{1, 0.5}}
+	u, ok := unionBox(a, b)
+	if !ok {
+		t.Fatal("abutting half-boxes should merge")
+	}
+	if u.Lo[0] != 0 || u.Hi[0] != 1 || u.Lo[1] != 0 || u.Hi[1] != 0.5 {
+		t.Fatalf("merged zone %v", u)
+	}
+	// Same result in the other order.
+	u2, ok := unionBox(b, a)
+	if !ok || u2.Volume() != u.Volume() {
+		t.Fatal("unionBox not symmetric")
+	}
+	// Corner-adjacent boxes must not merge.
+	c := Zone{Lo: []float64{0.5, 0.5}, Hi: []float64{1, 1}}
+	if _, ok := unionBox(a, c); ok {
+		t.Fatal("diagonal boxes merged")
+	}
+	// Different extents along the non-join dimension must not merge.
+	d := Zone{Lo: []float64{0.5, 0}, Hi: []float64{1, 0.25}}
+	if _, ok := unionBox(a, d); ok {
+		t.Fatal("misaligned boxes merged")
+	}
+	// Seam abutment (0/1 wrap) does not form a box.
+	e := Zone{Lo: []float64{0.75, 0}, Hi: []float64{1, 0.5}}
+	f := Zone{Lo: []float64{0, 0}, Hi: []float64{0.25, 0.5}}
+	if _, ok := unionBox(e, f); ok {
+		t.Fatal("seam-wrapped union is not a box")
+	}
+}
+
+func TestLeaveMergeSibling(t *testing.T) {
+	// Two nodes: zones are the two halves; after one leaves, the survivor
+	// owns the full torus again.
+	o := build(t, 2, 2, 41)
+	if _, err := o.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Alive(1) {
+		t.Fatal("node 1 should be gone")
+	}
+	if math.Abs(totalVolume(o)-1) > 1e-12 {
+		t.Fatalf("volume %v after leave", totalVolume(o))
+	}
+	z := o.Zones(0)
+	if len(z) != 1 || math.Abs(z[0].Volume()-1) > 1e-12 {
+		t.Fatalf("survivor zones %v", z)
+	}
+}
+
+func TestLeavePreservesTilingAndRecords(t *testing.T) {
+	o := build(t, 40, 2, 43)
+	rng := rand.New(rand.NewSource(44))
+	// Insert a corpus.
+	type ins struct {
+		key    []float64
+		radius float64
+		id     int
+	}
+	var all []ins
+	for i := 0; i < 60; i++ {
+		e := ins{key: randKey(rng, 2), radius: rng.Float64() * 0.15, id: i}
+		all = append(all, e)
+		o.InsertSphere(rng.Intn(40), overlay.Entry{Key: e.key, Radius: e.radius, Payload: e.id})
+	}
+	// A third of the nodes leave, one by one.
+	departed := map[int]bool{}
+	for _, id := range rng.Perm(40)[:13] {
+		if _, err := o.Leave(id); err != nil {
+			t.Fatalf("Leave(%d): %v", id, err)
+		}
+		departed[id] = true
+		if math.Abs(totalVolume(o)-1) > 1e-9 {
+			t.Fatalf("tiling broken after Leave(%d): volume %v", id, totalVolume(o))
+		}
+	}
+	// Every point still has exactly one alive owner.
+	for q := 0; q < 100; q++ {
+		p := randKey(rng, 2)
+		owners := 0
+		for idn, n := range o.nodes {
+			if n.alive && n.containsPoint(p) {
+				owners++
+				_ = idn
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("point %v has %d owners after churn", p, owners)
+		}
+	}
+	// Graceful departure preserves every record: searches from survivors
+	// still have no false dismissals.
+	from := -1
+	for id := 0; id < 40; id++ {
+		if !departed[id] {
+			from = id
+			break
+		}
+	}
+	for q := 0; q < 30; q++ {
+		qkey := randKey(rng, 2)
+		qrad := rng.Float64() * 0.25
+		res, _ := o.SearchSphere(from, qkey, qrad)
+		got := map[int]bool{}
+		for _, e := range res {
+			got[e.Payload.(int)] = true
+		}
+		for _, e := range all {
+			want := TorusDist(e.key, qkey) <= e.radius+qrad
+			if want && !got[e.id] {
+				t.Fatalf("entry %d lost after graceful churn", e.id)
+			}
+		}
+	}
+	if fb := o.Stats().RouteFallbacks; fb != 0 {
+		t.Errorf("%d route fallbacks after churn", fb)
+	}
+}
+
+func TestLeaveRoutingStillWorks(t *testing.T) {
+	o := build(t, 30, 3, 47)
+	rng := rand.New(rand.NewSource(48))
+	for _, id := range rng.Perm(30)[:10] {
+		if _, err := o.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Route from every survivor to random points.
+	for idn, n := range o.nodes {
+		if !n.alive {
+			continue
+		}
+		for q := 0; q < 10; q++ {
+			key := randKey(rng, 3)
+			owner, _ := o.route(o.nodes[idn], key)
+			if !owner.containsPoint(key) || !owner.alive {
+				t.Fatalf("routing from %d failed after churn", idn)
+			}
+		}
+	}
+}
+
+func TestLeaveErrors(t *testing.T) {
+	o := build(t, 3, 2, 49)
+	if _, err := o.Leave(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Leave(0); err == nil {
+		t.Error("double leave should error")
+	}
+	if _, err := o.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Leave(2); err == nil {
+		t.Error("last node leaving should error")
+	}
+	// Operations from a departed node panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("insert from departed node should panic")
+		}
+	}()
+	o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5}})
+}
+
+func TestJoinAfterLeave(t *testing.T) {
+	// Churn both ways: leaves followed by fresh joins keep the overlay
+	// consistent. (New joins bootstrap from alive nodes only.)
+	o := build(t, 20, 2, 51)
+	rng := rand.New(rand.NewSource(52))
+	for _, id := range []int{3, 7, 11} {
+		if _, err := o.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		o.join(rng)
+	}
+	if math.Abs(totalVolume(o)-1) > 1e-9 {
+		t.Fatalf("volume %v after churn", totalVolume(o))
+	}
+	// Insert + search still exact.
+	key := randKey(rng, 2)
+	o.InsertSphere(0, overlay.Entry{Key: key, Radius: 0.1, Payload: "post-churn"})
+	res, _ := o.SearchSphere(1, key, 0.05)
+	found := false
+	for _, e := range res {
+		if e.Payload == "post-churn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("post-churn insert not found")
+	}
+}

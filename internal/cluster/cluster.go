@@ -1,0 +1,299 @@
+// Package cluster implements the k-means clustering that Hyper-M runs in
+// every wavelet subspace (step i2 of the insertion pipeline), the sphere
+// summaries it publishes, and the cohesion/separation quality metrics used
+// by the paper's Figure 11 analysis.
+//
+// Following the paper (§2.2 and §3.1), clusters are represented as spheres:
+// a centroid, a radius (distance to the farthest member), and the count of
+// items in the cluster. The count feeds the peer relevance score (Eq 1).
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperm/internal/vec"
+)
+
+// Cluster is the sphere summary of one k-means cluster (paper §3.1).
+type Cluster struct {
+	// Centroid is the cluster center in the (sub)space it was built in.
+	Centroid []float64
+	// Radius is the distance from the centroid to the farthest member.
+	// A singleton cluster has radius 0.
+	Radius float64
+	// Count is the number of data items summarized by this cluster.
+	Count int
+}
+
+// String renders a short human-readable summary.
+func (c Cluster) String() string {
+	return fmt.Sprintf("cluster{dim=%d r=%.4g n=%d}", len(c.Centroid), c.Radius, c.Count)
+}
+
+// Contains reports whether x lies inside the cluster sphere (inclusive).
+func (c Cluster) Contains(x []float64) bool {
+	return vec.Dist(c.Centroid, x) <= c.Radius+1e-12
+}
+
+// Config tunes the k-means run.
+type Config struct {
+	// K is the number of clusters requested. If K exceeds the number of
+	// points, every point becomes its own cluster.
+	K int
+	// MaxIter bounds Lloyd iterations. Zero means the default (50).
+	MaxIter int
+	// Tol stops iteration when no centroid moves more than Tol. Zero means
+	// the default (1e-6).
+	Tol float64
+	// Rng drives k-means++ seeding and empty-cluster reseeding. Must be
+	// non-nil: all randomness in this repository is explicitly seeded.
+	Rng *rand.Rand
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 50
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-6
+	}
+	return cfg
+}
+
+// Result is the output of a k-means run.
+type Result struct {
+	// Clusters are the sphere summaries, in arbitrary order. Empty clusters
+	// never appear: len(Clusters) <= Config.K.
+	Clusters []Cluster
+	// Assign maps each input point index to its cluster index in Clusters.
+	Assign []int
+	// Iters is the number of Lloyd iterations executed.
+	Iters int
+}
+
+// KMeans clusters data into (at most) cfg.K sphere summaries using
+// k-means++ seeding followed by Lloyd iterations.
+//
+// The input points are never modified; centroids are freshly allocated.
+// KMeans panics if data is empty, rows have inconsistent dimensionality,
+// cfg.K < 1, or cfg.Rng is nil.
+func KMeans(data [][]float64, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if len(data) == 0 {
+		panic("cluster: KMeans on empty data")
+	}
+	if cfg.K < 1 {
+		panic("cluster: K must be >= 1")
+	}
+	if cfg.Rng == nil {
+		panic("cluster: Config.Rng must be set (explicit seeding required)")
+	}
+	dim := len(data[0])
+	for i, x := range data {
+		if len(x) != dim {
+			panic(fmt.Sprintf("cluster: row %d has dim %d, want %d", i, len(x), dim))
+		}
+	}
+	k := cfg.K
+	if k > len(data) {
+		k = len(data)
+	}
+
+	centroids := seedPlusPlus(data, k, cfg.Rng)
+	assign := make([]int, len(data))
+	counts := make([]int, k)
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		// Assignment step.
+		for i, x := range data {
+			assign[i] = nearestCentroid(x, centroids)
+		}
+		// Update step.
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+			counts[c] = 0
+		}
+		for i, x := range data {
+			vec.Add(next[assign[i]], x)
+			counts[assign[i]]++
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Reseed an empty cluster at the point farthest from its
+				// current centroid, a standard k-means repair.
+				far := farthestPoint(data, centroids)
+				copy(next[c], data[far])
+				continue
+			}
+			vec.Scale(next[c], 1/float64(counts[c]))
+		}
+		// Convergence check.
+		moved := 0.0
+		for c := range centroids {
+			if m := vec.Dist(centroids[c], next[c]); m > moved {
+				moved = m
+			}
+		}
+		centroids = next
+		if moved <= cfg.Tol {
+			iters++
+			break
+		}
+	}
+	// Final assignment against the converged centroids.
+	for i, x := range data {
+		assign[i] = nearestCentroid(x, centroids)
+	}
+	return buildResult(data, centroids, assign, iters)
+}
+
+// buildResult computes radii and counts, dropping empty clusters and
+// compacting assignment indices.
+func buildResult(data, centroids [][]float64, assign []int, iters int) Result {
+	k := len(centroids)
+	counts := make([]int, k)
+	radii := make([]float64, k)
+	for i, x := range data {
+		c := assign[i]
+		counts[c]++
+		if d := vec.Dist(x, centroids[c]); d > radii[c] {
+			radii[c] = d
+		}
+	}
+	remap := make([]int, k)
+	var clusters []Cluster
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(clusters)
+		clusters = append(clusters, Cluster{
+			Centroid: vec.Clone(centroids[c]),
+			Radius:   radii[c],
+			Count:    counts[c],
+		})
+	}
+	out := make([]int, len(assign))
+	for i, c := range assign {
+		out[i] = remap[c]
+	}
+	return Result{Clusters: clusters, Assign: out, Iters: iters}
+}
+
+// seedPlusPlus performs k-means++ initialization.
+func seedPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := data[rng.Intn(len(data))]
+	centroids = append(centroids, vec.Clone(first))
+	d2 := make([]float64, len(data))
+	for len(centroids) < k {
+		var total float64
+		for i, x := range data {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := vec.Dist2(x, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids; any
+			// choice works and the clusters will be deduplicated by counts.
+			centroids = append(centroids, vec.Clone(data[rng.Intn(len(data))]))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := len(data) - 1
+		var acc float64
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, vec.Clone(data[idx]))
+	}
+	return centroids
+}
+
+func nearestCentroid(x []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := vec.Dist2(x, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func farthestPoint(data, centroids [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, x := range data {
+		near := math.Inf(1)
+		for _, c := range centroids {
+			if d := vec.Dist2(x, c); d < near {
+				near = d
+			}
+		}
+		if near > bestD {
+			best, bestD = i, near
+		}
+	}
+	return best
+}
+
+// Quality holds the clustering goodness metrics used by Figure 11.
+type Quality struct {
+	// Cohesion is the average distance of each point to its own centroid
+	// (lower is tighter).
+	Cohesion float64
+	// Separation is the average pairwise distance between distinct
+	// centroids (higher is better separated). Zero when fewer than two
+	// clusters exist.
+	Separation float64
+}
+
+// Ratio returns cohesion/separation, the paper's 'goodness' proportion
+// (Figure 11): lower means tighter, better-separated clusters. It returns
+// +Inf when separation is zero.
+func (q Quality) Ratio() float64 {
+	if q.Separation == 0 {
+		return math.Inf(1)
+	}
+	return q.Cohesion / q.Separation
+}
+
+// Evaluate computes the cohesion/separation quality of a clustering result
+// over the data it was built from.
+func Evaluate(data [][]float64, res Result) Quality {
+	var q Quality
+	if len(data) == 0 {
+		return q
+	}
+	var sum float64
+	for i, x := range data {
+		sum += vec.Dist(x, res.Clusters[res.Assign[i]].Centroid)
+	}
+	q.Cohesion = sum / float64(len(data))
+	n := len(res.Clusters)
+	if n < 2 {
+		return q
+	}
+	var sep float64
+	var pairs int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sep += vec.Dist(res.Clusters[i].Centroid, res.Clusters[j].Centroid)
+			pairs++
+		}
+	}
+	q.Separation = sep / float64(pairs)
+	return q
+}

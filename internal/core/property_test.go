@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hyperm/internal/flatindex"
+)
+
+// Property: range-query results are exactly the ground truth for arbitrary
+// query points — including points outside the indexed data's coefficient
+// bounds, which exercise the key-space clamping. Clamping moves an
+// out-of-domain query key toward every stored key, so the overlay-level
+// candidate test stays conservative and the exact scoring pass keeps the
+// final answer exact.
+func TestPropRangeEqualsGroundTruthRandomQueries(t *testing.T) {
+	sys, data, truth := testSystem(t, 8, 25, 6, 32, 3, 4, 99)
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float64, 32)
+		for i := range q {
+			// Half the trials stay in the histogram domain, half wander
+			// far outside it.
+			if trial%2 == 0 {
+				q[i] = rng.Float64() * 0.1
+			} else {
+				q[i] = rng.Float64()*4 - 2
+			}
+		}
+		eps := rng.Float64() * 0.3
+		want := truth.Range(q, eps)
+		got := sys.RangeQuery(0, q, eps, RangeOptions{})
+		if fmt.Sprint(got.Items) != fmt.Sprint(want) {
+			t.Fatalf("trial %d (eps=%v): got %v, want %v", trial, eps, got.Items, want)
+		}
+	}
+	_ = data
+}
+
+// Property: enlarging the radius never loses results (monotonicity of the
+// full-budget range query).
+func TestPropRangeMonotoneInRadius(t *testing.T) {
+	sys, data, _ := testSystem(t, 8, 25, 6, 32, 3, 4, 101)
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 15; trial++ {
+		q := data[rng.Intn(len(data))]
+		eps1 := rng.Float64() * 0.1
+		eps2 := eps1 + rng.Float64()*0.1
+		small := sys.RangeQuery(0, q, eps1, RangeOptions{})
+		large := sys.RangeQuery(0, q, eps2, RangeOptions{})
+		set := map[int]bool{}
+		for _, id := range large.Items {
+			set[id] = true
+		}
+		for _, id := range small.Items {
+			if !set[id] {
+				t.Fatalf("item %d found at eps=%v but lost at eps=%v", id, eps1, eps2)
+			}
+		}
+	}
+}
+
+// Property: a peer's aggregated score never exceeds the number of items it
+// stores (each cluster contributes at most frac<=1 times its item count, and
+// min across levels is bounded by any single level).
+func TestPropScoreBoundedByPeerItems(t *testing.T) {
+	sys, data, _ := testSystem(t, 8, 25, 6, 32, 3, 4, 103)
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 15; trial++ {
+		q := data[rng.Intn(len(data))]
+		res := sys.RangeQuery(0, q, 0.1, RangeOptions{MaxPeers: 1})
+		for _, ps := range res.Scores {
+			if limit := float64(sys.PeerItemCount(ps.Peer)); ps.Score > limit+1e-6 {
+				t.Fatalf("peer %d score %v exceeds its %v items", ps.Peer, ps.Score, limit)
+			}
+		}
+	}
+}
+
+// Property: repeated identical queries return identical answers and scores
+// (no hidden mutable state in the query path).
+func TestPropQueryIdempotent(t *testing.T) {
+	sys, data, _ := testSystem(t, 8, 25, 6, 32, 3, 4, 105)
+	q := data[7]
+	a := sys.RangeQuery(0, q, 0.1, RangeOptions{})
+	b := sys.RangeQuery(0, q, 0.1, RangeOptions{})
+	if fmt.Sprint(a.Items) != fmt.Sprint(b.Items) || fmt.Sprint(a.Scores) != fmt.Sprint(b.Scores) {
+		t.Fatal("identical queries disagreed")
+	}
+	ka := sys.KNNQuery(0, q, 5, KNNOptions{})
+	kb := sys.KNNQuery(0, q, 5, KNNOptions{})
+	if fmt.Sprint(ka.Items) != fmt.Sprint(kb.Items) {
+		t.Fatal("identical knn queries disagreed")
+	}
+}
+
+// Property: the query origin peer never changes the answer of a full-budget
+// range query (only its cost).
+func TestPropOriginIndependence(t *testing.T) {
+	sys, data, truth := testSystem(t, 8, 25, 6, 32, 3, 4, 107)
+	q := data[11]
+	eps := 0.08
+	want := truth.Range(q, eps)
+	for from := 0; from < 8; from++ {
+		got := sys.RangeQuery(from, q, eps, RangeOptions{})
+		if fmt.Sprint(got.Items) != fmt.Sprint(want) {
+			t.Fatalf("origin %d: got %v, want %v", from, got.Items, want)
+		}
+	}
+}
+
+// Failure semantics at the core level: a failed peer's items disappear from
+// answers; everything else survives (its replicas elsewhere keep foreign
+// summaries searchable).
+func TestFailPeerSemantics(t *testing.T) {
+	sys, data, _ := testSystem(t, 8, 25, 6, 32, 3, 4, 109)
+	if sys.AlivePeers() != 8 {
+		t.Fatalf("AlivePeers = %d", sys.AlivePeers())
+	}
+	lost := sys.FailPeer(2)
+	if lost == 0 {
+		t.Fatal("failing a publishing peer should lose records")
+	}
+	if sys.FailPeer(2) != 0 {
+		t.Fatal("double failure should be a no-op")
+	}
+	if sys.AlivePeers() != 7 {
+		t.Fatalf("AlivePeers = %d", sys.AlivePeers())
+	}
+	// Survivors' items must remain perfectly retrievable.
+	var survivors [][]float64
+	var survivorIDs []int
+	for i := range data {
+		if i%8 != 2 { // testSystem assigns item i to peer i%peers
+			survivors = append(survivors, data[i])
+			survivorIDs = append(survivorIDs, i)
+		}
+	}
+	truthSurv := flatindex.New(survivors)
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 10; trial++ {
+		qi := rng.Intn(len(survivors))
+		q := survivors[qi]
+		eps := 0.02 + rng.Float64()*0.08
+		relLocal := truthSurv.Range(q, eps)
+		got := sys.RangeQuery(0, q, eps, RangeOptions{})
+		set := map[int]bool{}
+		for _, id := range got.Items {
+			set[id] = true
+			if id%8 == 2 {
+				t.Fatalf("dead peer's item %d returned", id)
+			}
+		}
+		for _, lid := range relLocal {
+			if !set[survivorIDs[lid]] {
+				t.Fatalf("survivor item %d lost after unrelated peer failure", survivorIDs[lid])
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hyperm/internal/geometry"
+	"hyperm/internal/vec"
+	"hyperm/internal/wavelet"
+)
+
+// KNNOptions tunes a k-nearest-neighbor query.
+type KNNOptions struct {
+	// C overrides the configured over-fetch knob (Fig 5 line 8). Zero keeps
+	// the system default. Values in [1,2] trade bandwidth for recall (§6.1).
+	C float64
+	// MaxPeers caps the number of peers contacted; zero uses the Fig 5
+	// policy (smallest top-score prefix whose expected item mass covers k).
+	MaxPeers int
+}
+
+// KNNResult is the outcome of a distributed k-nn query.
+type KNNResult struct {
+	// Items are the global ids of every fetched item, ordered by ascending
+	// true distance to the query (the paper's result.sort(), Fig 5 line 10).
+	// The caller takes the first k as the answer; the full set is retained
+	// so precision can be measured against the fetch volume.
+	Items []int
+	// Scores lists candidate peers by descending aggregated relevance.
+	Scores []PeerScore
+	// EpsPerLevel records the per-level range radii estimated from Eq 8.
+	EpsPerLevel []float64
+	// PeersContacted is how many peers were asked for data.
+	PeersContacted int
+	// OverlayHops is the total overlay cost of the scoring phase.
+	OverlayHops int
+}
+
+// KNNQuery implements the heuristic of Figure 5: per level, estimate the
+// range radius that is expected to capture k items by inverting Eq 8 over
+// the reachable clusters, run the per-level range queries, merge peer
+// scores, and fetch a score-proportional number of items from the top peers.
+func (s *System) KNNQuery(from int, q []float64, k int, opts KNNOptions) KNNResult {
+	if len(q) != s.cfg.Dim {
+		panic(fmt.Sprintf("core: query dim %d, want %d", len(q), s.cfg.Dim))
+	}
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	if s.mappers == nil {
+		panic("core: bounds not installed; call DeriveBounds or SetBounds first")
+	}
+	if s.peers[from].dead {
+		panic(fmt.Sprintf("core: peer %d has left the network and cannot query", from))
+	}
+	c := opts.C
+	if c == 0 {
+		c = s.cfg.C
+	}
+
+	dec := wavelet.Decompose(q, s.cfg.Convention)
+	scores := make(map[int][]float64)
+	res := KNNResult{EpsPerLevel: make([]float64, s.cfg.Levels)}
+
+	// Steps 1–3: per-level radius estimation and range queries.
+	for l := 0; l < s.cfg.Levels; l++ {
+		qc := dec.Subspace(l)
+		m := wavelet.SubspaceDim(l)
+		span := s.mappers[l].hi - s.mappers[l].lo
+		epsL, refs, hops := s.levelEps(from, l, m, qc, float64(k), span)
+		res.OverlayHops += hops
+		res.EpsPerLevel[l] = epsL
+		for _, ref := range refs {
+			frac := clusterFraction(m, ref, qc, epsL)
+			if frac <= 0 {
+				continue
+			}
+			perLevel, ok := scores[ref.Peer]
+			if !ok {
+				perLevel = make([]float64, s.cfg.Levels)
+				scores[ref.Peer] = perLevel
+			}
+			perLevel[l] += frac * float64(ref.Items)
+		}
+	}
+
+	// Step 4: merge.
+	res.Scores = sortScores(scores, s.cfg.Aggregation)
+	if len(res.Scores) == 0 {
+		return res
+	}
+
+	// Steps 5–6: choose P — the smallest score-ordered prefix whose summed
+	// expected item mass reaches k — and the normalizing sum.
+	p := 0
+	var sum float64
+	for p < len(res.Scores) && sum < float64(k) {
+		sum += res.Scores[p].Score
+		p++
+	}
+	if opts.MaxPeers > 0 && opts.MaxPeers < p {
+		p = opts.MaxPeers
+		sum = 0
+		for _, ps := range res.Scores[:p] {
+			sum += ps.Score
+		}
+	}
+	if sum <= 0 {
+		return res
+	}
+
+	// Steps 7–9: fetch a proportional share from each selected peer.
+	var fetched []int
+	for _, ps := range res.Scores[:p] {
+		res.PeersContacted++
+		peer := s.peers[ps.Peer]
+		if peer.dead {
+			continue // contact times out; the budget is still spent
+		}
+		want := int(math.Ceil(c * float64(k) * ps.Score / sum))
+		if want < 1 {
+			want = 1
+		}
+		fetched = append(fetched, peer.localKNN(q, want)...)
+	}
+
+	// Step 10: sort the merged result by true distance to the query.
+	res.Items = s.sortByDistance(fetched, q)
+	return res
+}
+
+// levelEps discovers the clusters reachable at level l and estimates the
+// Eq 8 radius expected to yield k items. Discovery expands the overlay
+// search radius geometrically until the expected item mass covers k (or the
+// whole key space is swept); the Eq 8 inversion then runs on the discovered
+// cluster set, which is a superset of the clusters reachable at the solved
+// radius.
+func (s *System) levelEps(from, l, m int, qc []float64, k, span float64) (float64, []ClusterRef, int) {
+	key := s.mappers[l].mapPoint(qc)
+	// Start at 5% of the coefficient span; stop once the search sphere can
+	// cover the entire level space.
+	r := 0.05 * span
+	maxR := span * math.Sqrt(float64(m))
+	totalHops := 0
+	var refs []ClusterRef
+	for {
+		entries, hops := s.overlays[l].SearchSphere(from, key, slacken(s.mappers[l].mapRadius(r)))
+		totalHops += hops
+		refs = refs[:0]
+		spheres := make([]geometry.SphereAt, 0, len(entries))
+		for _, e := range entries {
+			ref := e.Payload.(ClusterRef)
+			refs = append(refs, ref)
+			spheres = append(spheres, geometry.SphereAt{
+				Dist:   vec.Dist(qc, ref.Center),
+				Radius: ref.Radius,
+				Items:  ref.Items,
+			})
+		}
+		if geometry.ExpectedCount(m, r, spheres) >= k || r >= maxR {
+			eps := geometry.SolveEpsForCount(m, k, spheres)
+			if eps > r && r < maxR {
+				// Solver wants a bigger radius than we searched: widen once
+				// more so scoring sees every cluster the radius can touch.
+				r = eps
+				continue
+			}
+			return eps, append([]ClusterRef(nil), refs...), totalHops
+		}
+		r *= 2
+	}
+}
+
+// sortByDistance orders fetched item ids by true distance to q, resolving
+// each id through the peer that returned it. Items are globally unique ids;
+// duplicates (an id fetched from two peers cannot happen, but replicated
+// harness use might) are removed.
+func (s *System) sortByDistance(ids []int, q []float64) []int {
+	type cand struct {
+		id int
+		d2 float64
+	}
+	lookup := s.itemLookup()
+	seen := make(map[int]bool, len(ids))
+	cands := make([]cand, 0, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		if x, ok := lookup[id]; ok {
+			cands = append(cands, cand{id: id, d2: vec.Dist2(q, x)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d2 != cands[j].d2 {
+			return cands[i].d2 < cands[j].d2
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// itemLookup maps global item ids to vectors across all peers.
+func (s *System) itemLookup() map[int][]float64 {
+	out := make(map[int][]float64, s.TotalItems())
+	for _, ps := range s.peers {
+		for i, id := range ps.itemIDs {
+			out[id] = ps.items[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperm/internal/cluster"
+	"hyperm/internal/overlay"
+	"hyperm/internal/vec"
+	"hyperm/internal/wavelet"
+)
+
+// ClusterRef is the payload Hyper-M publishes into the overlays: the sphere
+// summary of one per-level cluster plus enough identity to credit its peer
+// during scoring. Center and Radius are in subspace (unmapped) coordinates,
+// so scoring never suffers key-space clamping distortion.
+type ClusterRef struct {
+	Peer   int       // owning peer id
+	Level  int       // wavelet level index (0 = A)
+	Index  int       // cluster index within the peer's level clustering
+	Center []float64 // centroid in subspace coordinates
+	Radius float64   // sphere radius in subspace coordinates
+	Items  int       // number of items summarized at publication time
+}
+
+// peerState is everything a single device knows locally.
+type peerState struct {
+	id      int
+	itemIDs []int       // global item ids
+	items   [][]float64 // original vectors, parallel to itemIDs
+	// published[l] is the level-l clustering actually announced to the
+	// overlays; stale after post-creation inserts, exactly like the paper's
+	// Fig 10c setting.
+	published [][]ClusterRef
+	// dead marks a crashed/departed device: it answers no fetches and its
+	// overlay storage has been wiped.
+	dead bool
+}
+
+// System is a simulated Hyper-M deployment: all peers, the per-level
+// overlays, and the shared key mapping.
+type System struct {
+	cfg      Config
+	overlays []overlay.Network
+	mappers  []keyMapper
+	peers    []*peerState
+	bounds   []Bounds
+}
+
+// NewSystem builds the per-level overlays and empty peers. Data is added
+// with AddPeerData and announced with PublishAll/PublishPeer.
+func NewSystem(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg}
+	for l := 0; l < cfg.Levels; l++ {
+		ov, err := cfg.Factory(l, wavelet.SubspaceDim(l), cfg.Peers)
+		if err != nil {
+			return nil, fmt.Errorf("core: building overlay for level %d: %w", l, err)
+		}
+		if ov.Dim() != wavelet.SubspaceDim(l) {
+			return nil, fmt.Errorf("core: overlay for level %d has dim %d, want %d",
+				l, ov.Dim(), wavelet.SubspaceDim(l))
+		}
+		if ov.Size() != cfg.Peers {
+			return nil, fmt.Errorf("core: overlay for level %d has %d nodes, want %d",
+				l, ov.Size(), cfg.Peers)
+		}
+		s.overlays = append(s.overlays, ov)
+	}
+	for p := 0; p < cfg.Peers; p++ {
+		s.peers = append(s.peers, &peerState{id: p})
+	}
+	return s, nil
+}
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// Overlay exposes level l's overlay (for statistics collection).
+func (s *System) Overlay(l int) overlay.Network { return s.overlays[l] }
+
+// AddPeerData stores items (with their global ids) on peer p's device.
+// It is a purely local operation — nothing is announced until PublishPeer.
+func (s *System) AddPeerData(p int, ids []int, items [][]float64) {
+	if len(ids) != len(items) {
+		panic(fmt.Sprintf("core: %d ids for %d items", len(ids), len(items)))
+	}
+	ps := s.peers[p]
+	for i, x := range items {
+		if len(x) != s.cfg.Dim {
+			panic(fmt.Sprintf("core: item dim %d, want %d", len(x), s.cfg.Dim))
+		}
+		ps.itemIDs = append(ps.itemIDs, ids[i])
+		ps.items = append(ps.items, x)
+	}
+}
+
+// PeerItemCount returns the number of items stored on peer p.
+func (s *System) PeerItemCount(p int) int { return len(s.peers[p].items) }
+
+// TotalItems returns the number of items across every peer.
+func (s *System) TotalItems() int {
+	total := 0
+	for _, ps := range s.peers {
+		total += len(ps.items)
+	}
+	return total
+}
+
+// DeriveBounds computes each level's empirical coefficient range across all
+// peer data (with a small safety margin) and installs it as the shared key
+// mapping. In a deployment these bounds follow from the shared feature
+// domain (e.g. normalized color histograms); computing them from the
+// simulated corpus is equivalent and avoids key-space clamping.
+// Must be called after data is added and before publishing or querying.
+func (s *System) DeriveBounds() {
+	s.bounds = make([]Bounds, s.cfg.Levels)
+	first := true
+	for _, ps := range s.peers {
+		for _, x := range ps.items {
+			dec := wavelet.Decompose(x, s.cfg.Convention)
+			for l := 0; l < s.cfg.Levels; l++ {
+				for _, c := range dec.Subspace(l) {
+					if first || c < s.bounds[l].Lo {
+						s.bounds[l].Lo = c
+					}
+					if first || c > s.bounds[l].Hi {
+						s.bounds[l].Hi = c
+					}
+				}
+			}
+			first = false
+		}
+	}
+	s.installBounds()
+}
+
+// SetBounds installs explicit per-level coefficient bounds (length must be
+// Levels). Use when the data domain is known a priori.
+func (s *System) SetBounds(b []Bounds) {
+	if len(b) != s.cfg.Levels {
+		panic(fmt.Sprintf("core: %d bounds for %d levels", len(b), s.cfg.Levels))
+	}
+	s.bounds = append([]Bounds(nil), b...)
+	s.installBounds()
+}
+
+func (s *System) installBounds() {
+	s.mappers = make([]keyMapper, s.cfg.Levels)
+	for l, b := range s.bounds {
+		if b.Hi <= b.Lo {
+			// Degenerate level (all coefficients identical): widen minimally
+			// so the mapper stays well defined.
+			b.Hi = b.Lo + 1e-9
+		}
+		// 5% margin keeps query spheres slightly inside the torus seam.
+		span := b.Hi - b.Lo
+		s.mappers[l] = keyMapper{lo: b.Lo - 0.05*span, hi: b.Hi + 0.05*span}
+	}
+}
+
+// PublishStats reports the network cost of announcing one peer's summaries.
+type PublishStats struct {
+	// ClustersPublished counts cluster spheres inserted (across levels).
+	ClustersPublished int
+	// Hops is the total overlay routing + replication hops consumed.
+	Hops int
+	// HopsPerLevel breaks Hops down by wavelet level.
+	HopsPerLevel []int
+}
+
+// PublishPeer runs the paper's insertion pipeline (Fig 2) for one peer:
+// DWT-decompose its items (step i1), k-means each subspace independently
+// (step i2), and insert each cluster sphere into that level's overlay
+// (step i3). It returns the cost accounting.
+//
+// Publishing requires bounds (DeriveBounds or SetBounds) to be installed.
+func (s *System) PublishPeer(p int) PublishStats {
+	if s.mappers == nil {
+		panic("core: bounds not installed; call DeriveBounds or SetBounds first")
+	}
+	ps := s.peers[p]
+	st := PublishStats{HopsPerLevel: make([]int, s.cfg.Levels)}
+	if len(ps.items) == 0 {
+		ps.published = make([][]ClusterRef, s.cfg.Levels)
+		return st
+	}
+	decs := wavelet.DecomposeAll(ps.items, s.cfg.Convention)
+	ps.published = make([][]ClusterRef, s.cfg.Levels)
+	for l := 0; l < s.cfg.Levels; l++ {
+		coeffs := wavelet.SubspaceMatrix(decs, l)
+		res := cluster.KMeans(coeffs, cluster.Config{K: s.cfg.ClustersPerPeer, Rng: s.cfg.Rng})
+		for idx, c := range res.Clusters {
+			ref := ClusterRef{
+				Peer:   p,
+				Level:  l,
+				Index:  idx,
+				Center: c.Centroid,
+				Radius: c.Radius,
+				Items:  c.Count,
+			}
+			ps.published[l] = append(ps.published[l], ref)
+			hops := s.overlays[l].InsertSphere(p, overlay.Entry{
+				Key:     s.mappers[l].mapPoint(c.Centroid),
+				Radius:  slacken(s.mappers[l].mapRadius(c.Radius)),
+				Payload: ref,
+			})
+			st.ClustersPublished++
+			st.Hops += hops
+			st.HopsPerLevel[l] += hops
+		}
+	}
+	return st
+}
+
+// PublishAll publishes every peer and returns the summed statistics.
+func (s *System) PublishAll() PublishStats {
+	total := PublishStats{HopsPerLevel: make([]int, s.cfg.Levels)}
+	for p := range s.peers {
+		st := s.PublishPeer(p)
+		total.ClustersPublished += st.ClustersPublished
+		total.Hops += st.Hops
+		for l, h := range st.HopsPerLevel {
+			total.HopsPerLevel[l] += h
+		}
+	}
+	return total
+}
+
+// PostInsert adds an item to peer p after the overlay was built, without
+// republishing — the Figure 10c scenario. The item joins the peer's local
+// store and is absorbed into the nearest published cluster of each level
+// locally (count bumps are local knowledge only); the overlay summaries go
+// stale, which is precisely the recall degradation the experiment measures.
+func (s *System) PostInsert(p int, id int, item []float64) {
+	if len(item) != s.cfg.Dim {
+		panic(fmt.Sprintf("core: item dim %d, want %d", len(item), s.cfg.Dim))
+	}
+	ps := s.peers[p]
+	ps.itemIDs = append(ps.itemIDs, id)
+	ps.items = append(ps.items, item)
+	if ps.published == nil {
+		return
+	}
+	dec := wavelet.Decompose(item, s.cfg.Convention)
+	for l := range ps.published {
+		refs := ps.published[l]
+		if len(refs) == 0 {
+			continue
+		}
+		coeff := dec.Subspace(l)
+		best, bestD := 0, -1.0
+		for i, ref := range refs {
+			d := vec.Dist(coeff, ref.Center)
+			if bestD < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		refs[best].Items++ // local bookkeeping; the published copy is stale
+	}
+}
+
+// FailPeer models device p crashing or walking out of radio range after
+// publication: it stops answering data fetches, and the index records its
+// overlay node stored (owned entries and replicas, across every level) are
+// lost. Other nodes' replicas of p's summaries survive — the Fig 6
+// replication is what keeps p-adjacent regions searchable. It returns the
+// number of index records lost.
+//
+// Failing a peer is irreversible in this simulation (short-lived MANETs do
+// not wait for repairs).
+func (s *System) FailPeer(p int) int {
+	ps := s.peers[p]
+	if ps.dead {
+		return 0
+	}
+	ps.dead = true
+	lost := 0
+	for _, ov := range s.overlays {
+		if failer, ok := ov.(overlay.StorageFailer); ok {
+			lost += failer.ClearNode(p)
+		}
+	}
+	return lost
+}
+
+// LeavePeer models device p departing gracefully: like FailPeer its items
+// become unreachable (they leave with the device), but the index records its
+// overlay nodes stored are handed over to neighbors first, so foreign
+// summaries survive. Falls back to FailPeer semantics on overlays without a
+// departure protocol. It returns the handover messages spent.
+func (s *System) LeavePeer(p int) (msgs int, err error) {
+	ps := s.peers[p]
+	if ps.dead {
+		return 0, fmt.Errorf("core: peer %d already left or failed", p)
+	}
+	for l, ov := range s.overlays {
+		if leaver, ok := ov.(overlay.Leaver); ok {
+			m, err := leaver.Leave(p)
+			if err != nil {
+				return msgs, fmt.Errorf("core: level %d: %w", l, err)
+			}
+			msgs += m
+		} else if failer, ok := ov.(overlay.StorageFailer); ok {
+			failer.ClearNode(p)
+		}
+	}
+	ps.dead = true
+	return msgs, nil
+}
+
+// AlivePeers returns the number of peers that have not failed.
+func (s *System) AlivePeers() int {
+	alive := 0
+	for _, ps := range s.peers {
+		if !ps.dead {
+			alive++
+		}
+	}
+	return alive
+}
+
+// PublishedClusters returns a copy of the cluster summaries peer p announced
+// at level l (nil if the peer has not published).
+func (s *System) PublishedClusters(p, l int) []ClusterRef {
+	ps := s.peers[p]
+	if ps.published == nil || l >= len(ps.published) {
+		return nil
+	}
+	return append([]ClusterRef(nil), ps.published[l]...)
+}
+
+// KeyRadius converts a level-l subspace radius into overlay key-space units
+// using the installed bounds (for diagnostics and experiment reporting).
+func (s *System) KeyRadius(l int, r float64) float64 {
+	if s.mappers == nil {
+		panic("core: bounds not installed")
+	}
+	return s.mappers[l].mapRadius(r)
+}
+
+// PeerScore pairs a peer with its aggregated relevance score.
+type PeerScore struct {
+	Peer  int
+	Score float64
+}
+
+// sortScores aggregates per-level score vectors (each of length Levels;
+// levels where the peer surfaced no cluster hold zero) and orders peers by
+// descending score, ties by ascending id so runs are deterministic. Peers
+// whose aggregate is zero are dropped — with AggMin this is the paper's
+// pruning behaviour.
+func sortScores(scores map[int][]float64, agg Aggregation) []PeerScore {
+	out := make([]PeerScore, 0, len(scores))
+	for p, perLevel := range scores {
+		sc := aggregate(perLevel, agg)
+		if sc <= 0 {
+			continue
+		}
+		out = append(out, PeerScore{Peer: p, Score: sc})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Peer < out[j].Peer
+	})
+	return out
+}
+
+// aggregate combines one peer's per-level scores into its global score.
+func aggregate(perLevel []float64, agg Aggregation) float64 {
+	switch agg {
+	case AggMin:
+		m := perLevel[0]
+		for _, v := range perLevel[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggSum, AggMean:
+		var sum float64
+		for _, v := range perLevel {
+			sum += v
+		}
+		if agg == AggMean {
+			sum /= float64(len(perLevel))
+		}
+		return sum
+	default:
+		panic("core: unknown aggregation policy")
+	}
+}

@@ -1,0 +1,156 @@
+// Package eval provides the evaluation metrics of the paper's experiments:
+// precision/recall against the exact baseline (§6) and the load-distribution
+// statistics behind the Figure 9 data-dissemination analysis (§5.3).
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// PrecisionRecall compares a retrieved id set against the relevant
+// (ground-truth) id set, returning the standard measures. An empty retrieved
+// set has precision 1 if nothing was relevant, else 0; symmetrically for
+// recall.
+func PrecisionRecall(retrieved, relevant []int) (precision, recall float64) {
+	rel := make(map[int]bool, len(relevant))
+	for _, id := range relevant {
+		rel[id] = true
+	}
+	seen := make(map[int]bool, len(retrieved))
+	hits := 0
+	distinct := 0
+	for _, id := range retrieved {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		distinct++
+		if rel[id] {
+			hits++
+		}
+	}
+	if distinct == 0 {
+		if len(rel) == 0 {
+			precision = 1
+		}
+	} else {
+		precision = float64(hits) / float64(distinct)
+	}
+	if len(rel) == 0 {
+		recall = 1
+	} else {
+		recall = float64(hits) / float64(len(rel))
+	}
+	return precision, recall
+}
+
+// F1 returns the harmonic mean of precision and recall (0 when both are 0).
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// LoadStats summarizes how evenly data items are spread over peers — the
+// quantity Figure 9 plots per overlay configuration.
+type LoadStats struct {
+	// Total is the sum of all loads.
+	Total int
+	// Mean is the average load per peer (over all peers, including empty).
+	Mean float64
+	// Max is the largest per-peer load.
+	Max int
+	// NonEmpty is the number of peers holding at least one item — the
+	// paper's "average number of peers holding the data".
+	NonEmpty int
+	// CV is the coefficient of variation (stddev/mean); 0 is perfectly
+	// uniform. Zero mean yields CV 0.
+	CV float64
+	// Gini is the Gini coefficient of the load distribution in [0,1);
+	// 0 is perfectly uniform, values near 1 mean a few peers hold
+	// everything.
+	Gini float64
+}
+
+// Load computes LoadStats over per-peer item counts.
+func Load(loads []int) LoadStats {
+	var st LoadStats
+	n := len(loads)
+	if n == 0 {
+		return st
+	}
+	for _, l := range loads {
+		st.Total += l
+		if l > st.Max {
+			st.Max = l
+		}
+		if l > 0 {
+			st.NonEmpty++
+		}
+	}
+	st.Mean = float64(st.Total) / float64(n)
+	if st.Mean > 0 {
+		var ss float64
+		for _, l := range loads {
+			d := float64(l) - st.Mean
+			ss += d * d
+		}
+		st.CV = math.Sqrt(ss/float64(n)) / st.Mean
+	}
+	st.Gini = gini(loads)
+	return st
+}
+
+// gini computes the Gini coefficient via the sorted-rank formula.
+func gini(loads []int) float64 {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	var total float64
+	for i, l := range loads {
+		sorted[i] = float64(l)
+		total += float64(l)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	var cum float64
+	for i, v := range sorted {
+		cum += v * float64(2*(i+1)-n-1)
+	}
+	return cum / (float64(n) * total)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the smallest and largest of xs (zeros for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

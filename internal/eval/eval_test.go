@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionRecallBasics(t *testing.T) {
+	cases := []struct {
+		name                string
+		retrieved, relevant []int
+		wantP, wantR        float64
+	}{
+		{"perfect", []int{1, 2, 3}, []int{1, 2, 3}, 1, 1},
+		{"half precision", []int{1, 2, 3, 4}, []int{1, 2}, 0.5, 1},
+		{"half recall", []int{1}, []int{1, 2}, 1, 0.5},
+		{"disjoint", []int{4, 5}, []int{1, 2}, 0, 0},
+		{"empty retrieved nonempty relevant", nil, []int{1}, 0, 0},
+		{"both empty", nil, nil, 1, 1},
+		{"empty relevant nonempty retrieved", []int{1}, nil, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, r := PrecisionRecall(tc.retrieved, tc.relevant)
+			if p != tc.wantP || r != tc.wantR {
+				t.Errorf("P=%v R=%v, want P=%v R=%v", p, r, tc.wantP, tc.wantR)
+			}
+		})
+	}
+}
+
+func TestPrecisionRecallDeduplicates(t *testing.T) {
+	p, r := PrecisionRecall([]int{1, 1, 1, 2}, []int{1, 2})
+	if p != 1 || r != 1 {
+		t.Errorf("duplicates should not hurt precision: P=%v R=%v", p, r)
+	}
+}
+
+func TestF1(t *testing.T) {
+	if got := F1(1, 1); got != 1 {
+		t.Errorf("F1(1,1) = %v", got)
+	}
+	if got := F1(0, 0); got != 0 {
+		t.Errorf("F1(0,0) = %v", got)
+	}
+	if got := F1(0.5, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1(0.5,1) = %v, want 2/3", got)
+	}
+}
+
+// Property: precision and recall always lie in [0,1].
+func TestPropPRInRange(t *testing.T) {
+	f := func(ret, rel []uint8) bool {
+		a := make([]int, len(ret))
+		for i, v := range ret {
+			a[i] = int(v % 16)
+		}
+		b := make([]int, len(rel))
+		for i, v := range rel {
+			b[i] = int(v % 16)
+		}
+		p, r := PrecisionRecall(a, b)
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadUniform(t *testing.T) {
+	st := Load([]int{5, 5, 5, 5})
+	if st.Total != 20 || st.Mean != 5 || st.Max != 5 || st.NonEmpty != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CV != 0 || st.Gini != 0 {
+		t.Errorf("uniform load should have CV=Gini=0: %+v", st)
+	}
+}
+
+func TestLoadConcentrated(t *testing.T) {
+	st := Load([]int{20, 0, 0, 0})
+	if st.NonEmpty != 1 || st.Max != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+	// All mass on one of four peers: Gini = (n-1)/n = 0.75.
+	if math.Abs(st.Gini-0.75) > 1e-12 {
+		t.Errorf("Gini = %v, want 0.75", st.Gini)
+	}
+	if st.CV <= 1 {
+		t.Errorf("CV = %v, want > 1 for this skew", st.CV)
+	}
+}
+
+func TestLoadEmptyAndZeros(t *testing.T) {
+	if st := Load(nil); st != (LoadStats{}) {
+		t.Errorf("empty load stats = %+v", st)
+	}
+	st := Load([]int{0, 0})
+	if st.Gini != 0 || st.CV != 0 || st.NonEmpty != 0 {
+		t.Errorf("all-zero load stats = %+v", st)
+	}
+}
+
+// Property: Gini is within [0,1) and invariant under scaling of the loads.
+func TestPropGiniScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		loads := make([]int, n)
+		scaled := make([]int, n)
+		for i := range loads {
+			loads[i] = rng.Intn(50)
+			scaled[i] = loads[i] * 7
+		}
+		g1, g2 := Load(loads).Gini, Load(scaled).Gini
+		if g1 < 0 || g1 >= 1 {
+			return false
+		}
+		return math.Abs(g1-g2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: spreading the same total mass over more peers never increases
+// Gini (comparing fully concentrated vs uniform).
+func TestGiniOrdering(t *testing.T) {
+	uniform := Load([]int{3, 3, 3, 3, 3, 3}).Gini
+	skewed := Load([]int{18, 0, 0, 0, 0, 0}).Gini
+	mild := Load([]int{6, 5, 3, 2, 1, 1}).Gini
+	if !(uniform < mild && mild < skewed) {
+		t.Errorf("Gini ordering violated: uniform=%v mild=%v skewed=%v", uniform, mild, skewed)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	lo, hi := MinMax([]float64{3, 1, 2})
+	if lo != 1 || hi != 3 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("MinMax(nil) should be zeros")
+	}
+}

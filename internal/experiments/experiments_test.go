@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyParams keeps unit-test runtime low; benches use DefaultParams.
+// The items-per-cluster summarization ratio (ItemsPerPeer vs
+// Levels*ClustersPerPeer) is kept near the paper's regime (~10x), because
+// that amortization is what the Figure 8 comparisons measure.
+func tinyParams() Params {
+	return Params{Peers: 20, ItemsPerPeer: 100, Dim: 64, Levels: 3, ClustersPerPeer: 2, Seed: 1}
+}
+
+func tinyEffectiveness() EffectivenessParams {
+	return EffectivenessParams{Peers: 10, Objects: 40, Views: 8, Bins: 32,
+		Levels: 3, ClustersPerPeer: 5, Queries: 8, Seed: 1}
+}
+
+func TestFig8aShape(t *testing.T) {
+	rows, err := Fig8a(tinyParams(), []int{2, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.AvgHopsWithReplication < r.AvgHopsNoReplication {
+			t.Errorf("K=%d: replication cannot reduce hops (%v < %v)",
+				r.ClustersPerPeer, r.AvgHopsWithReplication, r.AvgHopsNoReplication)
+		}
+	}
+	// Paper shape: finer clustering -> smaller spheres -> overhead shrinks.
+	overhead := func(r Fig8aRow) float64 { return r.AvgHopsWithReplication - r.AvgHopsNoReplication }
+	if overhead(rows[2]) > overhead(rows[0])+0.5 {
+		t.Errorf("replication overhead should shrink with finer clustering: K=2 %.3f vs K=30 %.3f",
+			overhead(rows[0]), overhead(rows[2]))
+	}
+	if rows[2].AvgClusterRadius > rows[0].AvgClusterRadius {
+		t.Errorf("more clusters should give smaller radii: %v vs %v",
+			rows[0].AvgClusterRadius, rows[2].AvgClusterRadius)
+	}
+	if !strings.Contains(RenderFig8a(rows), "Figure 8a") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	p := tinyParams()
+	rows, err := Fig8b(p, []int{600, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The paper's headline: Hyper-M per-item cost is below both
+		// conventional baselines (an order of magnitude at paper scale;
+		// strictly below at this test scale).
+		if r.HyperM >= r.CAN2D {
+			t.Errorf("items=%d: Hyper-M %.3f not below 2-d CAN %.3f", r.Items, r.HyperM, r.CAN2D)
+		}
+		if r.HyperM >= r.CANFull {
+			t.Errorf("items=%d: Hyper-M %.3f not below full CAN %.3f", r.Items, r.HyperM, r.CANFull)
+		}
+	}
+	// Per-item cost decreases (or stays flat) as volume grows: summaries
+	// amortize.
+	if rows[1].HyperM > rows[0].HyperM*1.2 {
+		t.Errorf("Hyper-M per-item cost should amortize with volume: %v -> %v",
+			rows[0].HyperM, rows[1].HyperM)
+	}
+	if !strings.Contains(RenderFig8b(rows), "Figure 8b") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig8cShape(t *testing.T) {
+	rows, err := Fig8c(tinyParams(), []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More layers -> more overlays to publish into -> cost grows with layers.
+	if rows[2].HyperM < rows[0].HyperM {
+		t.Errorf("4 layers (%.3f) should cost at least 1 layer (%.3f)", rows[2].HyperM, rows[0].HyperM)
+	}
+	// Even at 4 layers Hyper-M stays below the full-CAN baseline.
+	if rows[2].HyperM >= rows[2].CANFull {
+		t.Errorf("Hyper-M at 4 layers (%.3f) should beat full CAN (%.3f)", rows[2].HyperM, rows[2].CANFull)
+	}
+	if !strings.Contains(RenderFig8c(rows), "Figure 8c") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	p := tinyParams()
+	rows, err := Fig9(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+p.Levels {
+		t.Fatalf("got %d rows, want %d", len(rows), 1+p.Levels)
+	}
+	if rows[0].Config != "CAN-original" {
+		t.Fatalf("first row should be the baseline, got %q", rows[0].Config)
+	}
+	// Paper shape: adding detail levels spreads the data over more peers
+	// than the approximation-only configuration.
+	aOnly := rows[1]
+	full := rows[len(rows)-1]
+	if full.NonEmptyPeers < aOnly.NonEmptyPeers {
+		t.Errorf("adding levels should not shrink coverage: A-only %d peers, full %d peers",
+			aOnly.NonEmptyPeers, full.NonEmptyPeers)
+	}
+	if !strings.Contains(RenderFig9(rows), "Figure 9") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig10aShape(t *testing.T) {
+	rows, err := Fig10a(tinyEffectiveness(), []int{1, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision is 1.0 everywhere; recall grows with the budget and reaches
+	// 1.0 at unlimited budget (no false dismissals).
+	for _, r := range rows {
+		if r.Precision < 0.999 {
+			t.Errorf("budget %d: precision %v != 1", r.PeersContacted, r.Precision)
+		}
+	}
+	if rows[1].RecallAvg < rows[0].RecallAvg-1e-9 {
+		t.Errorf("recall should grow with budget: %v -> %v", rows[0].RecallAvg, rows[1].RecallAvg)
+	}
+	last := rows[len(rows)-1]
+	if last.RecallAvg < 0.999 {
+		t.Errorf("unlimited budget recall %v, want 1.0 (Theorem 4.1)", last.RecallAvg)
+	}
+	if !strings.Contains(RenderFig10a(rows), "Figure 10a") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig10bShape(t *testing.T) {
+	rows, err := Fig10b(tinyEffectiveness(), []int{5, 10}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// C knob direction: recall at C=2 >= recall at C=1 for the same
+	// clustering.
+	for i := 0; i+1 < len(rows); i += 2 {
+		if rows[i+1].RecallAvg < rows[i].RecallAvg-0.05 {
+			t.Errorf("clusters=%d: recall dropped when C doubled: %.3f -> %.3f",
+				rows[i].ClustersPerPeer, rows[i].RecallAvg, rows[i+1].RecallAvg)
+		}
+	}
+	if !strings.Contains(RenderFig10b(rows), "Figure 10b") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig10cShape(t *testing.T) {
+	rows, err := Fig10c(tinyEffectiveness(), []float64{0, 0.2, 0.45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].RecallLossPercent != 0 {
+		t.Errorf("zero insertions should have zero loss, got %v", rows[0].RecallLossPercent)
+	}
+	// Recall under staleness stays bounded: the paper loses at most ~33%
+	// at 45% new documents. Allow slack for the scaled-down corpus.
+	last := rows[len(rows)-1]
+	if last.RecallAvg < 0.3 {
+		t.Errorf("recall collapsed under post-insertion: %v", last.RecallAvg)
+	}
+	if !strings.Contains(RenderFig10c(rows), "Figure 10c") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rows, err := Fig11(tinyEffectiveness(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Space != "original" {
+		t.Fatalf("first row should be the original space")
+	}
+	byName := map[string]Fig11Row{}
+	for _, r := range rows {
+		byName[r.Space] = r
+	}
+	// Paper shape: at least one early wavelet space clusters no worse than
+	// the original space (Fig 11 shows the first ~3 beating it).
+	early := byName["D_1"]
+	if early.Ratio > byName["original"].Ratio*1.5 {
+		t.Errorf("early wavelet space ratio %.3f much worse than original %.3f",
+			early.Ratio, byName["original"].Ratio)
+	}
+	if !strings.Contains(RenderFig11(rows), "Figure 11") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtEnergyShape(t *testing.T) {
+	p := DefaultEnergyParams()
+	p.Params = tinyParams()
+	rows, err := ExtEnergy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	hyper, canRow := rows[0], rows[1]
+	if hyper.Joules >= canRow.Joules {
+		t.Errorf("Hyper-M energy %.4f J should be below per-item CAN %.4f J", hyper.Joules, canRow.Joules)
+	}
+	if hyper.MakespanSeconds >= canRow.MakespanSeconds {
+		t.Errorf("Hyper-M makespan %.2f s should be below per-item CAN %.2f s",
+			hyper.MakespanSeconds, canRow.MakespanSeconds)
+	}
+	if !strings.Contains(RenderEnergy(rows), "energy") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtOverlayIndependenceShape(t *testing.T) {
+	rows, err := ExtOverlayIndependence(tinyEffectiveness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want CAN + ring + BATON", len(rows))
+	}
+	for _, r := range rows {
+		// The no-false-dismissal property must hold on both substrates.
+		if r.RecallAvg < 0.999 {
+			t.Errorf("%s: recall %v, want 1.0 regardless of overlay", r.Overlay, r.RecallAvg)
+		}
+	}
+	if !strings.Contains(RenderOverlayIndep(rows), "independence") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtAggregationShape(t *testing.T) {
+	rows, err := ExtAggregation(tinyEffectiveness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byPolicy := map[string]AggRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+	}
+	// Min surfaces no more candidates than sum (it prunes level-missing
+	// peers).
+	if byPolicy["min"].PeersWithScore > byPolicy["sum"].PeersWithScore+1e-9 {
+		t.Errorf("min candidates %.2f exceed sum %.2f",
+			byPolicy["min"].PeersWithScore, byPolicy["sum"].PeersWithScore)
+	}
+	if !strings.Contains(RenderAgg(rows), "aggregation") {
+		t.Error("render missing header")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	d := DefaultParams()
+	ps := PaperScale()
+	if ps.Peers <= d.Peers || ps.ItemsPerPeer <= d.ItemsPerPeer {
+		t.Error("paper scale should exceed the default scale")
+	}
+	de := DefaultEffectiveness()
+	pe := PaperEffectiveness()
+	if pe.Objects <= de.Objects {
+		t.Error("paper effectiveness scale should exceed the default")
+	}
+}
+
+func TestExtLevelsShape(t *testing.T) {
+	rows, err := ExtLevels(tinyEffectiveness(), []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Cost must rise with levels.
+	if rows[2].HopsPerItem < rows[0].HopsPerItem {
+		t.Errorf("hops/item should grow with levels: %v -> %v",
+			rows[0].HopsPerItem, rows[2].HopsPerItem)
+	}
+	if !strings.Contains(RenderLevels(rows), "levels") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtWaveletShape(t *testing.T) {
+	rows, err := ExtWavelet(tinyEffectiveness())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The no-false-dismissal property must hold under every convention.
+		if r.Recall < 0.999 {
+			t.Errorf("%s: full recall %v, want 1.0", r.Convention, r.Recall)
+		}
+	}
+	if !strings.Contains(RenderWavelet(rows), "convention") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtLossShape(t *testing.T) {
+	rows, err := ExtLoss(tinyEffectiveness(), []float64{0, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Recall < 0.999 {
+		t.Errorf("zero loss should keep recall 1.0, got %v", rows[0].Recall)
+	}
+	if rows[1].Recall > rows[0].Recall+1e-9 {
+		t.Errorf("loss should not improve recall: %v -> %v", rows[0].Recall, rows[1].Recall)
+	}
+	// Retransmissions make publication more expensive under loss.
+	if rows[1].HopsPerItem <= rows[0].HopsPerItem {
+		t.Errorf("40%% loss should cost retransmissions: %v vs %v hops/item",
+			rows[1].HopsPerItem, rows[0].HopsPerItem)
+	}
+	if !strings.Contains(RenderLoss(rows), "failure injection") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtChurnShape(t *testing.T) {
+	rows, err := ExtChurn(tinyEffectiveness(), []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].RecallVsAll < 0.999 || rows[0].RecallVsSurviving < 0.999 {
+		t.Errorf("zero churn should keep recall 1.0: %+v", rows[0])
+	}
+	if rows[0].IndexRecordsLost != 0 {
+		t.Errorf("zero churn lost %d records", rows[0].IndexRecordsLost)
+	}
+	hurt := rows[1]
+	if hurt.IndexRecordsLost == 0 {
+		t.Error("30%% churn should lose index records")
+	}
+	// Data held by dead peers is unreachable: recall vs the full corpus
+	// must drop below recall vs surviving items.
+	if hurt.RecallVsAll > hurt.RecallVsSurviving+1e-9 {
+		t.Errorf("recall-vs-all %v should not exceed recall-vs-surviving %v",
+			hurt.RecallVsAll, hurt.RecallVsSurviving)
+	}
+	if !strings.Contains(RenderChurn(rows), "churn") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtScaleShape(t *testing.T) {
+	p := tinyParams()
+	rows, err := ExtScale(p, []int{10, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PublishHopsPerItem >= r.BaselineHopsPerItem {
+			t.Errorf("peers=%d: Hyper-M %.3f not below baseline %.3f",
+				r.Peers, r.PublishHopsPerItem, r.BaselineHopsPerItem)
+		}
+		if r.QueryHops <= 0 {
+			t.Errorf("peers=%d: query hops %v", r.Peers, r.QueryHops)
+		}
+	}
+	if !strings.Contains(RenderScale(rows), "scaling") {
+		t.Error("render missing header")
+	}
+}

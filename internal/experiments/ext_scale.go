@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hyperm/internal/core"
+)
+
+// ScaleRow measures how Hyper-M's costs grow with the network size — the
+// paper targets ad-hoc gatherings from a bus (tens) to a conference hall
+// (hundreds), so sub-linear growth of per-item and per-query cost is what
+// makes the method deployable across that range.
+type ScaleRow struct {
+	// Peers is the network size (items per peer held constant).
+	Peers int
+	// PublishHopsPerItem is the dissemination cost.
+	PublishHopsPerItem float64
+	// QueryHops is the mean overlay cost of one range query's scoring
+	// phase.
+	QueryHops float64
+	// BaselineHopsPerItem is per-item full-dimensional CAN insertion.
+	BaselineHopsPerItem float64
+}
+
+// ExtScale sweeps the network size with a fixed per-peer collection.
+func ExtScale(p Params, peerSweep []int) ([]ScaleRow, error) {
+	if len(peerSweep) == 0 {
+		peerSweep = []int{10, 25, 50, 100}
+	}
+	var rows []ScaleRow
+	for _, peers := range peerSweep {
+		pn := p
+		pn.Peers = peers
+		sys, data, asg, err := markovSystem(pn)
+		if err != nil {
+			return nil, err
+		}
+		st := sys.PublishAll()
+
+		baseHops, baseItems, err := canItemInsertHops(data, asg, pn.Dim, pn.Seed+88)
+		if err != nil {
+			return nil, err
+		}
+
+		// Query cost: range queries around corpus items at a radius sized
+		// to the data scale.
+		var qHops float64
+		const queries = 10
+		for qi := 0; qi < queries; qi++ {
+			q := data[(qi*37)%len(data)]
+			res := sys.RangeQuery(qi%peers, q, 25, core.RangeOptions{})
+			qHops += float64(res.OverlayHops)
+		}
+		rows = append(rows, ScaleRow{
+			Peers:               peers,
+			PublishHopsPerItem:  safeDiv(st.Hops, sys.TotalItems()),
+			QueryHops:           qHops / queries,
+			BaselineHopsPerItem: safeDiv(baseHops, baseItems),
+		})
+	}
+	return rows, nil
+}
+
+// RenderScale formats the rows as the CLI table.
+func RenderScale(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — cost scaling with network size (items/peer fixed)\n")
+	fmt.Fprintf(&b, "%-8s %-22s %-22s %-14s\n", "peers", "publish hops/item", "baseline hops/item", "query hops")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-22s %-22s %-14s\n", r.Peers,
+			fmtF(r.PublishHopsPerItem), fmtF(r.BaselineHopsPerItem), fmtF(r.QueryHops))
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fig8aRow is one point of Figure 8a: the replication overhead of inserting
+// cluster spheres into CAN, as a function of clustering granularity.
+// Finer clustering (more, smaller clusters) overlaps fewer foreign zones,
+// so the overhead approaches the no-replication (point-insert) baseline.
+type Fig8aRow struct {
+	ClustersPerPeer int
+	// AvgHopsWithReplication is the mean overlay hops per cluster insertion
+	// including replica placement (Fig 6 overhead).
+	AvgHopsWithReplication float64
+	// AvgHopsNoReplication is the same pipeline with replication disabled
+	// (spheres inserted as points) — the paper's "no-replication standard".
+	AvgHopsNoReplication float64
+	// AvgClusterRadius is the mean published key-space radius, explaining
+	// the trend.
+	AvgClusterRadius float64
+}
+
+// Fig8a measures cluster replication overhead over a sweep of
+// clusters-per-peer values.
+func Fig8a(p Params, sweep []int) ([]Fig8aRow, error) {
+	if len(sweep) == 0 {
+		sweep = []int{2, 5, 10, 20, 50}
+	}
+	rows := make([]Fig8aRow, 0, len(sweep))
+	for _, k := range sweep {
+		pk := p
+		pk.ClustersPerPeer = k
+		sys, _, _, err := markovSystem(pk)
+		if err != nil {
+			return nil, err
+		}
+		st := sys.PublishAll()
+		if st.ClustersPublished == 0 {
+			return nil, fmt.Errorf("experiments: fig8a published no clusters for K=%d", k)
+		}
+		// CAN separates routing hops (the no-replication standard: the cost
+		// of inserting the same summaries as points) from the replication
+		// messages of Fig 6; the paper's "with replication" line is their
+		// sum.
+		var route int
+		for l := 0; l < pk.Levels; l++ {
+			cs, ok := canStats(sys.Overlay(l))
+			if !ok {
+				return nil, fmt.Errorf("experiments: overlay %d is not CAN", l)
+			}
+			route += cs.InsertRouteHops
+		}
+		rows = append(rows, Fig8aRow{
+			ClustersPerPeer:        k,
+			AvgHopsWithReplication: float64(st.Hops) / float64(st.ClustersPublished),
+			AvgHopsNoReplication:   float64(route) / float64(st.ClustersPublished),
+			AvgClusterRadius:       avgPublishedRadius(sys, pk),
+		})
+	}
+	return rows, nil
+}
+
+// Fig8bRow is one point of Figure 8b: average insertion hops per data item
+// as the corpus grows, for Hyper-M and the two conventional baselines.
+type Fig8bRow struct {
+	Items int
+	// HyperM is avg overlay hops per item for Hyper-M with p.Levels layers
+	// (cluster publication cost amortized over all items it summarizes).
+	HyperM float64
+	// CAN2D is avg hops per item inserting every item into a 2-d CAN
+	// (the paper's illustrative low-dimensional baseline).
+	CAN2D float64
+	// CANFull is avg hops per item inserting every item into a CAN of the
+	// full data dimensionality.
+	CANFull float64
+}
+
+// Fig8b sweeps the corpus size and reports per-item insertion cost for the
+// three systems.
+func Fig8b(p Params, itemSweep []int) ([]Fig8bRow, error) {
+	if len(itemSweep) == 0 {
+		base := p.Peers * p.ItemsPerPeer
+		itemSweep = []int{base / 5, 2 * base / 5, 3 * base / 5, 4 * base / 5, base}
+	}
+	rows := make([]Fig8bRow, 0, len(itemSweep))
+	for _, n := range itemSweep {
+		pn := p
+		pn.ItemsPerPeer = n / p.Peers
+		if pn.ItemsPerPeer < 1 {
+			pn.ItemsPerPeer = 1
+		}
+		sys, data, asg, err := markovSystem(pn)
+		if err != nil {
+			return nil, err
+		}
+		st := sys.PublishAll()
+		total := sys.TotalItems()
+		if total == 0 {
+			continue
+		}
+		hyper := float64(st.Hops) / float64(total)
+
+		hops2d, items2d, err := canItemInsertHops(data, asg, 2, pn.Seed+77)
+		if err != nil {
+			return nil, err
+		}
+		hopsFull, itemsFull, err := canItemInsertHops(data, asg, pn.Dim, pn.Seed+78)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8bRow{
+			Items:   total,
+			HyperM:  hyper,
+			CAN2D:   safeDiv(hops2d, items2d),
+			CANFull: safeDiv(hopsFull, itemsFull),
+		})
+	}
+	return rows, nil
+}
+
+// Fig8cRow is one point of Figure 8c: average insertion hops per item as a
+// function of how many wavelet layers Hyper-M maintains.
+type Fig8cRow struct {
+	Layers int
+	// HyperM is avg hops per item with that many overlays.
+	HyperM float64
+	// CAN2D and CANFull are the flat reference lines of the paper's plot.
+	CAN2D, CANFull float64
+}
+
+// Fig8c sweeps the number of overlay layers.
+func Fig8c(p Params, layerSweep []int) ([]Fig8cRow, error) {
+	if len(layerSweep) == 0 {
+		layerSweep = []int{1, 2, 3, 4, 5, 6}
+	}
+	// The baselines do not depend on the layer count: compute once.
+	data, asg := markovData(p)
+	hops2d, items2d, err := canItemInsertHops(data, asg, 2, p.Seed+81)
+	if err != nil {
+		return nil, err
+	}
+	hopsFull, itemsFull, err := canItemInsertHops(data, asg, p.Dim, p.Seed+82)
+	if err != nil {
+		return nil, err
+	}
+	base2d, baseFull := safeDiv(hops2d, items2d), safeDiv(hopsFull, itemsFull)
+
+	rows := make([]Fig8cRow, 0, len(layerSweep))
+	for _, layers := range layerSweep {
+		pl := p
+		pl.Levels = layers
+		sys, _, _, err := markovSystem(pl)
+		if err != nil {
+			return nil, err
+		}
+		st := sys.PublishAll()
+		total := sys.TotalItems()
+		rows = append(rows, Fig8cRow{
+			Layers:  layers,
+			HyperM:  safeDiv(st.Hops, total),
+			CAN2D:   base2d,
+			CANFull: baseFull,
+		})
+	}
+	return rows, nil
+}
+
+func safeDiv(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// RenderFig8a formats the rows as the CLI table.
+func RenderFig8a(rows []Fig8aRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8a — cluster replication overhead (avg hops per cluster insertion)\n")
+	fmt.Fprintf(&b, "%-16s %-18s %-18s %-12s\n", "clusters/peer", "with-replication", "no-replication", "avg radius")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16d %-18s %-18s %-12s\n", r.ClustersPerPeer,
+			fmtF(r.AvgHopsWithReplication), fmtF(r.AvgHopsNoReplication), fmtF(r.AvgClusterRadius))
+	}
+	return b.String()
+}
+
+// RenderFig8b formats the rows as the CLI table.
+func RenderFig8b(rows []Fig8bRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8b — avg hops per item insertion vs data volume\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-12s %-12s\n", "items", "Hyper-M", "CAN-2d", "CAN-full")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %-12s %-12s %-12s\n", r.Items, fmtF(r.HyperM), fmtF(r.CAN2D), fmtF(r.CANFull))
+	}
+	return b.String()
+}
+
+// RenderFig8c formats the rows as the CLI table.
+func RenderFig8c(rows []Fig8cRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8c — avg hops per item insertion vs overlay layers\n")
+	fmt.Fprintf(&b, "%-8s %-12s %-12s %-12s\n", "layers", "Hyper-M", "CAN-2d", "CAN-full")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %-12s %-12s %-12s\n", r.Layers, fmtF(r.HyperM), fmtF(r.CAN2D), fmtF(r.CANFull))
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+// Package flatindex is the centralized exact-search baseline of the paper's
+// effectiveness experiments (§6): "we implemented a centralized flat file
+// system that indexes the data using the original vectors, and use the
+// retrieval results as the basis for evaluating the effectiveness of our
+// proposal". Range and k-nn results from this index are the ground truth
+// that Hyper-M's precision and recall are measured against.
+package flatindex
+
+import (
+	"fmt"
+	"sort"
+
+	"hyperm/internal/vec"
+)
+
+// Index is a linear-scan exact index over a fixed corpus. Item identifiers
+// are the row indices of the corpus passed to New.
+type Index struct {
+	data [][]float64
+}
+
+// New builds an index over data. The slice is retained, not copied; callers
+// must not mutate the rows afterwards.
+func New(data [][]float64) *Index {
+	if len(data) > 0 {
+		d := len(data[0])
+		for i, row := range data {
+			if len(row) != d {
+				panic(fmt.Sprintf("flatindex: row %d has dim %d, want %d", i, len(row), d))
+			}
+		}
+	}
+	return &Index{data: data}
+}
+
+// Len returns the corpus size.
+func (ix *Index) Len() int { return len(ix.data) }
+
+// Item returns the vector of item id.
+func (ix *Index) Item(id int) []float64 { return ix.data[id] }
+
+// Range returns the ids of every item within distance eps of q, in
+// ascending id order.
+func (ix *Index) Range(q []float64, eps float64) []int {
+	if eps < 0 {
+		panic("flatindex: negative range radius")
+	}
+	var out []int
+	eps2 := eps * eps
+	for id, x := range ix.data {
+		if vec.Dist2(q, x) <= eps2 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// KNN returns the ids of the k items closest to q, ordered by ascending
+// distance (ties broken by id). If k exceeds the corpus, every id is
+// returned.
+func (ix *Index) KNN(q []float64, k int) []int {
+	if k < 0 {
+		panic("flatindex: negative k")
+	}
+	if k > len(ix.data) {
+		k = len(ix.data)
+	}
+	if k == 0 {
+		return nil
+	}
+	type cand struct {
+		id int
+		d2 float64
+	}
+	cands := make([]cand, len(ix.data))
+	for id, x := range ix.data {
+		cands[id] = cand{id: id, d2: vec.Dist2(q, x)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d2 != cands[j].d2 {
+			return cands[i].d2 < cands[j].d2
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out
+}
+
+// KNNRadius returns the distance from q to its k-th nearest neighbor —
+// the ideal range radius a perfect k-nn-to-range reduction would use.
+func (ix *Index) KNNRadius(q []float64, k int) float64 {
+	ids := ix.KNN(q, k)
+	if len(ids) == 0 {
+		return 0
+	}
+	return vec.Dist(q, ix.data[ids[len(ids)-1]])
+}

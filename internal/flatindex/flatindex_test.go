@@ -1,0 +1,174 @@
+package flatindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hyperm/internal/vec"
+)
+
+func grid() [][]float64 {
+	// 0..9 on a line.
+	var data [][]float64
+	for i := 0; i < 10; i++ {
+		data = append(data, []float64{float64(i)})
+	}
+	return data
+}
+
+func TestRange(t *testing.T) {
+	ix := New(grid())
+	got := ix.Range([]float64{5}, 1.5)
+	want := []int{4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeBoundaryInclusive(t *testing.T) {
+	ix := New(grid())
+	got := ix.Range([]float64{5}, 1.0)
+	if len(got) != 3 {
+		t.Fatalf("radius exactly 1 should include both neighbors: %v", got)
+	}
+}
+
+func TestRangeEmpty(t *testing.T) {
+	ix := New(grid())
+	if got := ix.Range([]float64{100}, 0.5); len(got) != 0 {
+		t.Fatalf("expected empty, got %v", got)
+	}
+}
+
+func TestKNN(t *testing.T) {
+	ix := New(grid())
+	got := ix.KNN([]float64{5.1}, 3)
+	want := []int{5, 6, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KNN = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKNNTieBreaksByID(t *testing.T) {
+	ix := New([][]float64{{1}, {1}, {1}})
+	got := ix.KNN([]float64{1}, 2)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("KNN ties = %v, want [0 1]", got)
+	}
+}
+
+func TestKNNClampedToCorpus(t *testing.T) {
+	ix := New(grid())
+	if got := ix.KNN([]float64{0}, 100); len(got) != 10 {
+		t.Fatalf("KNN k>n returned %d ids", len(got))
+	}
+	if got := ix.KNN([]float64{0}, 0); got != nil {
+		t.Fatalf("KNN k=0 should be nil, got %v", got)
+	}
+}
+
+func TestKNNRadius(t *testing.T) {
+	ix := New(grid())
+	if got := ix.KNNRadius([]float64{0}, 3); got != 2 {
+		t.Fatalf("KNNRadius = %v, want 2", got)
+	}
+	empty := New(nil)
+	if got := empty.KNNRadius([]float64{0}, 3); got != 0 {
+		t.Fatalf("empty KNNRadius = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New([][]float64{{1, 2}, {1}}) },
+		func() { New(grid()).Range([]float64{0}, -1) },
+		func() { New(grid()).KNN([]float64{0}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: KNN results are exactly the k smallest distances, and Range(q,
+// KNNRadius) is a superset of KNN.
+func TestPropKNNConsistentWithRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		d := 1 + rng.Intn(5)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, d)
+			for j := range data[i] {
+				data[i][j] = rng.NormFloat64()
+			}
+		}
+		ix := New(data)
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(n)
+		knn := ix.KNN(q, k)
+		if len(knn) != k {
+			return false
+		}
+		// Distances must be nondecreasing.
+		for i := 0; i+1 < len(knn); i++ {
+			if vec.Dist(q, data[knn[i]]) > vec.Dist(q, data[knn[i+1]])+1e-12 {
+				return false
+			}
+		}
+		// Range at the k-th distance contains all of knn. The radius is a
+		// sqrt of the stored squared distance, so give one ulp of slack to
+		// absorb the sqrt/square round trip.
+		r := ix.Range(q, ix.KNNRadius(q, k)*(1+1e-12))
+		set := map[int]bool{}
+		for _, id := range r {
+			set[id] = true
+		}
+		for _, id := range knn {
+			if !set[id] {
+				return false
+			}
+		}
+		// Range output is sorted by id.
+		return sort.IntsAreSorted(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRange10000x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]float64, 10000)
+	for i := range data {
+		data[i] = make([]float64, 64)
+		for j := range data[i] {
+			data[i][j] = rng.Float64()
+		}
+	}
+	ix := New(data)
+	q := data[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Range(q, 0.5)
+	}
+}

@@ -1,0 +1,283 @@
+// Package geometry implements the hypersphere volume machinery behind
+// Hyper-M's peer relevance score (Eq 1) and k-nn radius estimation (Eq 5–8):
+//
+//   - the volume fraction of a hyperspherical cap, both as the paper's
+//     closed-form series for even dimensionality (Eq 5) and as a regularized
+//     incomplete beta expression valid for every dimensionality d >= 1 (this
+//     is the "odd-d analogue" the paper elides for space);
+//   - the sphere–sphere intersection fraction (Eq 6–7), i.e. the share of a
+//     data-cluster sphere's volume covered by a query sphere;
+//   - the numeric inversion of the expected-retrieved-items function (Eq 8)
+//     that turns "I need k items" into a range-query radius ε, using a
+//     Newton iteration safeguarded by bisection.
+package geometry
+
+import (
+	"fmt"
+	"math"
+)
+
+// BallVolume returns the volume of a d-dimensional ball of radius r:
+// pi^(d/2) / Gamma(d/2+1) * r^d.
+func BallVolume(d int, r float64) float64 {
+	if d < 0 {
+		panic("geometry: negative dimension")
+	}
+	if d == 0 {
+		return 1
+	}
+	logV := float64(d)/2*math.Log(math.Pi) - lgamma(float64(d)/2+1) + float64(d)*math.Log(r)
+	return math.Exp(logV)
+}
+
+// CapFraction returns the fraction of a d-dimensional ball's volume contained
+// in the spherical cap of colatitude half-angle phi, measured at the ball's
+// center (phi = 0 is an empty cap, phi = pi/2 a half ball, phi = pi the whole
+// ball). Valid for every d >= 1.
+func CapFraction(d int, phi float64) float64 {
+	if d < 1 {
+		panic("geometry: CapFraction requires d >= 1")
+	}
+	switch {
+	case phi <= 0:
+		return 0
+	case phi >= math.Pi:
+		return 1
+	case phi > math.Pi/2:
+		return 1 - CapFraction(d, math.Pi-phi)
+	}
+	s := math.Sin(phi)
+	return 0.5 * RegIncBeta((float64(d)+1)/2, 0.5, s*s)
+}
+
+// CapFractionPaperSeries evaluates the paper's Equation 5 verbatim for even
+// dimensionality:
+//
+//	Vcap/Vsphere = (1/pi) * (alpha - cos(alpha) * sum_{i=0}^{(d-2)/2}
+//	                (2^{2i} (i!)^2 / (2i+1)!) * sin(alpha)^{2i+1})
+//
+// It panics when d is odd (the paper's series only covers even d; use
+// CapFraction for the general case).
+func CapFractionPaperSeries(d int, alpha float64) float64 {
+	if d < 2 || d%2 != 0 {
+		panic(fmt.Sprintf("geometry: paper series requires even d >= 2, got %d", d))
+	}
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= math.Pi {
+		return 1
+	}
+	sin, cos := math.Sin(alpha), math.Cos(alpha)
+	term := 1.0 // 2^{2i}(i!)^2/(2i+1)! at i=0
+	sum := 0.0
+	sinPow := sin // sin^{2i+1} at i=0
+	for i := 0; ; i++ {
+		sum += term * sinPow
+		if i == (d-2)/2 {
+			break
+		}
+		// ratio of consecutive coefficients: 2(i+1)/(2i+3)
+		term *= 2 * float64(i+1) / float64(2*i+3)
+		sinPow *= sin * sin
+	}
+	return (alpha - cos*sum) / math.Pi
+}
+
+// IntersectFraction returns Vol(data ∩ query) / Vol(data), the fraction of a
+// data-cluster sphere of radius r covered by a query sphere of radius eps
+// whose center is at distance b from the cluster centroid, in dimension d
+// (paper Eq 6–7 with the containment cases made explicit).
+//
+// A zero-radius cluster is treated as a point mass: fraction 1 if it lies
+// within the query sphere, else 0. A zero-radius query covers zero volume.
+func IntersectFraction(d int, r, eps, b float64) float64 {
+	if d < 1 {
+		panic("geometry: IntersectFraction requires d >= 1")
+	}
+	if r < 0 || eps < 0 || b < 0 {
+		panic("geometry: negative radius or distance")
+	}
+	if r == 0 {
+		if b <= eps {
+			return 1
+		}
+		return 0
+	}
+	if eps == 0 {
+		return 0
+	}
+	switch {
+	case b >= r+eps:
+		return 0 // disjoint
+	case b+r <= eps:
+		return 1 // data sphere inside query sphere
+	case b+eps <= r:
+		// query sphere inside data sphere: ratio of ball volumes (eps/r)^d
+		return math.Exp(float64(d) * (math.Log(eps) - math.Log(r)))
+	}
+	// Proper lens: the intersection is the sum of two caps (Eq 6). The
+	// intersection hyperplane sits at distance x from the data centroid
+	// along the center line (cosine rule, Eq 7).
+	x := (b*b + r*r - eps*eps) / (2 * b)
+	alpha := math.Acos(clamp(x/r, -1, 1))      // half-angle of the data-sphere cap
+	beta := math.Acos(clamp((b-x)/eps, -1, 1)) // half-angle of the query-sphere cap
+	frac := CapFraction(d, alpha) + CapFraction(d, beta)*math.Exp(float64(d)*(math.Log(eps)-math.Log(r)))
+	return clamp(frac, 0, 1)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// SphereAt describes a cluster sphere as seen from a query point: its
+// centroid distance, radius, and item count. It is the input to the
+// expected-count model of Eq 8.
+type SphereAt struct {
+	Dist   float64 // distance from the query center to the cluster centroid
+	Radius float64 // cluster sphere radius
+	Items  int     // number of data items the cluster summarizes
+}
+
+// ExpectedCount evaluates Eq 8: the number of items a range query of radius
+// eps is expected to retrieve, summing each reachable cluster's covered
+// volume fraction times its item count.
+func ExpectedCount(d int, eps float64, spheres []SphereAt) float64 {
+	var k float64
+	for _, s := range spheres {
+		k += IntersectFraction(d, s.Radius, eps, s.Dist) * float64(s.Items)
+	}
+	return k
+}
+
+// SolveEpsForCount inverts Eq 8: it returns the smallest query radius eps
+// whose expected retrieved-item count reaches k, using a Newton iteration
+// with a bisection safeguard (the function is monotonically non-decreasing
+// in eps, so bracketing is exact).
+//
+// If k meets or exceeds the total item mass, the radius that covers every
+// sphere entirely is returned. If the sphere list is empty or k <= 0, zero
+// is returned.
+func SolveEpsForCount(d int, k float64, spheres []SphereAt) float64 {
+	if len(spheres) == 0 || k <= 0 {
+		return 0
+	}
+	var total float64
+	hi := 0.0
+	for _, s := range spheres {
+		total += float64(s.Items)
+		if reach := s.Dist + s.Radius; reach > hi {
+			hi = reach
+		}
+	}
+	if k >= total {
+		return hi
+	}
+	lo := 0.0
+	f := func(eps float64) float64 { return ExpectedCount(d, eps, spheres) - k }
+	// Newton with numeric derivative, safeguarded: every step must stay in
+	// [lo, hi]; otherwise fall back to bisection on the bracketing interval.
+	eps := hi / 2
+	const iters = 100
+	for i := 0; i < iters; i++ {
+		fv := f(eps)
+		if math.Abs(fv) < 1e-9*math.Max(1, k) || hi-lo < 1e-12*math.Max(1, hi) {
+			break
+		}
+		if fv > 0 {
+			hi = eps
+		} else {
+			lo = eps
+		}
+		h := 1e-6 * math.Max(eps, 1e-6)
+		df := (f(eps+h) - f(eps-h)) / (2 * h)
+		var next float64
+		if df > 0 {
+			next = eps - fv/df
+		}
+		if df <= 0 || next <= lo || next >= hi {
+			next = (lo + hi) / 2 // bisection fallback
+		}
+		eps = next
+	}
+	return eps
+}
+
+// RegIncBeta returns the regularized incomplete beta function I_x(a, b),
+// computed by the standard continued-fraction expansion (Lentz's method).
+func RegIncBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic("geometry: RegIncBeta requires a, b > 0")
+	}
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	logBt := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log1p(-x)
+	bt := math.Exp(logBt)
+	if x < (a+1)/(a+b+2) {
+		return bt * betacf(a, b, x) / a
+	}
+	return 1 - bt*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// (Numerical Recipes §6.4, modified Lentz).
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		epsTol  = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := 2 * m
+		aa := float64(m) * (b - float64(m)) * x / ((qam + float64(m2)) * (a + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + float64(m2)) * (qap + float64(m2)))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < epsTol {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,66 @@
+// Package overlay defines the abstraction Hyper-M publishes into. The paper
+// stresses (§5) that the method "has been designed independent of the
+// underlying peer-to-peer overlays, and could be implemented on top of
+// BATON, VBI-tree, CAN or any peer-to-peer overlay ... so long as they can
+// support multi-dimensional indexing"; this interface is that seam.
+// hyperm/internal/can (the paper's choice) and hyperm/internal/ring (a
+// z-order ring used for the overlay-independence experiment) implement it.
+package overlay
+
+// Entry is a published object: a point or sphere in the overlay's key space
+// together with an opaque payload (for Hyper-M, a cluster summary reference).
+// Radius zero makes the entry a plain point.
+type Entry struct {
+	// Key is the entry's position in the overlay key space (the unit
+	// torus/cube of the overlay's dimensionality).
+	Key []float64
+	// Radius is the entry's extent in key-space units. Overlays replicate
+	// entries with nonzero radius into every region the sphere overlaps
+	// (paper Fig 6).
+	Radius float64
+	// Payload is carried untouched from insert to search results.
+	Payload any
+}
+
+// Network is a structured overlay able to index spheres in a
+// multi-dimensional key space. Node identifiers run from 0 to Size()-1 and
+// double as peer identifiers throughout the repository.
+type Network interface {
+	// Dim is the dimensionality of the key space.
+	Dim() int
+	// Size is the number of overlay nodes.
+	Size() int
+	// InsertSphere publishes e starting from the given node and returns the
+	// number of overlay hops consumed (routing plus replication).
+	InsertSphere(from int, e Entry) (hops int)
+	// SearchSphere collects every entry whose sphere intersects the query
+	// sphere, starting from the given node. It returns the matching entries
+	// (deduplicated across replicas) and the overlay hops consumed.
+	SearchSphere(from int, key []float64, radius float64) (results []Entry, hops int)
+	// OwnerOf returns the node currently responsible for the point key
+	// (no messages are charged; used for load accounting).
+	OwnerOf(key []float64) int
+}
+
+// Observer is notified of every overlay message (one per hop) so transports
+// such as the MANET physical layer can charge energy and latency.
+type Observer func(from, to int)
+
+// StorageFailer is implemented by overlays whose per-node storage can be
+// wiped to model a device crash or departure: the node keeps routing (its
+// zone/range is still owned) but every index record it held — owned entries
+// and replicas alike — is gone. Replication (paper Fig 6) is what keeps
+// sphere entries discoverable after such a failure.
+type StorageFailer interface {
+	// ClearNode discards everything node id stores and returns how many
+	// records were lost.
+	ClearNode(id int) int
+}
+
+// Leaver is implemented by overlays supporting graceful departure: the node
+// hands its key-space region and stored records to neighbors before going
+// away, so no index state is lost (the CAN departure protocol).
+type Leaver interface {
+	// Leave removes node id, returning the handover message count.
+	Leave(id int) (msgs int, err error)
+}

@@ -1,0 +1,291 @@
+// Package ring implements a Chord-style one-dimensional ring overlay with a
+// z-order (Morton) mapping of multi-dimensional keys, as a second backend
+// for Hyper-M. The paper claims (§5) that the method "could be implemented
+// on top of BATON, VBI-tree, CAN or any peer-to-peer overlay ... so long as
+// they can support multi-dimensional indexing"; this package demonstrates
+// the claim with an overlay whose topology is nothing like CAN's.
+//
+// Multi-dimensional keys in [0,1)^m are interleaved bitwise into a single
+// z-value in [0,1); each node owns a contiguous arc of the z-space and
+// maintains Chord fingers for O(log N) greedy routing. An arc corresponds to
+// a set of axis-aligned boxes in the original key space (the aligned z-order
+// blocks of the arc), which is how sphere insert/search decide which nodes a
+// sphere touches.
+package ring
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hyperm/internal/overlay"
+	"hyperm/internal/zorder"
+)
+
+// Overlay is a simulated z-order ring. It implements overlay.Network.
+type Overlay struct {
+	dim      int
+	curve    zorder.Curve
+	starts   []uint64 // sorted arc starts in integer z-space; starts[0] == 0
+	fingers  [][]int  // per node: finger table (node indices)
+	entries  [][]rec  // per node: stored records (owned + replicas)
+	nextSeq  int
+	observer overlay.Observer
+}
+
+type rec struct {
+	seq int
+	e   overlay.Entry
+}
+
+var _ overlay.Network = (*Overlay)(nil)
+
+// Config parameterizes construction.
+type Config struct {
+	// Nodes is the number of peers.
+	Nodes int
+	// Dim is the key-space dimensionality.
+	Dim int
+	// Rng draws the arc boundaries. Required.
+	Rng *rand.Rand
+	// Observer, when non-nil, is invoked once per overlay message.
+	Observer overlay.Observer
+}
+
+// Build constructs the ring: random distinct arc starts (node 0 anchored at
+// zero) and Chord finger tables.
+func Build(cfg Config) (*Overlay, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("ring: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Dim < 1 {
+		return nil, fmt.Errorf("ring: dimension must be >= 1, got %d", cfg.Dim)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("ring: rng must be non-nil")
+	}
+	curve, err := zorder.NewCurve(cfg.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("ring: %w", err)
+	}
+	space := curve.Space()
+	if uint64(cfg.Nodes) > space {
+		return nil, fmt.Errorf("ring: %d nodes exceed the %d-cell z-space at dim %d", cfg.Nodes, space, cfg.Dim)
+	}
+
+	// Distinct random starts, anchored at 0 so the arcs tile [0, space).
+	used := map[uint64]bool{0: true}
+	starts := []uint64{0}
+	for len(starts) < cfg.Nodes {
+		v := cfg.Rng.Uint64() % space
+		if !used[v] {
+			used[v] = true
+			starts = append(starts, v)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	o := &Overlay{
+		dim:      cfg.Dim,
+		curve:    curve,
+		starts:   starts,
+		entries:  make([][]rec, cfg.Nodes),
+		observer: cfg.Observer,
+	}
+	o.buildFingers()
+	return o, nil
+}
+
+// buildFingers gives every node its successor plus Chord fingers at
+// clockwise offsets space/2^j.
+func (o *Overlay) buildFingers() {
+	n := len(o.starts)
+	space := o.curve.Space()
+	o.fingers = make([][]int, n)
+	for i := 0; i < n; i++ {
+		seen := map[int]bool{i: true}
+		add := func(target uint64) {
+			owner := o.ownerOfZ(target % space)
+			if !seen[owner] {
+				seen[owner] = true
+				o.fingers[i] = append(o.fingers[i], owner)
+			}
+		}
+		add(o.starts[(i+1)%n]) // successor
+		for j := uint(1); j <= o.curve.TotalBits(); j++ {
+			add(o.starts[i] + space>>j)
+		}
+	}
+}
+
+// ownerOfZ returns the node owning integer z-value z: the largest start <= z.
+func (o *Overlay) ownerOfZ(z uint64) int {
+	idx := sort.Search(len(o.starts), func(i int) bool { return o.starts[i] > z })
+	return idx - 1 // starts[0] == 0 guarantees idx >= 1
+}
+
+// zOf interleaves a key into its integer z-value.
+func (o *Overlay) zOf(key []float64) uint64 { return o.curve.Z(key) }
+
+// arcOf returns node i's integer arc [start, end).
+func (o *Overlay) arcOf(i int) (uint64, uint64) {
+	start := o.starts[i]
+	var end uint64
+	if i+1 < len(o.starts) {
+		end = o.starts[i+1]
+	} else {
+		end = o.curve.Space()
+	}
+	return start, end
+}
+
+// nodeTouchesSphere reports whether any z-cell of node i's arc maps to a box
+// within radius of key (plain Euclidean, no wrap — the z-mapping is not
+// toroidal).
+func (o *Overlay) nodeTouchesSphere(i int, key []float64, radius float64) bool {
+	zlo, zhi := o.arcOf(i)
+	return o.curve.ArcTouchesSphere(zlo, zhi, key, radius)
+}
+
+// route forwards greedily clockwise via fingers from node `from` to the
+// owner of z, returning the owner and hop count.
+func (o *Overlay) route(from int, z uint64) (int, int) {
+	space := o.curve.Space()
+	cur := from
+	hops := 0
+	for {
+		start, end := o.arcOf(cur)
+		if z >= start && z < end {
+			return cur, hops
+		}
+		// Pick the finger that gets clockwise-closest to z without passing
+		// it; the successor guarantees progress.
+		best, bestDist := -1, uint64(math.MaxUint64)
+		for _, f := range o.fingers[cur] {
+			d := (z - o.starts[f]) % space // clockwise distance from finger start to z
+			if d < bestDist {
+				best, bestDist = f, d
+			}
+		}
+		if best == -1 || best == cur {
+			panic("ring: routing stalled — finger tables corrupt")
+		}
+		o.message(cur, best)
+		cur = best
+		hops++
+		if hops > 4*len(o.starts)+16 {
+			panic("ring: routing did not converge")
+		}
+	}
+}
+
+func (o *Overlay) message(from, to int) {
+	if o.observer != nil {
+		o.observer(from, to)
+	}
+}
+
+// ClearNode wipes node id's stored records (owned and replicas), modeling a
+// device crash. The node's range remains routable. Implements
+// overlay.StorageFailer.
+func (o *Overlay) ClearNode(id int) int {
+	lost := len(o.entries[id])
+	o.entries[id] = nil
+	return lost
+}
+
+// Dim returns the key-space dimensionality.
+func (o *Overlay) Dim() int { return o.dim }
+
+// Size returns the number of nodes.
+func (o *Overlay) Size() int { return len(o.starts) }
+
+// OwnerOf returns the node owning the point key (no messages charged).
+func (o *Overlay) OwnerOf(key []float64) int {
+	o.checkKey(key)
+	return o.ownerOfZ(o.zOf(key))
+}
+
+func (o *Overlay) checkKey(key []float64) {
+	if len(key) != o.dim {
+		panic(fmt.Sprintf("ring: key dimension %d, overlay dimension %d", len(key), o.dim))
+	}
+	for _, v := range key {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			panic(fmt.Sprintf("ring: key %v outside the unit cube", key))
+		}
+	}
+}
+
+// InsertSphere routes to the key's owner, stores the entry, and replicates
+// it to every other node whose arc region the sphere touches (one message
+// per replica).
+func (o *Overlay) InsertSphere(from int, e overlay.Entry) int {
+	o.checkKey(e.Key)
+	if e.Radius < 0 {
+		panic("ring: negative entry radius")
+	}
+	owner, hops := o.route(from, o.zOf(e.Key))
+	r := rec{seq: o.nextSeq, e: e}
+	o.nextSeq++
+	o.entries[owner] = append(o.entries[owner], r)
+	if e.Radius > 0 {
+		for i := range o.starts {
+			if i == owner {
+				continue
+			}
+			if o.nodeTouchesSphere(i, e.Key, e.Radius) {
+				o.message(owner, i)
+				o.entries[i] = append(o.entries[i], r)
+				hops++
+			}
+		}
+	}
+	return hops
+}
+
+// SearchSphere routes to the owner of key and visits every node whose arc
+// region the query sphere touches, collecting intersecting entries
+// (deduplicated across replicas).
+func (o *Overlay) SearchSphere(from int, key []float64, radius float64) ([]overlay.Entry, int) {
+	o.checkKey(key)
+	if radius < 0 {
+		panic("ring: negative query radius")
+	}
+	owner, hops := o.route(from, o.zOf(key))
+	seen := map[int]bool{}
+	var results []overlay.Entry
+	collect := func(node int) {
+		for _, r := range o.entries[node] {
+			if seen[r.seq] {
+				continue
+			}
+			if dist(r.e.Key, key) <= r.e.Radius+radius {
+				seen[r.seq] = true
+				results = append(results, r.e)
+			}
+		}
+	}
+	collect(owner)
+	for i := range o.starts {
+		if i == owner {
+			continue
+		}
+		if o.nodeTouchesSphere(i, key, radius) {
+			o.message(owner, i)
+			hops++
+			collect(i)
+		}
+	}
+	return results, hops
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

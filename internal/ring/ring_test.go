@@ -1,0 +1,248 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperm/internal/overlay"
+	"hyperm/internal/zorder"
+)
+
+func build(t *testing.T, nodes, dim int, seed int64) *Overlay {
+	t.Helper()
+	o, err := Build(Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return o
+}
+
+func randKey(rng *rand.Rand, dim int) []float64 {
+	k := make([]float64, dim)
+	for i := range k {
+		k[i] = rng.Float64()
+	}
+	return k
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Build(Config{Nodes: 0, Dim: 2, Rng: rng}); err == nil {
+		t.Error("expected error for 0 nodes")
+	}
+	if _, err := Build(Config{Nodes: 3, Dim: 0, Rng: rng}); err == nil {
+		t.Error("expected error for 0 dim")
+	}
+	if _, err := Build(Config{Nodes: 3, Dim: 2}); err == nil {
+		t.Error("expected error for nil rng")
+	}
+}
+
+func TestOwnerOfConsistent(t *testing.T) {
+	for _, dim := range []int{1, 2, 4} {
+		o := build(t, 40, dim, int64(dim))
+		rng := rand.New(rand.NewSource(9))
+		for q := 0; q < 100; q++ {
+			key := randKey(rng, dim)
+			id := o.OwnerOf(key)
+			if id < 0 || id >= o.Size() {
+				t.Fatalf("OwnerOf returned %d", id)
+			}
+			z := o.zOf(key)
+			lo, hi := o.arcOf(id)
+			if z < lo || z >= hi {
+				t.Fatalf("owner arc [%d,%d) does not contain z=%d", lo, hi, z)
+			}
+		}
+	}
+}
+
+func TestRoutingReachesOwner(t *testing.T) {
+	o := build(t, 60, 2, 3)
+	rng := rand.New(rand.NewSource(4))
+	maxHops := 0
+	for q := 0; q < 200; q++ {
+		key := randKey(rng, 2)
+		from := rng.Intn(o.Size())
+		owner, hops := o.route(from, o.zOf(key))
+		if owner != o.OwnerOf(key) {
+			t.Fatalf("routed to %d, owner is %d", owner, o.OwnerOf(key))
+		}
+		if hops > maxHops {
+			maxHops = hops
+		}
+	}
+	// Chord fingers give O(log N): with 60 nodes expect well under 60 hops.
+	if maxHops > 20 {
+		t.Errorf("max route hops %d too large for finger routing", maxHops)
+	}
+}
+
+func TestInsertThenSearchPoint(t *testing.T) {
+	o := build(t, 30, 2, 5)
+	key := []float64{0.42, 0.77}
+	o.InsertSphere(3, overlay.Entry{Key: key, Payload: "x"})
+	res, _ := o.SearchSphere(9, key, 0.01)
+	if len(res) != 1 || res[0].Payload != "x" {
+		t.Fatalf("search results %v", res)
+	}
+	// Distant search must miss.
+	res, _ = o.SearchSphere(9, []float64{0.1, 0.1}, 0.05)
+	if len(res) != 0 {
+		t.Fatalf("distant search returned %v", res)
+	}
+}
+
+// The same no-false-dismissal contract the CAN overlay satisfies.
+func TestSearchNoFalseDismissals(t *testing.T) {
+	o := build(t, 40, 3, 7)
+	rng := rand.New(rand.NewSource(8))
+	type ins struct {
+		key    []float64
+		radius float64
+		id     int
+	}
+	var all []ins
+	for i := 0; i < 50; i++ {
+		e := ins{key: randKey(rng, 3), radius: rng.Float64() * 0.2, id: i}
+		all = append(all, e)
+		o.InsertSphere(rng.Intn(o.Size()), overlay.Entry{Key: e.key, Radius: e.radius, Payload: e.id})
+	}
+	for q := 0; q < 40; q++ {
+		qkey := randKey(rng, 3)
+		qrad := rng.Float64() * 0.3
+		res, _ := o.SearchSphere(rng.Intn(o.Size()), qkey, qrad)
+		got := map[int]bool{}
+		for _, e := range res {
+			got[e.Payload.(int)] = true
+		}
+		for _, e := range all {
+			want := dist(e.key, qkey) <= e.radius+qrad
+			if want && !got[e.id] {
+				t.Fatalf("query %d: entry %d intersects but was not returned", q, e.id)
+			}
+			if !want && got[e.id] {
+				t.Fatalf("query %d: entry %d does not intersect but was returned", q, e.id)
+			}
+		}
+	}
+}
+
+func TestReplicaDeduplication(t *testing.T) {
+	o := build(t, 20, 2, 11)
+	o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5}, Radius: 0.6, Payload: "big"})
+	res, _ := o.SearchSphere(5, []float64{0.5, 0.5}, 0.6)
+	if len(res) != 1 {
+		t.Fatalf("expected 1 deduplicated result, got %d", len(res))
+	}
+}
+
+func TestObserverCountsMatchHops(t *testing.T) {
+	msgs := 0
+	o, err := Build(Config{Nodes: 25, Dim: 2, Rng: rand.New(rand.NewSource(13)),
+		Observer: func(from, to int) { msgs++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs = 0
+	hops := o.InsertSphere(0, overlay.Entry{Key: []float64{0.3, 0.3}, Radius: 0.2})
+	if msgs != hops {
+		t.Errorf("observer saw %d messages, hops = %d", msgs, hops)
+	}
+	msgs = 0
+	_, shops := o.SearchSphere(1, []float64{0.8, 0.8}, 0.1)
+	if msgs != shops {
+		t.Errorf("observer saw %d messages, search hops = %d", msgs, shops)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	o := build(t, 1, 2, 17)
+	hops := o.InsertSphere(0, overlay.Entry{Key: []float64{0.5, 0.5}, Radius: 0.3, Payload: 1})
+	if hops != 0 {
+		t.Errorf("single-node insert cost %d hops", hops)
+	}
+	res, shops := o.SearchSphere(0, []float64{0.5, 0.5}, 0.1)
+	if len(res) != 1 || shops != 0 {
+		t.Errorf("single-node search: %d results, %d hops", len(res), shops)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	o := build(t, 5, 2, 19)
+	for _, fn := range []func(){
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{1.0, 0.5}}) },
+		func() { o.InsertSphere(0, overlay.Entry{Key: []float64{0.1, 0.1}, Radius: -1}) },
+		func() { o.SearchSphere(0, []float64{0.1, 0.1}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Every z-block box must contain exactly the keys whose z-values fall in
+// the block — spot-check the decode against the encode.
+func TestBlockBoxConsistentWithZOf(t *testing.T) {
+	o := build(t, 10, 2, 23)
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 200; trial++ {
+		key := randKey(rng, 2)
+		z := o.zOf(key)
+		id := o.ownerOfZ(z)
+		zlo, zhi := o.arcOf(id)
+		inSome := false
+		o.curve.ArcBlocks(zlo, zhi, func(z0 uint64, free uint) bool {
+			lo, hi := o.curve.BlockBox(z0, free)
+			if z >= z0 && z < z0+(uint64(1)<<free) {
+				if zorder.BoxDist(key, lo, hi) != 0 {
+					t.Fatalf("key %v (z=%d) not inside its own block box [%v,%v)", key, z, lo, hi)
+				}
+				inSome = true
+				return true
+			}
+			return false
+		})
+		if !inSome {
+			t.Fatalf("z=%d not covered by its owner's arc blocks", z)
+		}
+	}
+}
+
+func TestHighDimensionCoarseResolution(t *testing.T) {
+	// dim 16 -> 3 bits per dim; still correct, just more replication.
+	o := build(t, 10, 16, 29)
+	rng := rand.New(rand.NewSource(30))
+	key := randKey(rng, 16)
+	o.InsertSphere(0, overlay.Entry{Key: key, Radius: 0.05, Payload: "hi"})
+	res, _ := o.SearchSphere(3, key, 0.01)
+	if len(res) != 1 {
+		t.Fatalf("high-dim search returned %d results", len(res))
+	}
+}
+
+func TestDistHelper(t *testing.T) {
+	if d := dist([]float64{0, 0}, []float64{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("dist = %v", d)
+	}
+}
+
+func BenchmarkRingInsertSphere(b *testing.B) {
+	o, err := Build(Config{Nodes: 100, Dim: 2, Rng: rand.New(rand.NewSource(1))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.InsertSphere(rng.Intn(100), overlay.Entry{Key: randKey(rng, 2), Radius: 0.05})
+	}
+}

@@ -1,0 +1,146 @@
+// Package sim provides the discrete-event simulation engine underneath the
+// peer-to-peer experiments. The paper (§5.2) describes its testbed as "a
+// scheduler class and an event queue: every message generated in the network
+// is sent to the event queue; periodically, parallel execution is simulated
+// by emptying the queue" — this package is that scheduler.
+//
+// Time is a dimensionless float64 (interpreted as seconds by the experiment
+// harness). Events scheduled for the same instant fire in submission order,
+// which keeps runs fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Engine is a deterministic discrete-event scheduler.
+// The zero value is ready to use.
+type Engine struct {
+	now       float64
+	seq       uint64
+	queue     eventHeap
+	processed int
+}
+
+type event struct {
+	at  float64
+	seq uint64 // tie-break: FIFO among same-time events
+	do  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int { return e.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues do to run delay time units after the current time.
+// A negative delay panics: the simulation cannot travel into the past.
+func (e *Engine) Schedule(delay float64, do func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, do: do})
+}
+
+// At enqueues do to run at absolute time t (>= Now).
+func (e *Engine) At(t float64, do func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: time %v is in the past (now %v)", t, e.now))
+	}
+	e.Schedule(t-e.now, do)
+}
+
+// Step executes the earliest pending event, advancing the clock to it.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.at
+	e.processed++
+	ev.do()
+	return true
+}
+
+// Run drains the queue (including events scheduled by events) and returns
+// the number of events executed by this call.
+func (e *Engine) Run() int {
+	start := e.processed
+	for e.Step() {
+	}
+	return e.processed - start
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. It returns the number of events executed by this call.
+func (e *Engine) RunUntil(t float64) int {
+	start := e.processed
+	for len(e.queue) > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return e.processed - start
+}
+
+// Counters is a set of named monotonically accumulating metrics
+// (hops, messages, bytes, joules, …) shared by the simulation layers.
+// The zero value is ready to use.
+type Counters struct {
+	vals map[string]float64
+}
+
+// Add accumulates delta into the named counter.
+func (c *Counters) Add(name string, delta float64) {
+	if c.vals == nil {
+		c.vals = make(map[string]float64)
+	}
+	c.vals[name] += delta
+}
+
+// Get returns the current value of the named counter (zero if never added).
+func (c *Counters) Get(name string) float64 { return c.vals[name] }
+
+// Reset clears every counter.
+func (c *Counters) Reset() { c.vals = nil }
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for n := range c.vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}

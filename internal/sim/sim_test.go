@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("execution order %v", got)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(got) {
+		t.Errorf("same-time events not FIFO: %v", got)
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(1, func() {
+		e.Schedule(1, func() { fired = true })
+	})
+	e.Run()
+	if !fired {
+		t.Error("nested event did not fire")
+	}
+	if e.Now() != 2 {
+		t.Errorf("Now = %v, want 2", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var got []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	n := e.RunUntil(2.5)
+	if n != 2 {
+		t.Errorf("RunUntil executed %d, want 2", n)
+	}
+	if e.Now() != 2.5 {
+		t.Errorf("Now = %v, want 2.5", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Errorf("total events %d, want 4", len(got))
+	}
+}
+
+func TestAt(t *testing.T) {
+	var e Engine
+	var at float64
+	e.At(5, func() { at = e.Now() })
+	e.Run()
+	if at != 5 {
+		t.Errorf("event ran at %v, want 5", at)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var e Engine
+	e.Schedule(-1, func() {})
+}
+
+func TestAtPastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(2, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+	if e.Processed() != 0 {
+		t.Error("nothing should have been processed")
+	}
+}
+
+// Property: for any batch of random delays, events fire in nondecreasing
+// time order and the clock ends at the max delay.
+func TestPropEventOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		n := 1 + rng.Intn(50)
+		var fired []float64
+		maxDelay := 0.0
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 100
+			if d > maxDelay {
+				maxDelay = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return e.Now() == maxDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	if c.Get("hops") != 0 {
+		t.Error("unset counter should be zero")
+	}
+	c.Add("hops", 3)
+	c.Add("hops", 2)
+	c.Add("bytes", 100)
+	if c.Get("hops") != 5 {
+		t.Errorf("hops = %v, want 5", c.Get("hops"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "bytes" || names[1] != "hops" {
+		t.Errorf("Names = %v", names)
+	}
+	snap := c.Snapshot()
+	c.Add("hops", 1)
+	if snap["hops"] != 5 {
+		t.Error("Snapshot should be a copy")
+	}
+	c.Reset()
+	if c.Get("hops") != 0 {
+		t.Error("Reset should clear counters")
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%17), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,162 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperm/internal/vec"
+)
+
+func TestD4FilterProperties(t *testing.T) {
+	// Orthonormality: ||h|| = ||g|| = 1 and <h,g> = 0.
+	var hh, gg, hg float64
+	for k := 0; k < 4; k++ {
+		hh += d4Lo[k] * d4Lo[k]
+		gg += d4Hi[k] * d4Hi[k]
+		hg += d4Lo[k] * d4Hi[k]
+	}
+	if math.Abs(hh-1) > 1e-12 || math.Abs(gg-1) > 1e-12 {
+		t.Errorf("filter norms: |h|^2=%v |g|^2=%v, want 1", hh, gg)
+	}
+	if math.Abs(hg) > 1e-12 {
+		t.Errorf("<h,g> = %v, want 0", hg)
+	}
+	// Vanishing moments of g: sum g_k = 0 (0th) and sum k*g_k = 0 (1st).
+	var m0, m1 float64
+	for k := 0; k < 4; k++ {
+		m0 += d4Hi[k]
+		m1 += float64(k) * d4Hi[k]
+	}
+	if math.Abs(m0) > 1e-12 || math.Abs(m1) > 1e-12 {
+		t.Errorf("vanishing moments violated: m0=%v m1=%v", m0, m1)
+	}
+	// Low-pass DC gain: sum h_k = sqrt(2).
+	var dc float64
+	for k := 0; k < 4; k++ {
+		dc += d4Lo[k]
+	}
+	if math.Abs(dc-math.Sqrt2) > 1e-12 {
+		t.Errorf("DC gain %v, want sqrt(2)", dc)
+	}
+}
+
+func TestD4RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{2, 4, 8, 64, 512} {
+		x := randVecT(rng, d)
+		got := Decompose(x, Daubechies4).Reconstruct()
+		if !vec.ApproxEqual(x, got, 1e-9) {
+			t.Errorf("d=%d: D4 round trip failed", d)
+		}
+	}
+}
+
+func TestD4Parseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randVecT(rng, 128)
+	dec := Decompose(x, Daubechies4)
+	var coeffNorm2 float64
+	for s := 0; s < dec.NumSubspaces(); s++ {
+		coeffNorm2 += vec.Norm2(dec.Subspace(s))
+	}
+	if math.Abs(coeffNorm2-vec.Norm2(x)) > 1e-9 {
+		t.Errorf("D4 Parseval violated: %v vs %v", coeffNorm2, vec.Norm2(x))
+	}
+}
+
+// Distance preservation (the orthonormal analogue of the weighted Parseval
+// identity): coefficient-space distance equals original distance.
+func TestPropD4DistancePreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 << (1 + rng.Intn(7))
+		x, y := randVecT(rng, d), randVecT(rng, d)
+		dx, dy := Decompose(x, Daubechies4), Decompose(y, Daubechies4)
+		got := Dist2(dx, dy) // weights are all 1 for D4
+		want := vec.Dist2(x, y)
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Two vanishing moments: a constant signal has zero detail energy at every
+// level (the wrap-around cannot break a constant).
+func TestD4ConstantSignalZeroDetails(t *testing.T) {
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = 7.5
+	}
+	dec := Decompose(x, Daubechies4)
+	for l, det := range dec.Details {
+		for _, v := range det {
+			if math.Abs(v) > 1e-9 {
+				t.Fatalf("detail level %d has nonzero coefficient %v for constant signal", l, v)
+			}
+		}
+	}
+}
+
+// For a smooth (linear) signal, D4's first-level detail energy is far below
+// Haar's away from the periodic seam — the energy-compaction advantage.
+func TestD4CompactsLinearSignalBetterThanHaar(t *testing.T) {
+	d := 64
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	finest := len(Decompose(x, Daubechies4).Details) - 1
+	d4det := Decompose(x, Daubechies4).Details[finest]
+	haardet := Decompose(x, Orthonormal).Details[finest]
+	// Compare interior coefficients (exclude the two seam-affected ones).
+	var d4e, haare float64
+	for i := 1; i < len(d4det)-2; i++ {
+		d4e += d4det[i] * d4det[i]
+		haare += haardet[i] * haardet[i]
+	}
+	if d4e > haare*1e-6 {
+		t.Errorf("D4 interior detail energy %v should be ~0 vs Haar %v on a linear ramp", d4e, haare)
+	}
+}
+
+// The radius bound used by the query layer must hold for D4: subspace
+// distances never exceed the original distance (orthonormal projection is a
+// contraction).
+func TestPropD4RadiusBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 << (2 + rng.Intn(6))
+		x, y := randVecT(rng, d), randVecT(rng, d)
+		r := vec.Dist(x, y)
+		dx, dy := Decompose(x, Daubechies4), Decompose(y, Daubechies4)
+		for s := 0; s < dx.NumSubspaces(); s++ {
+			bound := r * RadiusScale(Daubechies4, d, SubspaceDim(s))
+			if vec.Dist(dx.Subspace(s), dy.Subspace(s)) > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestD4ConventionString(t *testing.T) {
+	if Daubechies4.String() != "daubechies4" {
+		t.Errorf("String = %q", Daubechies4.String())
+	}
+}
+
+func BenchmarkD4Decompose512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randVecT(rng, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Decompose(x, Daubechies4)
+	}
+}

@@ -1,0 +1,115 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hyperm/internal/vec"
+)
+
+// Theorem 4.1 (the no-false-dismissal bound): if a point x is within the
+// scaled threshold R*sqrt(m/d) of a query q in EVERY subspace, then x is
+// within R*sqrt(log2(d)+1) of q in the original space. This is the bound
+// Hyper-M's min-score range pruning rests on.
+func TestPropTheorem41(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 << (2 + rng.Intn(6)) // 4..128
+		x, q := randVecT(rng, d), randVecT(rng, d)
+		dx, dq := Decompose(x, Averaging), Decompose(q, Averaging)
+
+		// Find the smallest R that satisfies every subspace threshold.
+		R := 0.0
+		for s := 0; s < dx.NumSubspaces(); s++ {
+			m := SubspaceDim(s)
+			distS := vec.Dist(dx.Subspace(s), dq.Subspace(s))
+			// threshold: distS <= R * sqrt(m/d)  =>  R >= distS*sqrt(d/m)
+			if need := distS * math.Sqrt(float64(d)/float64(m)); need > R {
+				R = need
+			}
+		}
+		// Theorem: the original distance is at most R*sqrt(log2(d)+1).
+		bound := R * math.Sqrt(float64(Log2(d))+1)
+		return vec.Dist(x, q) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The worked d=4 example from the paper's proof of Theorem 4.1: summing the
+// three per-subspace conditions gives dist^2 < 3R^2 = (log2(4)+1) R^2.
+func TestTheorem41WorkedExample(t *testing.T) {
+	x := []float64{1.0, 2.0, 3.0, 4.0}
+	q := []float64{1.1, 1.8, 3.2, 4.3}
+	dx, dq := Decompose(x, Averaging), Decompose(q, Averaging)
+	// Per-subspace distances with weights 4,4,2 reconstruct the squared
+	// distance exactly (weighted Parseval).
+	var viaCoeffs float64
+	for s, w := range []float64{4, 4, 2} {
+		viaCoeffs += w * vec.Dist2(dx.Subspace(s), dq.Subspace(s))
+	}
+	if math.Abs(viaCoeffs-vec.Dist2(x, q)) > 1e-12 {
+		t.Fatalf("weighted sum %v != true squared distance %v", viaCoeffs, vec.Dist2(x, q))
+	}
+	// If every subspace satisfies dist_s <= R*sqrt(m/4), the weighted sum
+	// is at most R^2 * (1 + 1 + 1) = 3R^2 (one unit per subspace).
+	R := 0.0
+	for s := 0; s < 3; s++ {
+		m := SubspaceDim(s)
+		if need := vec.Dist(dx.Subspace(s), dq.Subspace(s)) * math.Sqrt(4/float64(m)); need > R {
+			R = need
+		}
+	}
+	if vec.Dist(x, q) > R*math.Sqrt(3)+1e-12 {
+		t.Fatalf("d=4 bound violated: dist %v > %v", vec.Dist(x, q), R*math.Sqrt(3))
+	}
+}
+
+// The Theorem 4.1 bound is tight up to the sqrt(log d + 1) factor: there
+// exist points meeting every subspace threshold at distance R in each,
+// whose original distance is exactly R*sqrt(log d + 1)... the worst case
+// concentrates equal energy in every subspace. Construct it.
+func TestTheorem41WorstCaseEnergySplit(t *testing.T) {
+	d := 8
+	levels := Log2(d) + 1 // 4 subspaces
+	// Build a decomposition with unit weighted energy in every subspace:
+	// coefficient norm in subspace s must be sqrt(m/d) (then weight d/m
+	// gives 1 per subspace).
+	dec := &Decomposition{Dim: d, Conv: Averaging,
+		Approx:  []float64{math.Sqrt(1.0 / float64(d))},
+		Details: make([][]float64, Log2(d)),
+	}
+	for l := 0; l < Log2(d); l++ {
+		m := 1 << l
+		dec.Details[l] = make([]float64, m)
+		dec.Details[l][0] = math.Sqrt(float64(m) / float64(d))
+	}
+	x := dec.Reconstruct()
+	origin := make([]float64, d)
+	do := Decompose(origin, Averaging)
+	dx := Decompose(x, Averaging)
+	// Every subspace distance equals its threshold at R=1.
+	for s := 0; s < levels; s++ {
+		m := SubspaceDim(s)
+		got := vec.Dist(dx.Subspace(s), do.Subspace(s))
+		want := math.Sqrt(float64(m) / float64(d))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("subspace %d: distance %v, want %v", s, got, want)
+		}
+	}
+	// Original distance is exactly sqrt(levels) * R.
+	if got, want := vec.Dist(x, origin), math.Sqrt(float64(levels)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("worst case distance %v, want %v", got, want)
+	}
+}
+
+func randVecT(rng *rand.Rand, d int) []float64 {
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * 3
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+// Package zorder implements the Morton (z-order) space-filling curve
+// machinery shared by the one-dimensional overlays (hyperm/internal/ring and
+// hyperm/internal/baton): interleaving multi-dimensional keys into integer
+// z-values, decomposing a contiguous z-range into maximal aligned blocks,
+// and decoding a block back into the axis-aligned box it covers. Those three
+// operations are what let a 1-d overlay answer multi-dimensional sphere
+// inserts and searches exactly.
+package zorder
+
+import (
+	"fmt"
+	"math"
+)
+
+// Curve is a fixed-resolution z-order curve over [0,1)^Dim.
+type Curve struct {
+	dim     int
+	bitsPer int
+	total   uint
+}
+
+// NewCurve picks a per-dimension resolution that keeps the total z-value
+// within 48 bits (bitsPer = clamp(48/dim, 1, 16)).
+func NewCurve(dim int) (Curve, error) {
+	if dim < 1 {
+		return Curve{}, fmt.Errorf("zorder: dimension must be >= 1, got %d", dim)
+	}
+	bitsPer := 48 / dim
+	if bitsPer > 16 {
+		bitsPer = 16
+	}
+	if bitsPer < 1 {
+		bitsPer = 1
+	}
+	return Curve{dim: dim, bitsPer: bitsPer, total: uint(bitsPer * dim)}, nil
+}
+
+// Dim returns the curve's dimensionality.
+func (c Curve) Dim() int { return c.dim }
+
+// TotalBits returns the number of bits in a z-value.
+func (c Curve) TotalBits() uint { return c.total }
+
+// Space returns the number of cells, 2^TotalBits.
+func (c Curve) Space() uint64 { return uint64(1) << c.total }
+
+// Z interleaves a key in [0,1)^dim into its integer z-value.
+func (c Curve) Z(key []float64) uint64 {
+	if len(key) != c.dim {
+		panic(fmt.Sprintf("zorder: key dimension %d, curve dimension %d", len(key), c.dim))
+	}
+	cells := make([]uint64, c.dim)
+	scale := float64(uint64(1) << uint(c.bitsPer))
+	for i, v := range key {
+		cell := uint64(v * scale)
+		if cell >= uint64(1)<<uint(c.bitsPer) {
+			cell = uint64(1)<<uint(c.bitsPer) - 1
+		}
+		cells[i] = cell
+	}
+	var z uint64
+	// Bit t of the z-value (t=0 most significant) takes bit
+	// (bitsPer-1 - t/dim) of dimension t%dim.
+	for t := uint(0); t < c.total; t++ {
+		dim := int(t) % c.dim
+		bitIdx := uint(c.bitsPer-1) - t/uint(c.dim)
+		bit := (cells[dim] >> bitIdx) & 1
+		z |= bit << (c.total - 1 - t)
+	}
+	return z
+}
+
+// BlockBox decodes the aligned z-block [z0, z0+2^free) into its per-dim
+// half-open intervals in [0,1)^dim.
+func (c Curve) BlockBox(z0 uint64, free uint) (lo, hi []float64) {
+	lo = make([]float64, c.dim)
+	hi = make([]float64, c.dim)
+	fixed := c.total - free
+	vals := make([]uint64, c.dim)
+	freeBits := make([]uint, c.dim)
+	for t := uint(0); t < c.total; t++ {
+		dim := int(t) % c.dim
+		if t < fixed {
+			bit := (z0 >> (c.total - 1 - t)) & 1
+			vals[dim] = vals[dim]<<1 | bit
+		} else {
+			freeBits[dim]++
+		}
+	}
+	scale := math.Ldexp(1, -c.bitsPer) // 1/2^bitsPer
+	for d := 0; d < c.dim; d++ {
+		lo[d] = float64(vals[d]<<freeBits[d]) * scale
+		hi[d] = float64((vals[d]+1)<<freeBits[d]) * scale
+	}
+	return lo, hi
+}
+
+// ArcBlocks decomposes the integer arc [zlo, zhi) into maximal aligned
+// blocks, invoking fn with each block's start and free-bit count. Returning
+// true from fn stops the walk early.
+func (c Curve) ArcBlocks(zlo, zhi uint64, fn func(z0 uint64, free uint) bool) {
+	v := zlo
+	for v < zhi {
+		free := uint(0)
+		for free < c.total {
+			size := uint64(1) << (free + 1)
+			if v%size != 0 || v+size > zhi {
+				break
+			}
+			free++
+		}
+		if fn(v, free) {
+			return
+		}
+		v += uint64(1) << free
+	}
+}
+
+// ArcTouchesSphere reports whether any cell of the z-arc [zlo, zhi) maps to
+// a box within radius of key (plain Euclidean, no wrap).
+func (c Curve) ArcTouchesSphere(zlo, zhi uint64, key []float64, radius float64) bool {
+	touched := false
+	c.ArcBlocks(zlo, zhi, func(z0 uint64, free uint) bool {
+		lo, hi := c.BlockBox(z0, free)
+		if BoxDist(key, lo, hi) <= radius {
+			touched = true
+			return true
+		}
+		return false
+	})
+	return touched
+}
+
+// BoxDist is the Euclidean distance from point p to the axis-aligned box
+// [lo, hi) (zero if p is inside).
+func BoxDist(p, lo, hi []float64) float64 {
+	var s float64
+	for i := range p {
+		var d float64
+		switch {
+		case p[i] < lo[i]:
+			d = lo[i] - p[i]
+		case p[i] >= hi[i]:
+			d = p[i] - hi[i]
+		}
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,170 @@
+package zorder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurve(t *testing.T) {
+	if _, err := NewCurve(0); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	for _, tc := range []struct {
+		dim, wantBitsPer int
+	}{{1, 16}, {2, 16}, {3, 16}, {4, 12}, {8, 6}, {16, 3}, {48, 1}, {100, 1}} {
+		c, err := NewCurve(tc.dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.bitsPer != tc.wantBitsPer {
+			t.Errorf("dim %d: bitsPer = %d, want %d", tc.dim, c.bitsPer, tc.wantBitsPer)
+		}
+		if c.TotalBits() != uint(tc.wantBitsPer*tc.dim) {
+			t.Errorf("dim %d: total bits %d", tc.dim, c.TotalBits())
+		}
+	}
+}
+
+func TestZRange(t *testing.T) {
+	c, _ := NewCurve(2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		key := []float64{rng.Float64(), rng.Float64()}
+		z := c.Z(key)
+		if z >= c.Space() {
+			t.Fatalf("z value %d out of space %d", z, c.Space())
+		}
+	}
+}
+
+func TestZDimMismatchPanics(t *testing.T) {
+	c, _ := NewCurve(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Z([]float64{0.5})
+}
+
+// Property: a key always lies inside the box of any aligned block containing
+// its z-value.
+func TestPropBlockBoxContainsKey(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(6)
+		c, err := NewCurve(dim)
+		if err != nil {
+			return false
+		}
+		key := make([]float64, dim)
+		for i := range key {
+			key[i] = rng.Float64()
+		}
+		z := c.Z(key)
+		// A random aligned block containing z.
+		free := uint(rng.Intn(int(c.TotalBits()) + 1))
+		z0 := z &^ (uint64(1)<<free - 1)
+		lo, hi := c.BlockBox(z0, free)
+		return BoxDist(key, lo, hi) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ArcBlocks tiles the arc exactly — blocks are disjoint, aligned,
+// and their union is [zlo, zhi).
+func TestPropArcBlocksTile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := NewCurve(3)
+		space := c.Space()
+		a, b := rng.Uint64()%space, rng.Uint64()%space
+		if a > b {
+			a, b = b, a
+		}
+		expected := a
+		ok := true
+		c.ArcBlocks(a, b, func(z0 uint64, free uint) bool {
+			size := uint64(1) << free
+			if z0 != expected || z0%size != 0 || z0+size > b {
+				ok = false
+				return true
+			}
+			expected = z0 + size
+			return false
+		})
+		return ok && expected == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: block volumes sum to the arc's share of the space.
+func TestArcBlocksVolume(t *testing.T) {
+	c, _ := NewCurve(2)
+	space := c.Space()
+	a, b := space/7, space/2+space/5
+	var vol float64
+	c.ArcBlocks(a, b, func(z0 uint64, free uint) bool {
+		lo, hi := c.BlockBox(z0, free)
+		v := 1.0
+		for i := range lo {
+			v *= hi[i] - lo[i]
+		}
+		vol += v
+		return false
+	})
+	want := float64(b-a) / float64(space)
+	if math.Abs(vol-want) > 1e-12 {
+		t.Errorf("block volume %v, want %v", vol, want)
+	}
+}
+
+func TestBoxDist(t *testing.T) {
+	lo, hi := []float64{0.2, 0.2}, []float64{0.4, 0.4}
+	if d := BoxDist([]float64{0.3, 0.3}, lo, hi); d != 0 {
+		t.Errorf("inside point dist %v", d)
+	}
+	if d := BoxDist([]float64{0.5, 0.3}, lo, hi); math.Abs(d-0.1) > 1e-12 {
+		t.Errorf("side dist %v, want 0.1", d)
+	}
+	if d := BoxDist([]float64{0.5, 0.5}, lo, hi); math.Abs(d-0.1*math.Sqrt2) > 1e-12 {
+		t.Errorf("corner dist %v", d)
+	}
+}
+
+// ArcTouchesSphere agrees with an exhaustive per-cell check at a coarse
+// resolution.
+func TestArcTouchesSphereExhaustive(t *testing.T) {
+	c, _ := NewCurve(8) // 6 bits per dim would be 48 total; dim 8 -> 6 bits... keep small arcs
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		a := rng.Uint64() % c.Space()
+		b := a + uint64(rng.Intn(2000))
+		if b > c.Space() {
+			b = c.Space()
+		}
+		key := make([]float64, 8)
+		for i := range key {
+			key[i] = rng.Float64()
+		}
+		radius := rng.Float64() * 0.4
+		got := c.ArcTouchesSphere(a, b, key, radius)
+		want := false
+		for z := a; z < b; z++ {
+			lo, hi := c.BlockBox(z, 0)
+			if BoxDist(key, lo, hi) <= radius {
+				want = true
+				break
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: ArcTouchesSphere = %v, exhaustive = %v", trial, got, want)
+		}
+	}
+}
