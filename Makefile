@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the tier-1 gate (format, vet,
+# build, test); `make race` runs the concurrency-sensitive packages under the
+# race detector. See README.md "Development".
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench fuzz
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages that use or implement the worker pool, under -race.
+race:
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short fuzz session for the wavelet round-trip invariant.
+fuzz:
+	$(GO) test -fuzz=FuzzDecomposeReconstruct -fuzztime=30s ./internal/wavelet

@@ -31,10 +31,12 @@ func main() {
 	runID := flag.String("run", "all", "experiment id to run (see -list), or 'all'")
 	scale := flag.String("scale", "default", "workload scale: 'default' or 'paper'")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 0, "worker parallelism: 0 = all cores, 1 = serial (results are identical either way)")
+	out := flag.String("out", "", "for -run publish: also write the rows to this path as JSON (e.g. BENCH_publish.json)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
-	exps := registry(*seed)
+	exps := registry(*seed, *parallel, *out)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-12s %s\n", e.id, e.desc)
@@ -66,13 +68,14 @@ func main() {
 	}
 }
 
-func registry(seed int64) []experiment {
+func registry(seed int64, parallelism int, out string) []experiment {
 	params := func(scale string) experiments.Params {
 		p := experiments.DefaultParams()
 		if scale == "paper" {
 			p = experiments.PaperScale()
 		}
 		p.Seed = seed
+		p.Parallelism = parallelism
 		return p
 	}
 	eff := func(scale string) experiments.EffectivenessParams {
@@ -81,6 +84,7 @@ func registry(seed int64) []experiment {
 			p = experiments.PaperEffectiveness()
 		}
 		p.Seed = seed
+		p.Parallelism = parallelism
 		return p
 	}
 	return []experiment{
@@ -149,6 +153,20 @@ func registry(seed int64) []experiment {
 		{"scale", "cost scaling with network size (extension)", func(s string) (string, error) {
 			rows, err := experiments.ExtScale(params(s), nil)
 			return experiments.RenderScale(rows), err
+		}},
+		{"publish", "publication throughput: PublishAll wall-clock, serial vs -parallel", func(s string) (string, error) {
+			// Serial baseline first, then the requested parallelism, so the
+			// speedup column is meaningful even with -parallel left at 0.
+			rows, err := experiments.PublishBench(params(s), []int{1, parallelism})
+			if err != nil {
+				return "", err
+			}
+			if out != "" {
+				if err := experiments.WritePublishBenchJSON(out, rows); err != nil {
+					return "", err
+				}
+			}
+			return experiments.RenderPublishBench(rows), nil
 		}},
 	}
 }

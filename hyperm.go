@@ -111,6 +111,12 @@ type Options struct {
 	Wavelet Wavelet
 	// Seed drives every random choice; equal seeds give identical networks.
 	Seed int64
+	// Parallelism bounds the worker goroutines used for the per-peer
+	// publication math (wavelet decomposition and clustering). 0 uses all
+	// cores, 1 forces serial execution. The published network is
+	// byte-identical for every setting — parallelism changes wall-clock
+	// time only, never results.
+	Parallelism int
 }
 
 // Network is a simulated Hyper-M deployment.
@@ -215,6 +221,7 @@ func New(opts Options) (*Network, error) {
 		Convention:      opts.Wavelet,
 		Factory:         factory,
 		Rng:             rand.New(rand.NewSource(opts.Seed + 1)),
+		Parallelism:     opts.Parallelism,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hyperm: %w", err)

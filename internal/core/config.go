@@ -72,7 +72,19 @@ type Config struct {
 	// Factory builds each level's overlay. Required.
 	Factory OverlayFactory
 	// Rng drives clustering and any stochastic tie-breaks. Required.
+	//
+	// The system never hands Rng to worker goroutines: parallel publication
+	// draws one clustering seed per peer from it serially (in peer order)
+	// and gives each peer a private rand.Rand derived from that seed, so
+	// results are identical for every Parallelism setting.
 	Rng *rand.Rand
+	// Parallelism bounds the worker goroutines used for the embarrassingly
+	// parallel per-peer math — wavelet decomposition and per-subspace
+	// k-means during DeriveBounds/PublishAll. 0 (the default) uses
+	// GOMAXPROCS; 1 forces fully serial execution. Overlay mutation is
+	// always serialized, so every setting produces byte-identical systems
+	// (see DESIGN.md "Concurrency model").
+	Parallelism int
 }
 
 func (c Config) validate() error {
@@ -97,6 +109,9 @@ func (c Config) validate() error {
 	}
 	if c.Rng == nil {
 		return fmt.Errorf("core: Rng is required")
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	return nil
 }

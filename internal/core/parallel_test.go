@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperm/internal/dataset"
+)
+
+// buildSystem constructs an unpublished system over a fixed ALOI-substitute
+// corpus with the given parallelism. Everything else (data, overlay seeds,
+// clustering seeds) depends only on seed, so two calls with different
+// parallelism must yield byte-identical systems after publication.
+func buildSystem(t *testing.T, seed int64, parallelism int) (*System, [][]float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data, _ := dataset.ALOI(dataset.ALOIConfig{Objects: 24, Views: 6, Bins: 32}, rng)
+	sys, err := NewSystem(Config{
+		Peers:           8,
+		Dim:             32,
+		Levels:          4,
+		ClustersPerPeer: 4,
+		Factory:         canFactory(seed),
+		Rng:             rand.New(rand.NewSource(seed + 1)),
+		Parallelism:     parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range data {
+		sys.AddPeerData(i%8, []int{i}, [][]float64{x})
+	}
+	return sys, data
+}
+
+// The tentpole determinism guarantee: Prepare/PublishAll with Parallelism 1
+// and Parallelism 8 must produce identical bounds, summaries, hop counts,
+// and query results — for several seeds, so the equality is not a
+// coincidence of one RNG stream.
+func TestPublishSerialParallelIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			serial, data := buildSystem(t, seed, 1)
+			par, _ := buildSystem(t, seed, 8)
+
+			serial.DeriveBounds()
+			par.DeriveBounds()
+			if !reflect.DeepEqual(serial.bounds, par.bounds) {
+				t.Fatalf("DeriveBounds diverged:\nserial %v\nparallel %v", serial.bounds, par.bounds)
+			}
+
+			stS := serial.PublishAll()
+			stP := par.PublishAll()
+			if !reflect.DeepEqual(stS, stP) {
+				t.Fatalf("PublishAll stats diverged:\nserial %+v\nparallel %+v", stS, stP)
+			}
+
+			for p := 0; p < 8; p++ {
+				for l := 0; l < 4; l++ {
+					cs, cp := serial.PublishedClusters(p, l), par.PublishedClusters(p, l)
+					if !reflect.DeepEqual(cs, cp) {
+						t.Fatalf("peer %d level %d summaries diverged:\nserial %v\nparallel %v", p, l, cs, cp)
+					}
+				}
+			}
+
+			qrng := rand.New(rand.NewSource(seed + 2))
+			for trial := 0; trial < 10; trial++ {
+				q := data[qrng.Intn(len(data))]
+				eps := 0.02 + qrng.Float64()*0.1
+				rs := serial.RangeQuery(0, q, eps, RangeOptions{})
+				rp := par.RangeQuery(0, q, eps, RangeOptions{})
+				if !reflect.DeepEqual(rs, rp) {
+					t.Fatalf("trial %d: range results diverged:\nserial %+v\nparallel %+v", trial, rs, rp)
+				}
+				ks := serial.KNNQuery(0, q, 8, KNNOptions{})
+				kp := par.KNNQuery(0, q, 8, KNNOptions{})
+				if !reflect.DeepEqual(ks, kp) {
+					t.Fatalf("trial %d: knn results diverged:\nserial %+v\nparallel %+v", trial, ks, kp)
+				}
+			}
+		})
+	}
+}
+
+// Publishing peers one at a time must be exactly equivalent to PublishAll:
+// the per-peer clustering seeds come from the same serial draw order.
+func TestPublishPeerByPeerMatchesPublishAll(t *testing.T) {
+	const seed = 7
+	all, _ := buildSystem(t, seed, 0)
+	oneByOne, _ := buildSystem(t, seed, 4)
+	all.DeriveBounds()
+	oneByOne.DeriveBounds()
+
+	stAll := all.PublishAll()
+	sum := PublishStats{HopsPerLevel: make([]int, 4)}
+	for p := 0; p < 8; p++ {
+		st := oneByOne.PublishPeer(p)
+		sum.ClustersPublished += st.ClustersPublished
+		sum.Hops += st.Hops
+		for l, h := range st.HopsPerLevel {
+			sum.HopsPerLevel[l] += h
+		}
+	}
+	if !reflect.DeepEqual(stAll, sum) {
+		t.Fatalf("stats diverged:\nPublishAll %+v\nper-peer   %+v", stAll, sum)
+	}
+	for p := 0; p < 8; p++ {
+		for l := 0; l < 4; l++ {
+			if !reflect.DeepEqual(all.PublishedClusters(p, l), oneByOne.PublishedClusters(p, l)) {
+				t.Fatalf("peer %d level %d summaries diverged", p, l)
+			}
+		}
+	}
+}
+
+// Parallel publication must preserve the paper's retrieval guarantee, not
+// just internal equality: full-budget range queries keep recall 1.0.
+func TestParallelPublishKeepsNoFalseDismissals(t *testing.T) {
+	sys, data := buildSystem(t, 21, 8)
+	sys.DeriveBounds()
+	sys.PublishAll()
+	qrng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		q := data[qrng.Intn(len(data))]
+		res := sys.RangeQuery(0, q, 0.05, RangeOptions{})
+		found := false
+		for _, id := range res.Items {
+			if data[id] != nil {
+				found = true
+				break
+			}
+		}
+		if len(res.Items) == 0 || !found {
+			t.Fatalf("trial %d: parallel-published system lost items: %v", trial, res.Items)
+		}
+	}
+}
+
+// Config validation must reject a negative Parallelism.
+func TestNegativeParallelismRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	_, err := NewSystem(Config{Peers: 2, Dim: 8, Levels: 2, ClustersPerPeer: 1,
+		Factory: canFactory(1), Rng: rng, Parallelism: -1})
+	if err == nil {
+		t.Fatal("negative Parallelism accepted")
+	}
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 
 	"hyperm/internal/cluster"
 	"hyperm/internal/overlay"
+	"hyperm/internal/parallel"
 	"hyperm/internal/vec"
 	"hyperm/internal/wavelet"
 )
@@ -116,23 +119,50 @@ func (s *System) TotalItems() int {
 // domain (e.g. normalized color histograms); computing them from the
 // simulated corpus is equivalent and avoids key-space clamping.
 // Must be called after data is added and before publishing or querying.
+//
+// The per-peer reductions run on the Config.Parallelism worker pool: each
+// peer decomposes only its own items, and the min/max merge is
+// order-independent, so the result is identical for every worker count.
 func (s *System) DeriveBounds() {
-	s.bounds = make([]Bounds, s.cfg.Levels)
-	first := true
-	for _, ps := range s.peers {
-		for _, x := range ps.items {
+	newBounds := func() []Bounds {
+		b := make([]Bounds, s.cfg.Levels)
+		for l := range b {
+			b[l] = Bounds{Lo: math.Inf(1), Hi: math.Inf(-1)}
+		}
+		return b
+	}
+	parts, _ := parallel.Map(nil, s.cfg.Parallelism, len(s.peers), func(p int) ([]Bounds, error) {
+		pb := newBounds()
+		for _, x := range s.peers[p].items {
 			dec := wavelet.Decompose(x, s.cfg.Convention)
 			for l := 0; l < s.cfg.Levels; l++ {
 				for _, c := range dec.Subspace(l) {
-					if first || c < s.bounds[l].Lo {
-						s.bounds[l].Lo = c
+					if c < pb[l].Lo {
+						pb[l].Lo = c
 					}
-					if first || c > s.bounds[l].Hi {
-						s.bounds[l].Hi = c
+					if c > pb[l].Hi {
+						pb[l].Hi = c
 					}
 				}
 			}
-			first = false
+		}
+		return pb, nil
+	})
+	merged := newBounds()
+	for _, pb := range parts {
+		for l := range merged {
+			if pb[l].Lo < merged[l].Lo {
+				merged[l].Lo = pb[l].Lo
+			}
+			if pb[l].Hi > merged[l].Hi {
+				merged[l].Hi = pb[l].Hi
+			}
+		}
+	}
+	s.bounds = make([]Bounds, s.cfg.Levels)
+	for l, b := range merged {
+		if b.Lo <= b.Hi { // at least one coefficient seen at this level
+			s.bounds[l] = b
 		}
 	}
 	s.installBounds()
@@ -172,28 +202,51 @@ type PublishStats struct {
 	HopsPerLevel []int
 }
 
-// PublishPeer runs the paper's insertion pipeline (Fig 2) for one peer:
-// DWT-decompose its items (step i1), k-means each subspace independently
-// (step i2), and insert each cluster sphere into that level's overlay
-// (step i3). It returns the cost accounting.
-//
-// Publishing requires bounds (DeriveBounds or SetBounds) to be installed.
-func (s *System) PublishPeer(p int) PublishStats {
-	if s.mappers == nil {
-		panic("core: bounds not installed; call DeriveBounds or SetBounds first")
-	}
+// preparedPeer is the output of one peer's local pipeline steps — the DWT
+// decomposition (i1) and the per-subspace k-means (i2). It is pure data
+// computed without touching any shared structure, which is what makes the
+// preparation phase safe to fan out across workers.
+type preparedPeer struct {
+	// levels[l] holds the level-l cluster spheres, nil for an empty peer.
+	levels [][]cluster.Cluster
+}
+
+// clusterSeed draws the clustering seed for the next peer preparation from
+// the system RNG. Seeds are always drawn serially, in peer order, on the
+// caller's goroutine: the worker pool only ever sees the derived per-peer
+// rand.Rand, never Config.Rng itself.
+func (s *System) clusterSeed() int64 { return s.cfg.Rng.Int63() }
+
+// preparePeer runs steps i1+i2 for one peer with a private RNG. Safe to call
+// concurrently for distinct peers.
+func (s *System) preparePeer(p int, seed int64) preparedPeer {
 	ps := s.peers[p]
-	st := PublishStats{HopsPerLevel: make([]int, s.cfg.Levels)}
 	if len(ps.items) == 0 {
-		ps.published = make([][]ClusterRef, s.cfg.Levels)
-		return st
+		return preparedPeer{}
 	}
+	rng := rand.New(rand.NewSource(seed))
 	decs := wavelet.DecomposeAll(ps.items, s.cfg.Convention)
-	ps.published = make([][]ClusterRef, s.cfg.Levels)
+	prep := preparedPeer{levels: make([][]cluster.Cluster, s.cfg.Levels)}
 	for l := 0; l < s.cfg.Levels; l++ {
 		coeffs := wavelet.SubspaceMatrix(decs, l)
-		res := cluster.KMeans(coeffs, cluster.Config{K: s.cfg.ClustersPerPeer, Rng: s.cfg.Rng})
-		for idx, c := range res.Clusters {
+		res := cluster.KMeans(coeffs, cluster.Config{K: s.cfg.ClustersPerPeer, Rng: rng})
+		prep.levels[l] = res.Clusters
+	}
+	return prep
+}
+
+// commitPeer runs step i3 for one peer: announce the prepared cluster
+// spheres into the per-level overlays. The overlays are mutable
+// single-threaded structures, so commits always run serially in peer order.
+func (s *System) commitPeer(p int, prep preparedPeer) PublishStats {
+	ps := s.peers[p]
+	st := PublishStats{HopsPerLevel: make([]int, s.cfg.Levels)}
+	ps.published = make([][]ClusterRef, s.cfg.Levels)
+	if prep.levels == nil {
+		return st
+	}
+	for l, clusters := range prep.levels {
+		for idx, c := range clusters {
 			ref := ClusterRef{
 				Peer:   p,
 				Level:  l,
@@ -216,11 +269,44 @@ func (s *System) PublishPeer(p int) PublishStats {
 	return st
 }
 
+func (s *System) requireBounds() {
+	if s.mappers == nil {
+		panic("core: bounds not installed; call DeriveBounds or SetBounds first")
+	}
+}
+
+// PublishPeer runs the paper's insertion pipeline (Fig 2) for one peer:
+// DWT-decompose its items (step i1), k-means each subspace independently
+// (step i2), and insert each cluster sphere into that level's overlay
+// (step i3). It returns the cost accounting.
+//
+// Publishing requires bounds (DeriveBounds or SetBounds) to be installed.
+// Calling PublishPeer for every peer in order is exactly equivalent to one
+// PublishAll, at any Parallelism setting.
+func (s *System) PublishPeer(p int) PublishStats {
+	s.requireBounds()
+	return s.commitPeer(p, s.preparePeer(p, s.clusterSeed()))
+}
+
 // PublishAll publishes every peer and returns the summed statistics.
+//
+// The per-peer preparation (decomposition + clustering, the dominant cost)
+// fans out across the Config.Parallelism worker pool; per-peer clustering
+// seeds are drawn serially beforehand and overlay insertion runs serially
+// afterwards in peer order, so the published summaries, hop counts, and
+// overlay states are byte-identical to a fully serial run.
 func (s *System) PublishAll() PublishStats {
+	s.requireBounds()
+	seeds := make([]int64, len(s.peers))
+	for p := range seeds {
+		seeds[p] = s.clusterSeed()
+	}
+	preps, _ := parallel.Map(nil, s.cfg.Parallelism, len(s.peers), func(p int) (preparedPeer, error) {
+		return s.preparePeer(p, seeds[p]), nil
+	})
 	total := PublishStats{HopsPerLevel: make([]int, s.cfg.Levels)}
 	for p := range s.peers {
-		st := s.PublishPeer(p)
+		st := s.commitPeer(p, preps[p])
 		total.ClustersPublished += st.ClustersPublished
 		total.Hops += st.Hops
 		for l, h := range st.HopsPerLevel {

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hyperm/internal/parallel"
+)
+
+// PublishBenchRow is one measurement of the publication-throughput study:
+// the wall-clock cost of PublishAll — the per-peer decompose + cluster math
+// plus the serial overlay insertion — at one Parallelism setting. The rows
+// are what `hyperm-bench -run publish` renders and what -out writes as
+// BENCH_publish.json.
+type PublishBenchRow struct {
+	// Parallelism is the configured knob (0 = GOMAXPROCS).
+	Parallelism int `json:"parallelism"`
+	// Workers is the resolved worker count actually used.
+	Workers int `json:"workers"`
+	// Items is the corpus size published.
+	Items int `json:"items"`
+	// Clusters is the number of cluster summaries published.
+	Clusters int `json:"clusters"`
+	// Hops is the total overlay hop count — identical across rows by the
+	// determinism contract, and checked.
+	Hops int `json:"hops"`
+	// Seconds is the wall-clock PublishAll duration.
+	Seconds float64 `json:"seconds"`
+	// ItemsPerSecond is the resulting publication throughput.
+	ItemsPerSecond float64 `json:"items_per_second"`
+	// Speedup is Seconds(serial) / Seconds(this row); 1.0 for the serial row.
+	Speedup float64 `json:"speedup"`
+}
+
+// PublishBench measures PublishAll wall-clock time for each requested
+// parallelism setting on the §5.1 workload. Every setting publishes a fresh
+// system built from the same seeds, so the rows differ only in timing; the
+// hop counts must agree, and PublishBench fails loudly if they do not —
+// a cheap standing check of the determinism contract on real workloads.
+func PublishBench(p Params, parallelisms []int) ([]PublishBenchRow, error) {
+	if len(parallelisms) == 0 {
+		parallelisms = []int{1, 0} // serial baseline, then all cores
+	}
+	rows := make([]PublishBenchRow, 0, len(parallelisms))
+	for _, par := range parallelisms {
+		pp := p
+		pp.Parallelism = par
+		sys, err := BuildMarkovSystem(pp)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		st := sys.PublishAll()
+		elapsed := time.Since(start).Seconds()
+		items := sys.TotalItems()
+		row := PublishBenchRow{
+			Parallelism: par,
+			Workers:     parallel.Workers(par),
+			Items:       items,
+			Clusters:    st.ClustersPublished,
+			Hops:        st.Hops,
+			Seconds:     elapsed,
+		}
+		if elapsed > 0 {
+			row.ItemsPerSecond = float64(items) / elapsed
+		}
+		rows = append(rows, row)
+	}
+	for i := range rows {
+		if rows[i].Hops != rows[0].Hops || rows[i].Clusters != rows[0].Clusters {
+			return nil, fmt.Errorf("experiments: publish bench determinism violation: parallelism %d published %d clusters / %d hops, parallelism %d published %d / %d",
+				rows[0].Parallelism, rows[0].Clusters, rows[0].Hops,
+				rows[i].Parallelism, rows[i].Clusters, rows[i].Hops)
+		}
+		if rows[i].Seconds > 0 {
+			rows[i].Speedup = rows[0].Seconds / rows[i].Seconds
+		}
+	}
+	return rows, nil
+}
+
+// WritePublishBenchJSON writes the rows to path as indented JSON —
+// the BENCH_publish.json artifact.
+func WritePublishBenchJSON(path string, rows []PublishBenchRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderPublishBench formats the rows as the CLI table.
+func RenderPublishBench(rows []PublishBenchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Publication throughput — PublishAll wall-clock vs Parallelism\n")
+	fmt.Fprintf(&b, "%-12s %-9s %-8s %-10s %-8s %-10s %-12s %-9s\n",
+		"parallelism", "workers", "items", "clusters", "hops", "seconds", "items/s", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12d %-9d %-8d %-10d %-8d %-10.3f %-12.0f %-9.2f\n",
+			r.Parallelism, r.Workers, r.Items, r.Clusters, r.Hops, r.Seconds, r.ItemsPerSecond, r.Speedup)
+	}
+	return b.String()
+}

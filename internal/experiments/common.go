@@ -36,6 +36,13 @@ type Params struct {
 	ClustersPerPeer int
 	// Seed makes the run reproducible.
 	Seed int64
+	// Parallelism bounds the worker goroutines used to run independent
+	// simulation cells of a sweep concurrently, and is forwarded to
+	// core.Config.Parallelism for the per-peer publication math. 0 uses
+	// GOMAXPROCS; 1 restores fully serial execution. Results are identical
+	// for every setting: each cell builds its own System from its own seeds,
+	// and rows are merged in sweep order.
+	Parallelism int
 }
 
 // DefaultParams returns the scaled-down configuration used by tests and
@@ -67,6 +74,9 @@ type EffectivenessParams struct {
 	Queries int
 	// Seed makes the run reproducible.
 	Seed int64
+	// Parallelism bounds the worker goroutines for independent simulation
+	// cells and per-peer publication math, exactly as Params.Parallelism.
+	Parallelism int
 }
 
 // DefaultEffectiveness returns the scaled-down §6 configuration.
@@ -153,7 +163,17 @@ func newSystem(p Params, rng *rand.Rand) (*core.System, error) {
 		ClustersPerPeer: p.ClustersPerPeer,
 		Factory:         canFactory(p.Seed),
 		Rng:             rng,
+		Parallelism:     p.Parallelism,
 	})
+}
+
+// BuildMarkovSystem builds the §5.1 workload with bounds derived but nothing
+// published — the exact input state PublishAll consumes. Exported for the
+// publication-throughput benchmarks (bench_test.go, hyperm-bench -run publish),
+// which need to time PublishAll alone on a fresh system per iteration.
+func BuildMarkovSystem(p Params) (*core.System, error) {
+	sys, _, _, err := markovSystem(p)
+	return sys, err
 }
 
 func loadAssignment(sys *core.System, data [][]float64, asg dataset.Assignment) {

@@ -12,6 +12,7 @@ import (
 	"hyperm/internal/eval"
 	"hyperm/internal/manet"
 	"hyperm/internal/overlay"
+	"hyperm/internal/parallel"
 	"hyperm/internal/ring"
 	"hyperm/internal/sim"
 )
@@ -113,6 +114,7 @@ func ExtEnergy(p EnergyParams) ([]EnergyRow, error) {
 		ClustersPerPeer: p.ClustersPerPeer,
 		Factory:         factory,
 		Rng:             rand.New(rand.NewSource(p.Seed + 91)),
+		Parallelism:     p.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -215,8 +217,10 @@ func ExtOverlayIndependence(p EffectivenessParams) ([]OverlayIndepRow, error) {
 			})
 		}},
 	}
-	var rows []OverlayIndepRow
-	for _, fac := range factories {
+	// One cell per substrate: each regenerates its corpus from the same seed
+	// and builds its own overlays, so the cells run concurrently.
+	return parallel.Map(nil, p.Parallelism, len(factories), func(ci int) (OverlayIndepRow, error) {
+		fac := factories[ci]
 		rng := rand.New(rand.NewSource(p.Seed))
 		data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: p.Objects, Views: p.Views, Bins: p.Bins}, rng)
 		sys, err := core.NewSystem(core.Config{
@@ -226,9 +230,10 @@ func ExtOverlayIndependence(p EffectivenessParams) ([]OverlayIndepRow, error) {
 			ClustersPerPeer: p.ClustersPerPeer,
 			Factory:         fac.f,
 			Rng:             rng,
+			Parallelism:     p.Parallelism,
 		})
 		if err != nil {
-			return nil, err
+			return OverlayIndepRow{}, err
 		}
 		for i, x := range data {
 			sys.AddPeerData(labels[i]%p.Peers, []int{i}, [][]float64{x})
@@ -252,13 +257,12 @@ func ExtOverlayIndependence(p EffectivenessParams) ([]OverlayIndepRow, error) {
 			sumR += rec
 			nq++
 		}
-		rows = append(rows, OverlayIndepRow{
+		return OverlayIndepRow{
 			Overlay:        fac.name,
 			AvgHopsPerItem: safeDiv(st.Hops, sys.TotalItems()),
 			RecallAvg:      sumR / float64(nq),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AggRow compares score-aggregation policies (§3.2 ablation) under a fixed
@@ -280,8 +284,10 @@ func ExtAggregation(p EffectivenessParams) ([]AggRow, error) {
 	if budget < 1 {
 		budget = 1
 	}
-	var rows []AggRow
-	for _, agg := range []core.Aggregation{core.AggMin, core.AggSum, core.AggMean} {
+	policies := []core.Aggregation{core.AggMin, core.AggSum, core.AggMean}
+	// One independent cell per aggregation policy.
+	return parallel.Map(nil, p.Parallelism, len(policies), func(ci int) (AggRow, error) {
+		agg := policies[ci]
 		rng := rand.New(rand.NewSource(p.Seed))
 		data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: p.Objects, Views: p.Views, Bins: p.Bins}, rng)
 		sys, err := core.NewSystem(core.Config{
@@ -292,9 +298,10 @@ func ExtAggregation(p EffectivenessParams) ([]AggRow, error) {
 			Aggregation:     agg,
 			Factory:         canFactory(p.Seed + 10),
 			Rng:             rng,
+			Parallelism:     p.Parallelism,
 		})
 		if err != nil {
-			return nil, err
+			return AggRow{}, err
 		}
 		for i, x := range data {
 			sys.AddPeerData(labels[i]%p.Peers, []int{i}, [][]float64{x})
@@ -319,13 +326,12 @@ func ExtAggregation(p EffectivenessParams) ([]AggRow, error) {
 			sumC += float64(len(res.Scores))
 			nq++
 		}
-		rows = append(rows, AggRow{
+		return AggRow{
 			Policy:         agg.String(),
 			RecallAvg:      sumR / float64(nq),
 			PeersWithScore: sumC / float64(nq),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderEnergy formats the rows as the CLI table.

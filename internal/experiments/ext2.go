@@ -8,6 +8,7 @@ import (
 	"hyperm/internal/core"
 	"hyperm/internal/dataset"
 	"hyperm/internal/eval"
+	"hyperm/internal/parallel"
 	"hyperm/internal/wavelet"
 )
 
@@ -36,16 +37,19 @@ func ExtLevels(p EffectivenessParams, levelSweep []int) ([]LevelsRow, error) {
 	if budget < 1 {
 		budget = 1
 	}
-	var rows []LevelsRow
+	var valid []int
 	for _, levels := range levelSweep {
-		if levels > wavelet.NumSubspaces(p.Bins) {
-			continue
+		if levels <= wavelet.NumSubspaces(p.Bins) {
+			valid = append(valid, levels)
 		}
+	}
+	// One cell per level count, each with its own published system.
+	return parallel.Map(nil, p.Parallelism, len(valid), func(ci int) (LevelsRow, error) {
 		pl := p
-		pl.Levels = levels
+		pl.Levels = valid[ci]
 		sys, data, truth, err := aloiSystem(pl, pl.ClustersPerPeer)
 		if err != nil {
-			return nil, err
+			return LevelsRow{}, err
 		}
 		st := publishStatsOf(sys)
 
@@ -71,15 +75,14 @@ func ExtLevels(p EffectivenessParams, levelSweep []int) ([]LevelsRow, error) {
 			sumKR += kr
 			nq++
 		}
-		rows = append(rows, LevelsRow{
-			Levels:         levels,
+		return LevelsRow{
+			Levels:         pl.Levels,
 			HopsPerItem:    st,
 			RecallBudgeted: sumR / float64(nq),
 			KnnPrecision:   sumKP / float64(nq),
 			KnnRecall:      sumKR / float64(nq),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // publishStatsOf re-derives hops/item from the published system. aloiSystem
@@ -121,8 +124,10 @@ func ExtWavelet(p EffectivenessParams) ([]WaveletRow, error) {
 	if budget < 1 {
 		budget = 1
 	}
-	var rows []WaveletRow
-	for _, conv := range []wavelet.Convention{wavelet.Averaging, wavelet.Orthonormal, wavelet.Daubechies4} {
+	conventions := []wavelet.Convention{wavelet.Averaging, wavelet.Orthonormal, wavelet.Daubechies4}
+	// One independent cell per wavelet convention.
+	return parallel.Map(nil, p.Parallelism, len(conventions), func(ci int) (WaveletRow, error) {
+		conv := conventions[ci]
 		rng := rand.New(rand.NewSource(p.Seed))
 		data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: p.Objects, Views: p.Views, Bins: p.Bins}, rng)
 		sys, err := core.NewSystem(core.Config{
@@ -133,9 +138,10 @@ func ExtWavelet(p EffectivenessParams) ([]WaveletRow, error) {
 			Convention:      conv,
 			Factory:         canFactory(p.Seed + 10),
 			Rng:             rng,
+			Parallelism:     p.Parallelism,
 		})
 		if err != nil {
-			return nil, err
+			return WaveletRow{}, err
 		}
 		for i, x := range data {
 			sys.AddPeerData(labels[i]%p.Peers, []int{i}, [][]float64{x})
@@ -162,14 +168,13 @@ func ExtWavelet(p EffectivenessParams) ([]WaveletRow, error) {
 			sumBudget += rb
 			nq++
 		}
-		rows = append(rows, WaveletRow{
+		return WaveletRow{
 			Convention:     conv.String(),
 			HopsPerItem:    safeDiv(st.Hops, sys.TotalItems()),
 			Recall:         sumFull / float64(nq),
 			RecallBudgeted: sumBudget / float64(nq),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderLevels formats the rows as the CLI table.

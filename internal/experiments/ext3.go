@@ -10,6 +10,7 @@ import (
 	"hyperm/internal/dataset"
 	"hyperm/internal/eval"
 	"hyperm/internal/overlay"
+	"hyperm/internal/parallel"
 )
 
 // LossRow measures end-to-end retrieval quality when the radio medium drops
@@ -32,8 +33,9 @@ func ExtLoss(p EffectivenessParams, dropRates []float64) ([]LossRow, error) {
 	if len(dropRates) == 0 {
 		dropRates = []float64{0, 0.05, 0.1, 0.2, 0.4}
 	}
-	var rows []LossRow
-	for _, drop := range dropRates {
+	// One independent cell per drop rate (own corpus, own lossy overlays).
+	return parallel.Map(nil, p.Parallelism, len(dropRates), func(ci int) (LossRow, error) {
+		drop := dropRates[ci]
 		rng := rand.New(rand.NewSource(p.Seed))
 		data, labels := dataset.ALOI(dataset.ALOIConfig{Objects: p.Objects, Views: p.Views, Bins: p.Bins}, rng)
 		factory := func(level, keyDim, peers int) (overlay.Network, error) {
@@ -52,9 +54,10 @@ func ExtLoss(p EffectivenessParams, dropRates []float64) ([]LossRow, error) {
 			ClustersPerPeer: p.ClustersPerPeer,
 			Factory:         factory,
 			Rng:             rng,
+			Parallelism:     p.Parallelism,
 		})
 		if err != nil {
-			return nil, err
+			return LossRow{}, err
 		}
 		for i, x := range data {
 			sys.AddPeerData(labels[i]%p.Peers, []int{i}, [][]float64{x})
@@ -78,13 +81,12 @@ func ExtLoss(p EffectivenessParams, dropRates []float64) ([]LossRow, error) {
 			sumR += rec
 			nq++
 		}
-		rows = append(rows, LossRow{
+		return LossRow{
 			DropRate:    drop,
 			Recall:      sumR / float64(nq),
 			HopsPerItem: safeDiv(st.Hops, sys.TotalItems()),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderLoss formats the rows as the CLI table.

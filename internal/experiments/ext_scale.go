@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hyperm/internal/core"
+	"hyperm/internal/parallel"
 )
 
 // ScaleRow measures how Hyper-M's costs grow with the network size — the
@@ -28,19 +29,20 @@ func ExtScale(p Params, peerSweep []int) ([]ScaleRow, error) {
 	if len(peerSweep) == 0 {
 		peerSweep = []int{10, 25, 50, 100}
 	}
-	var rows []ScaleRow
-	for _, peers := range peerSweep {
+	// One independent cell per network size.
+	return parallel.Map(nil, p.Parallelism, len(peerSweep), func(ci int) (ScaleRow, error) {
+		peers := peerSweep[ci]
 		pn := p
 		pn.Peers = peers
 		sys, data, asg, err := markovSystem(pn)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 		st := sys.PublishAll()
 
 		baseHops, baseItems, err := canItemInsertHops(data, asg, pn.Dim, pn.Seed+88)
 		if err != nil {
-			return nil, err
+			return ScaleRow{}, err
 		}
 
 		// Query cost: range queries around corpus items at a radius sized
@@ -52,14 +54,13 @@ func ExtScale(p Params, peerSweep []int) ([]ScaleRow, error) {
 			res := sys.RangeQuery(qi%peers, q, 25, core.RangeOptions{})
 			qHops += float64(res.OverlayHops)
 		}
-		rows = append(rows, ScaleRow{
+		return ScaleRow{
 			Peers:               peers,
 			PublishHopsPerItem:  safeDiv(st.Hops, sys.TotalItems()),
 			QueryHops:           qHops / queries,
 			BaselineHopsPerItem: safeDiv(baseHops, baseItems),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // RenderScale formats the rows as the CLI table.

@@ -9,6 +9,7 @@ import (
 	"hyperm/internal/dataset"
 	"hyperm/internal/eval"
 	"hyperm/internal/flatindex"
+	"hyperm/internal/parallel"
 )
 
 // aloiSystem builds a published Hyper-M system over the ALOI-substitute
@@ -24,6 +25,7 @@ func aloiSystem(p EffectivenessParams, clustersPerPeer int) (*core.System, [][]f
 		ClustersPerPeer: clustersPerPeer,
 		Factory:         canFactory(p.Seed + 10),
 		Rng:             rng,
+		Parallelism:     p.Parallelism,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -132,12 +134,16 @@ func Fig10b(p EffectivenessParams, clusterSweep []int, cSweep []float64) ([]Fig1
 	if len(cSweep) == 0 {
 		cSweep = []float64{1, 1.5, 2}
 	}
-	var rows []Fig10bRow
-	for _, kc := range clusterSweep {
+	// One cell per clusters-per-peer setting: each builds its own published
+	// system. The inner C sweep stays serial within the cell — it queries the
+	// cell's shared System, and query bookkeeping mutates overlay statistics.
+	cells, err := parallel.Map(nil, p.Parallelism, len(clusterSweep), func(ci int) ([]Fig10bRow, error) {
+		kc := clusterSweep[ci]
 		sys, data, truth, err := aloiSystem(p, kc)
 		if err != nil {
 			return nil, err
 		}
+		var rows []Fig10bRow
 		for _, c := range cSweep {
 			qrng := rand.New(rand.NewSource(p.Seed + 30))
 			row := Fig10bRow{ClustersPerPeer: kc, C: c, PrecisionMin: 1, RecallMin: 1}
@@ -159,6 +165,14 @@ func Fig10b(p EffectivenessParams, clusterSweep []int, cSweep []float64) ([]Fig1
 			row.RecallAvg = sumR / float64(p.Queries)
 			rows = append(rows, row)
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10bRow
+	for _, cell := range cells {
+		rows = append(rows, cell...)
 	}
 	return rows, nil
 }
@@ -205,9 +219,11 @@ func Fig10c(p EffectivenessParams, fractions []float64) ([]Fig10cRow, error) {
 		}
 	}
 
-	var rows []Fig10cRow
-	var baselineRecall float64
-	for fi, frac := range fractions {
+	// Every fraction is an independent cell (own system, own post-inserts).
+	// Only the relative loss couples the rows — and only to cell 0 — so the
+	// cells run concurrently and the loss is derived after the ordered merge.
+	recalls, err := parallel.Map(nil, p.Parallelism, len(fractions), func(fi int) (float64, error) {
+		frac := fractions[fi]
 		sys, err := core.NewSystem(core.Config{
 			Peers:           p.Peers,
 			Dim:             p.Bins,
@@ -215,9 +231,10 @@ func Fig10c(p EffectivenessParams, fractions []float64) ([]Fig10cRow, error) {
 			ClustersPerPeer: p.ClustersPerPeer,
 			Factory:         canFactory(p.Seed + 40 + int64(fi)),
 			Rng:             rand.New(rand.NewSource(p.Seed + 41)),
+			Parallelism:     p.Parallelism,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		for _, i := range baseIdx {
 			sys.AddPeerData(labels[i]%p.Peers, []int{i}, [][]float64{data[i]})
@@ -267,17 +284,22 @@ func Fig10c(p EffectivenessParams, fractions []float64) ([]Fig10cRow, error) {
 			sumR += rec
 			nq++
 		}
-		recall := sumR / float64(nq)
-		if fi == 0 {
-			baselineRecall = recall
-		}
+		return sumR / float64(nq), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	baselineRecall := recalls[0] // fractions[0] is the zero-insertion run
+	rows := make([]Fig10cRow, 0, len(fractions))
+	for fi, frac := range fractions {
 		loss := 0.0
 		if baselineRecall > 0 {
-			loss = 100 * (baselineRecall - recall) / baselineRecall
+			loss = 100 * (baselineRecall - recalls[fi]) / baselineRecall
 		}
 		rows = append(rows, Fig10cRow{
 			NewDocsPercent:    frac * 100,
-			RecallAvg:         recall,
+			RecallAvg:         recalls[fi],
 			RecallLossPercent: loss,
 		})
 	}

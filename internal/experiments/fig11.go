@@ -7,6 +7,7 @@ import (
 
 	"hyperm/internal/cluster"
 	"hyperm/internal/dataset"
+	"hyperm/internal/parallel"
 	"hyperm/internal/wavelet"
 )
 
@@ -53,19 +54,45 @@ func Fig11(p EffectivenessParams, maxSpaces int) ([]Fig11Row, error) {
 		rows = append(rows, Fig11Row{Space: wavelet.SubspaceName(s), Dim: wavelet.SubspaceDim(s)})
 	}
 
-	counts := make([]int, len(rows))
-	for _, items := range peerItems {
+	// Each peer's decomposition + clustering is independent (its own krng,
+	// its own items), so the peers fan out across workers; the per-space
+	// sums are merged serially in peer order, reproducing the serial
+	// accumulation order bit for bit.
+	type peerPartial struct {
+		rows   []Fig11Row
+		counts []int
+	}
+	partials, err := parallel.Map(nil, p.Parallelism, len(peerItems), func(pi int) (peerPartial, error) {
+		items := peerItems[pi]
 		if len(items) < 2 {
-			continue
+			return peerPartial{}, nil
 		}
+		part := peerPartial{rows: make([]Fig11Row, len(rows)), counts: make([]int, len(rows))}
 		krng := rand.New(rand.NewSource(p.Seed + 60))
 		// Original space.
-		addQuality(&rows[0], &counts[0], items, p.ClustersPerPeer, krng)
+		addQuality(&part.rows[0], &part.counts[0], items, p.ClustersPerPeer, krng)
 		// Wavelet subspaces.
 		decs := wavelet.DecomposeAll(items, wavelet.Averaging)
 		for s := 0; s < maxSpaces; s++ {
 			coeffs := wavelet.SubspaceMatrix(decs, s)
-			addQuality(&rows[s+1], &counts[s+1], coeffs, p.ClustersPerPeer, krng)
+			addQuality(&part.rows[s+1], &part.counts[s+1], coeffs, p.ClustersPerPeer, krng)
+		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	counts := make([]int, len(rows))
+	for _, part := range partials {
+		if part.rows == nil {
+			continue
+		}
+		for i := range rows {
+			rows[i].Ratio += part.rows[i].Ratio
+			rows[i].Cohesion += part.rows[i].Cohesion
+			rows[i].Separation += part.rows[i].Separation
+			counts[i] += part.counts[i]
 		}
 	}
 	for i := range rows {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"hyperm/internal/parallel"
 )
 
 // Fig8aRow is one point of Figure 8a: the replication overhead of inserting
@@ -28,17 +30,19 @@ func Fig8a(p Params, sweep []int) ([]Fig8aRow, error) {
 	if len(sweep) == 0 {
 		sweep = []int{2, 5, 10, 20, 50}
 	}
-	rows := make([]Fig8aRow, 0, len(sweep))
-	for _, k := range sweep {
+	// Every sweep point builds its own System from its own seeds, so the
+	// cells run concurrently; Map keeps the rows in sweep order.
+	return parallel.Map(nil, p.Parallelism, len(sweep), func(ci int) (Fig8aRow, error) {
+		k := sweep[ci]
 		pk := p
 		pk.ClustersPerPeer = k
 		sys, _, _, err := markovSystem(pk)
 		if err != nil {
-			return nil, err
+			return Fig8aRow{}, err
 		}
 		st := sys.PublishAll()
 		if st.ClustersPublished == 0 {
-			return nil, fmt.Errorf("experiments: fig8a published no clusters for K=%d", k)
+			return Fig8aRow{}, fmt.Errorf("experiments: fig8a published no clusters for K=%d", k)
 		}
 		// CAN separates routing hops (the no-replication standard: the cost
 		// of inserting the same summaries as points) from the replication
@@ -48,18 +52,17 @@ func Fig8a(p Params, sweep []int) ([]Fig8aRow, error) {
 		for l := 0; l < pk.Levels; l++ {
 			cs, ok := canStats(sys.Overlay(l))
 			if !ok {
-				return nil, fmt.Errorf("experiments: overlay %d is not CAN", l)
+				return Fig8aRow{}, fmt.Errorf("experiments: overlay %d is not CAN", l)
 			}
 			route += cs.InsertRouteHops
 		}
-		rows = append(rows, Fig8aRow{
+		return Fig8aRow{
 			ClustersPerPeer:        k,
 			AvgHopsWithReplication: float64(st.Hops) / float64(st.ClustersPublished),
 			AvgHopsNoReplication:   float64(route) / float64(st.ClustersPublished),
 			AvgClusterRadius:       avgPublishedRadius(sys, pk),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Fig8bRow is one point of Figure 8b: average insertion hops per data item
@@ -84,38 +87,46 @@ func Fig8b(p Params, itemSweep []int) ([]Fig8bRow, error) {
 		base := p.Peers * p.ItemsPerPeer
 		itemSweep = []int{base / 5, 2 * base / 5, 3 * base / 5, 4 * base / 5, base}
 	}
-	rows := make([]Fig8bRow, 0, len(itemSweep))
-	for _, n := range itemSweep {
+	cells, err := parallel.Map(nil, p.Parallelism, len(itemSweep), func(ci int) (Fig8bRow, error) {
 		pn := p
-		pn.ItemsPerPeer = n / p.Peers
+		pn.ItemsPerPeer = itemSweep[ci] / p.Peers
 		if pn.ItemsPerPeer < 1 {
 			pn.ItemsPerPeer = 1
 		}
 		sys, data, asg, err := markovSystem(pn)
 		if err != nil {
-			return nil, err
+			return Fig8bRow{}, err
 		}
 		st := sys.PublishAll()
 		total := sys.TotalItems()
 		if total == 0 {
-			continue
+			return Fig8bRow{}, nil // empty cell, dropped below
 		}
 		hyper := float64(st.Hops) / float64(total)
 
 		hops2d, items2d, err := canItemInsertHops(data, asg, 2, pn.Seed+77)
 		if err != nil {
-			return nil, err
+			return Fig8bRow{}, err
 		}
 		hopsFull, itemsFull, err := canItemInsertHops(data, asg, pn.Dim, pn.Seed+78)
 		if err != nil {
-			return nil, err
+			return Fig8bRow{}, err
 		}
-		rows = append(rows, Fig8bRow{
+		return Fig8bRow{
 			Items:   total,
 			HyperM:  hyper,
 			CAN2D:   safeDiv(hops2d, items2d),
 			CANFull: safeDiv(hopsFull, itemsFull),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig8bRow, 0, len(cells))
+	for _, r := range cells {
+		if r.Items > 0 {
+			rows = append(rows, r)
+		}
 	}
 	return rows, nil
 }
@@ -147,24 +158,21 @@ func Fig8c(p Params, layerSweep []int) ([]Fig8cRow, error) {
 	}
 	base2d, baseFull := safeDiv(hops2d, items2d), safeDiv(hopsFull, itemsFull)
 
-	rows := make([]Fig8cRow, 0, len(layerSweep))
-	for _, layers := range layerSweep {
+	return parallel.Map(nil, p.Parallelism, len(layerSweep), func(ci int) (Fig8cRow, error) {
 		pl := p
-		pl.Levels = layers
+		pl.Levels = layerSweep[ci]
 		sys, _, _, err := markovSystem(pl)
 		if err != nil {
-			return nil, err
+			return Fig8cRow{}, err
 		}
 		st := sys.PublishAll()
-		total := sys.TotalItems()
-		rows = append(rows, Fig8cRow{
-			Layers:  layers,
-			HyperM:  safeDiv(st.Hops, total),
+		return Fig8cRow{
+			Layers:  pl.Levels,
+			HyperM:  safeDiv(st.Hops, sys.TotalItems()),
 			CAN2D:   base2d,
 			CANFull: baseFull,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 func safeDiv(num, den int) float64 {

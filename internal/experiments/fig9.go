@@ -10,6 +10,7 @@ import (
 	"hyperm/internal/dataset"
 	"hyperm/internal/eval"
 	"hyperm/internal/overlay"
+	"hyperm/internal/parallel"
 	"hyperm/internal/wavelet"
 )
 
@@ -49,25 +50,25 @@ func Fig9(p Params, keepClusters int) ([]Fig9Row, error) {
 		KeepClusters: keepClusters,
 	}, rng)
 
-	var rows []Fig9Row
+	// Cell 0 is the original-space CAN baseline; cell l >= 1 is Hyper-M with
+	// l overlays. All cells read the shared corpus but build their own
+	// overlays, so they run concurrently; Map keeps the row order.
+	return parallel.Map(nil, p.Parallelism, p.Levels+1, func(ci int) (Fig9Row, error) {
+		if ci == 0 {
+			// Baseline: every kept item inserted as a point into one CAN of
+			// the original dimensionality; load = items owned per node.
+			return fig9OriginalCAN(data, asg, p)
+		}
 
-	// Baseline: every kept item inserted as a point into one CAN of the
-	// original dimensionality; load = items owned per node.
-	baseline, err := fig9OriginalCAN(data, asg, p)
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, baseline)
-
-	// Hyper-M with a growing number of overlays. Load per peer is the item
-	// mass of the cluster spheres it owns (centroid in its zone), summed
-	// over the configured levels.
-	for levels := 1; levels <= p.Levels; levels++ {
+		// Hyper-M with a growing number of overlays. Load per peer is the
+		// item mass of the cluster spheres it owns (centroid in its zone),
+		// summed over the configured levels.
+		levels := ci
 		pl := p
 		pl.Levels = levels
 		sys, err := newSystem(pl, rand.New(rand.NewSource(pl.Seed+2)))
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
 		loadAssignment(sys, data, asg)
 		sys.DeriveBounds()
@@ -77,20 +78,19 @@ func Fig9(p Params, keepClusters int) ([]Fig9Row, error) {
 		for l := 0; l < levels; l++ {
 			cn, ok := sys.Overlay(l).(*can.Overlay)
 			if !ok {
-				return nil, fmt.Errorf("experiments: overlay %d is not CAN", l)
+				return Fig9Row{}, fmt.Errorf("experiments: overlay %d is not CAN", l)
 			}
 			addOwnedItemMass(cn, loads)
 		}
 		st := eval.Load(loads)
-		rows = append(rows, Fig9Row{
+		return Fig9Row{
 			Config:        configName(levels),
 			NonEmptyPeers: st.NonEmpty,
 			MaxItems:      st.Max,
 			Gini:          st.Gini,
 			CV:            st.CV,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // fig9OriginalCAN computes the load row for the conventional approach.

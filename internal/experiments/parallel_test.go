@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Driver determinism: running a sweep with concurrent cells must produce
+// exactly the rows of the serial run — every cell builds its own system from
+// its own seeds and Map merges rows in sweep order.
+func TestDriversSerialParallelIdentical(t *testing.T) {
+	serialP, parP := tinyParams(), tinyParams()
+	serialP.Parallelism, parP.Parallelism = 1, 4
+	serialE, parE := tinyEffectiveness(), tinyEffectiveness()
+	serialE.Parallelism, parE.Parallelism = 1, 4
+
+	check := func(name string, serial, par func() (any, error)) {
+		t.Helper()
+		s, err := serial()
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		p, err := par()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("%s: parallel rows diverged from serial\nserial   %+v\nparallel %+v", name, s, p)
+		}
+	}
+
+	check("Fig8a",
+		func() (any, error) { return Fig8a(serialP, []int{2, 10}) },
+		func() (any, error) { return Fig8a(parP, []int{2, 10}) })
+	check("Fig8c",
+		func() (any, error) { return Fig8c(serialP, []int{1, 3}) },
+		func() (any, error) { return Fig8c(parP, []int{1, 3}) })
+	check("Fig9",
+		func() (any, error) { return Fig9(serialP, 3) },
+		func() (any, error) { return Fig9(parP, 3) })
+	check("Fig10c",
+		func() (any, error) { return Fig10c(serialE, []float64{0, 0.3}) },
+		func() (any, error) { return Fig10c(parE, []float64{0, 0.3}) })
+	check("Fig11",
+		func() (any, error) { return Fig11(serialE, 3) },
+		func() (any, error) { return Fig11(parE, 3) })
+	check("ExtScale",
+		func() (any, error) { return ExtScale(serialP, []int{10, 20}) },
+		func() (any, error) { return ExtScale(parP, []int{10, 20}) })
+	check("ExtChurn",
+		func() (any, error) { return ExtChurn(serialE, []float64{0, 0.3}) },
+		func() (any, error) { return ExtChurn(parE, []float64{0, 0.3}) })
+}
+
+// The publish benchmark driver must keep hop counts identical across
+// parallelism settings (its own built-in check), report throughput, and
+// round-trip through the BENCH_publish.json writer.
+func TestPublishBench(t *testing.T) {
+	rows, err := PublishBench(tinyParams(), []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Parallelism != 1 || rows[0].Workers != 1 {
+		t.Errorf("serial row: %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.Items == 0 || r.Clusters == 0 || r.Hops == 0 {
+			t.Errorf("empty measurement: %+v", r)
+		}
+		if r.Seconds <= 0 || r.ItemsPerSecond <= 0 || r.Speedup <= 0 {
+			t.Errorf("missing timing: %+v", r)
+		}
+		if r.Hops != rows[0].Hops {
+			t.Errorf("hops diverged across parallelism: %+v vs %+v", rows[0], r)
+		}
+	}
+	if RenderPublishBench(rows) == "" {
+		t.Error("empty render")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_publish.json")
+	if err := WritePublishBenchJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []PublishBenchRow
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Hops != rows[0].Hops {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}

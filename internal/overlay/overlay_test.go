@@ -1,0 +1,323 @@
+package overlay_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hyperm/internal/baton"
+	"hyperm/internal/can"
+	"hyperm/internal/overlay"
+	"hyperm/internal/ring"
+	"hyperm/internal/vec"
+)
+
+// flatNet is the flat-index reference implementation of overlay.Network: one
+// global store, zero routing. It is the contract's executable specification —
+// SearchSphere is a literal transcription of the interface comment ("every
+// entry whose sphere intersects the query sphere") — and the distributed
+// overlays are tested against the same brute-force expectation it embodies.
+type flatNet struct {
+	dim     int
+	size    int
+	entries []overlay.Entry
+	dist    func(a, b []float64) float64
+}
+
+func (f *flatNet) Dim() int  { return f.dim }
+func (f *flatNet) Size() int { return f.size }
+
+func (f *flatNet) InsertSphere(from int, e overlay.Entry) int {
+	f.entries = append(f.entries, e)
+	return 0
+}
+
+func (f *flatNet) SearchSphere(from int, key []float64, radius float64) ([]overlay.Entry, int) {
+	var out []overlay.Entry
+	for _, e := range f.entries {
+		if f.dist(e.Key, key) <= e.Radius+radius {
+			out = append(out, e)
+		}
+	}
+	return out, 0
+}
+
+func (f *flatNet) OwnerOf(key []float64) int { return 0 }
+
+// ClearNode implements overlay.StorageFailer: the flat store lives on one
+// conceptual node, so clearing node 0 wipes everything.
+func (f *flatNet) ClearNode(id int) int {
+	if id != 0 {
+		return 0
+	}
+	lost := len(f.entries)
+	f.entries = nil
+	return lost
+}
+
+// build describes one Network implementation under contract test, together
+// with the sphere-intersection metric its key space uses (CAN lives on the
+// unit torus; ring, BATON, and the flat reference use plain Euclidean).
+type build struct {
+	name string
+	make func(t *testing.T, dim, nodes int, seed int64) overlay.Network
+	dist func(a, b []float64) float64
+}
+
+func builds() []build {
+	return []build{
+		{"flat", func(t *testing.T, dim, nodes int, seed int64) overlay.Network {
+			return &flatNet{dim: dim, size: nodes, dist: vec.Dist}
+		}, vec.Dist},
+		{"can", func(t *testing.T, dim, nodes int, seed int64) overlay.Network {
+			o, err := can.Build(can.Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}, can.TorusDist},
+		{"ring", func(t *testing.T, dim, nodes int, seed int64) overlay.Network {
+			o, err := ring.Build(ring.Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}, vec.Dist},
+		{"baton", func(t *testing.T, dim, nodes int, seed int64) overlay.Network {
+			o, err := baton.Build(baton.Config{Nodes: nodes, Dim: dim, Rng: rand.New(rand.NewSource(seed))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o
+		}, vec.Dist},
+	}
+}
+
+func randKey(rng *rand.Rand, dim int) []float64 {
+	k := make([]float64, dim)
+	for i := range k {
+		k[i] = rng.Float64() * 0.999
+	}
+	return k
+}
+
+// payloadSet extracts the sorted int payloads of a result set, failing on
+// duplicates — the interface promises deduplication across replicas.
+func payloadSet(t *testing.T, results []overlay.Entry) []int {
+	t.Helper()
+	seen := map[int]bool{}
+	out := make([]int, 0, len(results))
+	for _, e := range results {
+		id, ok := e.Payload.(int)
+		if !ok {
+			t.Fatalf("payload %v (%T) is not the inserted int", e.Payload, e.Payload)
+		}
+		if seen[id] {
+			t.Fatalf("payload %d returned twice: replicas not deduplicated", id)
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestNetworkContractDimAndSize(t *testing.T) {
+	for _, b := range builds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			nw := b.make(t, 3, 12, 1)
+			if nw.Dim() != 3 {
+				t.Errorf("Dim() = %d, want 3", nw.Dim())
+			}
+			if nw.Size() != 12 {
+				t.Errorf("Size() = %d, want 12", nw.Size())
+			}
+		})
+	}
+}
+
+// The core contract: SearchSphere returns exactly the inserted entries whose
+// spheres intersect the query sphere under the overlay's metric — no false
+// dismissals (the property Theorems 3.1/4.1 build on) and no fabrications —
+// with replicas deduplicated. Identical brute-force expectation for all four
+// implementations; only the metric differs.
+func TestNetworkContractSearchIsExact(t *testing.T) {
+	const (
+		dim     = 2
+		nodes   = 16
+		inserts = 60
+		queries = 40
+	)
+	for _, b := range builds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			nw := b.make(t, dim, nodes, 7)
+			rng := rand.New(rand.NewSource(99))
+			keys := make([][]float64, inserts)
+			radii := make([]float64, inserts)
+			for i := 0; i < inserts; i++ {
+				keys[i] = randKey(rng, dim)
+				if i%3 != 0 { // mix of spheres and plain points
+					radii[i] = rng.Float64() * 0.15
+				}
+				hops := nw.InsertSphere(rng.Intn(nodes), overlay.Entry{Key: keys[i], Radius: radii[i], Payload: i})
+				if hops < 0 {
+					t.Fatalf("insert %d returned negative hops %d", i, hops)
+				}
+			}
+			for qi := 0; qi < queries; qi++ {
+				q := randKey(rng, dim)
+				r := rng.Float64() * 0.2
+				var want []int
+				for i := range keys {
+					if b.dist(keys[i], q) <= radii[i]+r {
+						want = append(want, i)
+					}
+				}
+				results, hops := nw.SearchSphere(rng.Intn(nodes), q, r)
+				if hops < 0 {
+					t.Fatalf("query %d returned negative hops", qi)
+				}
+				got := payloadSet(t, results)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("query %d at %v r=%.3f:\ngot  %v\nwant %v", qi, q, r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// A radius-zero entry must be findable by a radius-zero query at its exact
+// key, from any starting node.
+func TestNetworkContractPointRoundTrip(t *testing.T) {
+	for _, b := range builds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			nw := b.make(t, 2, 8, 3)
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 20; i++ {
+				k := randKey(rng, 2)
+				nw.InsertSphere(rng.Intn(8), overlay.Entry{Key: k, Payload: i})
+				results, _ := nw.SearchSphere(rng.Intn(8), k, 0)
+				found := false
+				for _, e := range results {
+					if e.Payload == i {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("point %d at %v not found by exact-key search", i, k)
+				}
+			}
+		})
+	}
+}
+
+// OwnerOf must be a total, stable function into [0, Size): the load
+// accounting in the experiments relies on it.
+func TestNetworkContractOwnerOf(t *testing.T) {
+	for _, b := range builds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			nw := b.make(t, 2, 10, 11)
+			rng := rand.New(rand.NewSource(13))
+			for i := 0; i < 50; i++ {
+				k := randKey(rng, 2)
+				o1, o2 := nw.OwnerOf(k), nw.OwnerOf(k)
+				if o1 != o2 {
+					t.Fatalf("OwnerOf(%v) unstable: %d then %d", k, o1, o2)
+				}
+				if o1 < 0 || o1 >= nw.Size() {
+					t.Fatalf("OwnerOf(%v) = %d outside [0,%d)", k, o1, nw.Size())
+				}
+			}
+		})
+	}
+}
+
+// StorageFailer contract: ClearNode reports what it wiped, and wiping every
+// node leaves nothing findable.
+func TestNetworkContractStorageFailer(t *testing.T) {
+	for _, b := range builds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			nw := b.make(t, 2, 6, 17)
+			sf, ok := nw.(overlay.StorageFailer)
+			if !ok {
+				t.Skipf("%s does not implement StorageFailer", b.name)
+			}
+			rng := rand.New(rand.NewSource(19))
+			const inserts = 30
+			for i := 0; i < inserts; i++ {
+				nw.InsertSphere(rng.Intn(6), overlay.Entry{Key: randKey(rng, 2), Radius: rng.Float64() * 0.1, Payload: i})
+			}
+			lost := 0
+			for id := 0; id < nw.Size(); id++ {
+				n := sf.ClearNode(id)
+				if n < 0 {
+					t.Fatalf("ClearNode(%d) = %d", id, n)
+				}
+				lost += n
+			}
+			// Replication can store an entry on several nodes, but every
+			// entry lives somewhere: total records wiped >= inserts.
+			if lost < inserts {
+				t.Errorf("wiped %d records, expected at least the %d inserted", lost, inserts)
+			}
+			results, _ := nw.SearchSphere(0, randKey(rng, 2), 2)
+			if len(results) != 0 {
+				t.Errorf("%d entries survived a full wipe", len(results))
+			}
+		})
+	}
+}
+
+// Leaver contract: a graceful departure hands records over, so everything
+// inserted before the leave is still findable afterwards.
+func TestNetworkContractLeaver(t *testing.T) {
+	for _, b := range builds() {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			nw := b.make(t, 2, 8, 23)
+			lv, ok := nw.(overlay.Leaver)
+			if !ok {
+				t.Skipf("%s does not implement Leaver", b.name)
+			}
+			rng := rand.New(rand.NewSource(29))
+			const inserts = 25
+			keys := make([][]float64, inserts)
+			radii := make([]float64, inserts)
+			for i := 0; i < inserts; i++ {
+				keys[i] = randKey(rng, 2)
+				radii[i] = rng.Float64() * 0.1
+				nw.InsertSphere(rng.Intn(8), overlay.Entry{Key: keys[i], Radius: radii[i], Payload: i})
+			}
+			leaver := 3
+			if msgs, err := lv.Leave(leaver); err != nil {
+				t.Fatalf("Leave(%d): %v", leaver, err)
+			} else if msgs < 0 {
+				t.Fatalf("Leave(%d) reported %d messages", leaver, msgs)
+			}
+			// Every entry must survive the handover: search from a live node
+			// with a sphere that certainly intersects each entry.
+			for i := range keys {
+				from := 0
+				if from == leaver {
+					from = 1
+				}
+				results, _ := nw.SearchSphere(from, keys[i], 0.001)
+				found := false
+				for _, e := range results {
+					if e.Payload == i {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("entry %d lost after graceful departure of node %d", i, leaver)
+				}
+			}
+		})
+	}
+}
