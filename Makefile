@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz
+.PHONY: check fmt vet build test race bench bench-kernels fuzz
 
 check: fmt vet build test
 
@@ -29,6 +29,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Optimized-vs-reference kernel microbenchmarks (k-means and the Eq 8
+# solver), 5 repetitions for benchstat-grade numbers.
+bench-kernels:
+	$(GO) test -run=^$$ -bench='^(BenchmarkKMeans|BenchmarkSolveEps)$$' -benchmem -count=5 ./internal/cluster ./internal/geometry
 
 # Short fuzz session for the wavelet round-trip invariant.
 fuzz:

@@ -6,16 +6,21 @@
 //
 //	hyperm-bench -run all                 # every figure, scaled-down
 //	hyperm-bench -run fig8b -scale paper  # one figure at publication scale
+//	hyperm-bench -run kernels -out BENCH_kernels.json
 //	hyperm-bench -list                    # list experiment ids
 //
 // Paper-scale runs (100 nodes × 1000 items × 512 dims) take minutes; the
 // default scale finishes in seconds and preserves every qualitative shape.
+// -cpuprofile / -memprofile write pprof profiles of the run for digging into
+// the hot paths with `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,11 +33,19 @@ type experiment struct {
 }
 
 func main() {
+	// Profile flushing must happen on every exit path, and os.Exit skips
+	// deferred calls — so main delegates to run and exits on its code.
+	os.Exit(run())
+}
+
+func run() int {
 	runID := flag.String("run", "all", "experiment id to run (see -list), or 'all'")
 	scale := flag.String("scale", "default", "workload scale: 'default' or 'paper'")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 0, "worker parallelism: 0 = all cores, 1 = serial (results are identical either way)")
-	out := flag.String("out", "", "for -run publish: also write the rows to this path as JSON (e.g. BENCH_publish.json)")
+	out := flag.String("out", "", "for -run publish/kernels: also write the rows to this path as JSON (e.g. BENCH_kernels.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to this path")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -41,11 +54,42 @@ func main() {
 		for _, e := range exps {
 			fmt.Printf("%-12s %s\n", e.id, e.desc)
 		}
-		return
+		return 0
 	}
 	if *scale != "default" && *scale != "paper" {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want 'default' or 'paper')\n", *scale)
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	ran := 0
@@ -58,14 +102,15 @@ func main() {
 		out, err := e.run(*scale)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("== %s (%s scale, %.1fs) ==\n%s\n", e.id, *scale, time.Since(start).Seconds(), out)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *runID)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func registry(seed int64, parallelism int, out string) []experiment {
@@ -167,6 +212,18 @@ func registry(seed int64, parallelism int, out string) []experiment {
 				}
 			}
 			return experiments.RenderPublishBench(rows), nil
+		}},
+		{"kernels", "kernel speedups: optimized vs reference k-means and Eq 8 solver", func(s string) (string, error) {
+			rows, err := experiments.KernelBench(seed)
+			if err != nil {
+				return "", err
+			}
+			if out != "" {
+				if err := experiments.WriteKernelBenchJSON(out, rows); err != nil {
+					return "", err
+				}
+			}
+			return experiments.RenderKernelBench(rows), nil
 		}},
 	}
 }

@@ -73,14 +73,9 @@ type Result struct {
 	Iters int
 }
 
-// KMeans clusters data into (at most) cfg.K sphere summaries using
-// k-means++ seeding followed by Lloyd iterations.
-//
-// The input points are never modified; centroids are freshly allocated.
-// KMeans panics if data is empty, rows have inconsistent dimensionality,
-// cfg.K < 1, or cfg.Rng is nil.
-func KMeans(data [][]float64, cfg Config) Result {
-	cfg = cfg.withDefaults()
+// validateKMeansInput panics on malformed input and returns the shared row
+// dimensionality.
+func validateKMeansInput(data [][]float64, cfg Config) int {
 	if len(data) == 0 {
 		panic("cluster: KMeans on empty data")
 	}
@@ -96,58 +91,309 @@ func KMeans(data [][]float64, cfg Config) Result {
 			panic(fmt.Sprintf("cluster: row %d has dim %d, want %d", i, len(x), dim))
 		}
 	}
+	return dim
+}
+
+// KMeans clusters data into (at most) cfg.K sphere summaries using
+// k-means++ seeding followed by Lloyd iterations.
+//
+// The input points are never modified; centroids are freshly allocated.
+// KMeans panics if data is empty, rows have inconsistent dimensionality,
+// cfg.K < 1, or cfg.Rng is nil.
+//
+// This is the optimized kernel on Hyper-M's publish hot path (step i2 runs
+// once per peer per wavelet level): incremental k-means++ seeding (O(n·k)
+// total instead of O(n·k²)), Lloyd iterations over flat double-buffered
+// centroid/accumulator arrays with zero per-iteration allocations, and
+// Hamerly-style triangle-inequality pruning with partial-distance early
+// exits in the assignment scans. Every floating-point operation that reaches
+// the output is performed in the same order as the naive kernel, so results
+// are bit-identical to kmeansReference (the pruning only skips computations
+// whose outcome is already decided); TestPropOptimizedMatchesReference
+// checks exact equality.
+func KMeans(data [][]float64, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	dim := validateKMeansInput(data, cfg)
 	k := cfg.K
 	if k > len(data) {
 		k = len(data)
 	}
-
-	centroids := seedPlusPlus(data, k, cfg.Rng)
-	assign := make([]int, len(data))
-	counts := make([]int, k)
+	st := newKmeansState(len(data), k, dim)
+	st.seed(data, cfg.Rng)
 	iters := 0
+	fullScan := true
 	for ; iters < cfg.MaxIter; iters++ {
-		// Assignment step.
-		for i, x := range data {
-			assign[i] = nearestCentroid(x, centroids)
-		}
-		// Update step.
-		next := make([][]float64, k)
-		for c := range next {
-			next[c] = make([]float64, dim)
-			counts[c] = 0
-		}
-		for i, x := range data {
-			vec.Add(next[assign[i]], x)
-			counts[assign[i]]++
-		}
-		for c := range next {
-			if counts[c] == 0 {
-				// Reseed an empty cluster at the point farthest from its
-				// current centroid, a standard k-means repair.
-				far := farthestPoint(data, centroids)
-				copy(next[c], data[far])
-				continue
-			}
-			vec.Scale(next[c], 1/float64(counts[c]))
-		}
-		// Convergence check.
-		moved := 0.0
-		for c := range centroids {
-			if m := vec.Dist(centroids[c], next[c]); m > moved {
-				moved = m
-			}
-		}
-		centroids = next
-		if moved <= cfg.Tol {
+		st.assignStep(data, fullScan)
+		fullScan = false
+		if st.updateStep(data) <= cfg.Tol {
 			iters++
 			break
 		}
 	}
 	// Final assignment against the converged centroids.
-	for i, x := range data {
-		assign[i] = nearestCentroid(x, centroids)
+	st.assignStep(data, fullScan)
+	return st.result(data, iters)
+}
+
+// kmeansState holds every buffer one KMeans call needs, carved out of two
+// backing allocations up front. Centroids live in flat row-major arrays;
+// cent and next are swapped after each update step instead of reallocating.
+type kmeansState struct {
+	n, k, dim  int
+	cent, next []float64 // k*dim row-major centroid buffers
+	counts     []int
+	assign     []int
+	// Hamerly bounds, valid after the first full assignment scan: upper[i]
+	// is an upper bound on the distance from point i to its assigned
+	// centroid, lower[i] a lower bound on its distance to every other
+	// centroid. A point whose upper < lower cannot change assignment.
+	upper, lower []float64
+	move         []float64 // per-centroid movement of the last update step
+	remap        []int     // result-compaction scratch
+	maxMove      float64
+	repaired     []int // point indices chosen by empty-cluster repairs
+}
+
+func newKmeansState(n, k, dim int) kmeansState {
+	floats := make([]float64, 2*k*dim+2*n+k)
+	ints := make([]int, n+2*k)
+	st := kmeansState{n: n, k: k, dim: dim}
+	st.cent, floats = floats[:k*dim], floats[k*dim:]
+	st.next, floats = floats[:k*dim], floats[k*dim:]
+	st.upper, floats = floats[:n], floats[n:]
+	st.lower, floats = floats[:n], floats[n:]
+	st.move = floats
+	st.assign, ints = ints[:n], ints[n:]
+	st.counts, ints = ints[:k], ints[k:]
+	st.remap = ints
+	return st
+}
+
+func (st *kmeansState) row(c int) []float64     { return st.cent[c*st.dim : (c+1)*st.dim] }
+func (st *kmeansState) nextRow(c int) []float64 { return st.next[c*st.dim : (c+1)*st.dim] }
+
+// seed performs incremental k-means++ initialization: the per-point minimum
+// squared distance to the chosen centroids is maintained across centroid
+// additions (one Dist2 per point per round) instead of rescanning every
+// centroid. The minimum of the same identically-computed distances is exact
+// regardless of evaluation order, and the RNG draw sequence matches the
+// naive seeding, so the chosen centroids are bit-identical to
+// seedPlusPlusRef's.
+func (st *kmeansState) seed(data [][]float64, rng *rand.Rand) {
+	copy(st.cent[:st.dim], data[rng.Intn(st.n)])
+	if st.k == 1 {
+		return
 	}
-	return buildResult(data, centroids, assign, iters)
+	d2 := st.lower // scratch until the first assignment scan overwrites it
+	for i, x := range data {
+		d2[i] = vec.Dist2(x, st.cent[:st.dim])
+	}
+	for chosen := 1; chosen < st.k; chosen++ {
+		var total float64
+		for _, w := range d2 {
+			total += w
+		}
+		var idx int
+		if total == 0 {
+			// All remaining points coincide with existing centroids; any
+			// choice works and the clusters will be deduplicated by counts.
+			idx = rng.Intn(st.n)
+		} else {
+			target := rng.Float64() * total
+			idx = st.n - 1
+			var acc float64
+			for i, w := range d2 {
+				acc += w
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+		}
+		row := st.cent[chosen*st.dim : (chosen+1)*st.dim]
+		copy(row, data[idx])
+		if chosen+1 == st.k {
+			break
+		}
+		for i, x := range data {
+			if d := vec.Dist2(x, row); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+}
+
+// assignStep computes the nearest centroid for every point. After the first
+// full scan it applies the pending centroid drift to the Hamerly bounds and
+// rescans only the points whose bounds cannot certify their assignment.
+func (st *kmeansState) assignStep(data [][]float64, full bool) {
+	if full {
+		for i, x := range data {
+			st.scanPoint(i, x)
+		}
+		return
+	}
+	for i, x := range data {
+		a := st.assign[i]
+		u := st.upper[i] + st.move[a]
+		l := st.lower[i] - st.maxMove
+		if u < l {
+			st.upper[i], st.lower[i] = u, l
+			continue
+		}
+		// Tighten the upper bound with one exact distance before falling
+		// back to the full scan.
+		u = math.Sqrt(vec.Dist2(x, st.row(a)))
+		if u < l {
+			st.upper[i], st.lower[i] = u, l
+			continue
+		}
+		st.scanPoint(i, x)
+	}
+}
+
+// scanPoint is the full assignment scan for one point, tracking the best and
+// second-best squared distances (the Hamerly bounds). Each candidate scan is
+// capped at the running second-best distance: a partial sum that reaches the
+// cap proves the candidate can affect neither bound, and below the cap the
+// capped distance is bit-identical to vec.Dist2, so the selected index (ties
+// keep the lowest, exactly like the naive argmin) and both bounds match the
+// unpruned scan.
+func (st *kmeansState) scanPoint(i int, x []float64) {
+	best, best2, second2 := 0, math.Inf(1), math.Inf(1)
+	for c := 0; c < st.k; c++ {
+		d2 := vec.Dist2Capped(x, st.row(c), second2)
+		if d2 < best2 {
+			best, best2, second2 = c, d2, best2
+		} else if d2 < second2 {
+			second2 = d2
+		}
+	}
+	st.assign[i] = best
+	st.upper[i] = math.Sqrt(best2)
+	st.lower[i] = math.Sqrt(second2)
+}
+
+// updateStep recomputes centroids from the current assignment and returns
+// the largest centroid movement. Accumulation runs over points in index
+// order into the flat next buffer — the same addition order as the naive
+// kernel — so the new centroids are bit-identical; only the allocations are
+// gone.
+func (st *kmeansState) updateStep(data [][]float64) float64 {
+	for i := range st.next {
+		st.next[i] = 0
+	}
+	for c := range st.counts {
+		st.counts[c] = 0
+	}
+	for i, x := range data {
+		a := st.assign[i]
+		row := st.nextRow(a)
+		for j, v := range x {
+			row[j] += v
+		}
+		st.counts[a]++
+	}
+	st.repaired = st.repaired[:0]
+	for c := 0; c < st.k; c++ {
+		row := st.nextRow(c)
+		if st.counts[c] == 0 {
+			// Reseed an empty cluster at the point farthest from the current
+			// centroids and any repairs already made this step, so
+			// simultaneous repairs land on distinct points.
+			far := st.farthestPoint(data)
+			copy(row, data[far])
+			st.repaired = append(st.repaired, far)
+			continue
+		}
+		inv := 1 / float64(st.counts[c])
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	st.maxMove = 0
+	for c := 0; c < st.k; c++ {
+		m := math.Sqrt(vec.Dist2(st.row(c), st.nextRow(c)))
+		st.move[c] = m
+		if m > st.maxMove {
+			st.maxMove = m
+		}
+	}
+	st.cent, st.next = st.next, st.cent
+	return st.maxMove
+}
+
+// farthestPoint returns the point farthest from the union of the current
+// (pre-update) centroids and the repairs already made this step. Ties keep
+// the lowest index, matching farthestPointRef.
+func (st *kmeansState) farthestPoint(data [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, x := range data {
+		near := math.Inf(1)
+		for c := 0; c < st.k; c++ {
+			if d := vec.Dist2Capped(x, st.row(c), near); d < near {
+				near = d
+			}
+		}
+		for _, r := range st.repaired {
+			if d := vec.Dist2Capped(x, data[r], near); d < near {
+				near = d
+			}
+		}
+		if near > bestD {
+			best, bestD = i, near
+		}
+	}
+	return best
+}
+
+// result computes radii and counts, drops empty clusters and compacts
+// assignment indices — the same values buildResult produces, assembled with
+// a single flat backing array for the output centroids.
+func (st *kmeansState) result(data [][]float64, iters int) Result {
+	k := st.k
+	for c := range st.counts {
+		st.counts[c] = 0
+	}
+	radii := st.move // the k-sized movement buffer is free after the last update
+	for c := range radii {
+		radii[c] = 0
+	}
+	for i, x := range data {
+		c := st.assign[i]
+		st.counts[c]++
+		if d := vec.Dist(x, st.row(c)); d > radii[c] {
+			radii[c] = d
+		}
+	}
+	live := 0
+	for c := 0; c < k; c++ {
+		if st.counts[c] > 0 {
+			live++
+		}
+	}
+	backing := make([]float64, live*st.dim)
+	clusters := make([]Cluster, 0, live)
+	remap := st.remap
+	for c := 0; c < k; c++ {
+		if st.counts[c] == 0 {
+			remap[c] = -1
+			continue
+		}
+		remap[c] = len(clusters)
+		cent := backing[len(clusters)*st.dim : (len(clusters)+1)*st.dim]
+		copy(cent, st.row(c))
+		clusters = append(clusters, Cluster{
+			Centroid: cent,
+			Radius:   radii[c],
+			Count:    st.counts[c],
+		})
+	}
+	out := make([]int, st.n)
+	for i, c := range st.assign {
+		out[i] = remap[c]
+	}
+	return Result{Clusters: clusters, Assign: out, Iters: iters}
 }
 
 // buildResult computes radii and counts, dropping empty clusters and
@@ -182,71 +428,6 @@ func buildResult(data, centroids [][]float64, assign []int, iters int) Result {
 		out[i] = remap[c]
 	}
 	return Result{Clusters: clusters, Assign: out, Iters: iters}
-}
-
-// seedPlusPlus performs k-means++ initialization.
-func seedPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
-	centroids := make([][]float64, 0, k)
-	first := data[rng.Intn(len(data))]
-	centroids = append(centroids, vec.Clone(first))
-	d2 := make([]float64, len(data))
-	for len(centroids) < k {
-		var total float64
-		for i, x := range data {
-			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := vec.Dist2(x, c); d < best {
-					best = d
-				}
-			}
-			d2[i] = best
-			total += best
-		}
-		if total == 0 {
-			// All remaining points coincide with existing centroids; any
-			// choice works and the clusters will be deduplicated by counts.
-			centroids = append(centroids, vec.Clone(data[rng.Intn(len(data))]))
-			continue
-		}
-		target := rng.Float64() * total
-		idx := len(data) - 1
-		var acc float64
-		for i, w := range d2 {
-			acc += w
-			if acc >= target {
-				idx = i
-				break
-			}
-		}
-		centroids = append(centroids, vec.Clone(data[idx]))
-	}
-	return centroids
-}
-
-func nearestCentroid(x []float64, centroids [][]float64) int {
-	best, bestD := 0, math.Inf(1)
-	for c, cent := range centroids {
-		if d := vec.Dist2(x, cent); d < bestD {
-			best, bestD = c, d
-		}
-	}
-	return best
-}
-
-func farthestPoint(data, centroids [][]float64) int {
-	best, bestD := 0, -1.0
-	for i, x := range data {
-		near := math.Inf(1)
-		for _, c := range centroids {
-			if d := vec.Dist2(x, c); d < near {
-				near = d
-			}
-		}
-		if near > bestD {
-			best, bestD = i, near
-		}
-	}
-	return best
 }
 
 // Quality holds the clustering goodness metrics used by Figure 11.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -231,18 +232,109 @@ func TestClusterString(t *testing.T) {
 	}
 }
 
-func BenchmarkKMeans1000x32K10(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	data := make([][]float64, 1000)
-	for i := range data {
-		data[i] = make([]float64, 32)
-		for j := range data[i] {
-			data[i][j] = rng.Float64()
+// TestPropOptimizedMatchesReference is the golden test for the optimized
+// kernel: across many random (seed, n, k, dim) combinations — including
+// degenerate inputs with heavy point duplication, which exercise the
+// zero-weight seeding path and empty-cluster repairs — KMeans must return
+// results bit-identical to the naive kmeansReference.
+func TestPropOptimizedMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(300)
+		dim := 1 + rng.Intn(20)
+		k := 1 + rng.Intn(14)
+		data := make([][]float64, n)
+		for i := range data {
+			if i > 0 && rng.Float64() < 0.3 {
+				// Duplicate an earlier point to force distance ties and,
+				// with enough duplication, empty clusters.
+				data[i] = data[rng.Intn(i)]
+				continue
+			}
+			data[i] = make([]float64, dim)
+			for j := range data[i] {
+				data[i][j] = rng.NormFloat64() * 10
+			}
+		}
+		runSeed := rng.Int63()
+		ref := kmeansReference(data, Config{K: k, Rng: rand.New(rand.NewSource(runSeed))})
+		opt := KMeans(data, Config{K: k, Rng: rand.New(rand.NewSource(runSeed))})
+		if err := resultsIdentical(ref, opt); err != nil {
+			t.Fatalf("seed=%d n=%d k=%d dim=%d: %v", seed, n, k, dim, err)
 		}
 	}
+}
+
+// TestCompareKernels exercises the benchmark-support comparator (which also
+// re-verifies kernel identity on its workload).
+func TestCompareKernels(t *testing.T) {
+	refS, optS, err := CompareKernels(120, 6, 8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refS <= 0 || optS <= 0 {
+		t.Errorf("non-positive timings: ref=%v opt=%v", refS, optS)
+	}
+	if _, _, err := CompareKernels(10, 2, 2, 0, 1); err == nil {
+		t.Error("rounds=0 should error")
+	}
+}
+
+// TestEmptyClusterRepairsDistinct drives the update step directly into the
+// two-empty-clusters state: three identical centroids over three distinct
+// points assign everything to centroid 0, so clusters 1 and 2 are both empty
+// in the same step. The repairs must land on distinct points (the old kernel
+// reseeded both at the same farthest point).
+func TestEmptyClusterRepairsDistinct(t *testing.T) {
+	data := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	st := newKmeansState(3, 3, 2)
+	// All three centroids at the origin; assignment ties keep index 0.
+	st.assignStep(data, true)
+	for i, a := range st.assign {
+		if a != 0 {
+			t.Fatalf("point %d assigned to %d, want 0", i, a)
+		}
+	}
+	st.updateStep(data)
+	r1, r2 := st.row(1), st.row(2)
+	if r1[0] == r2[0] && r1[1] == r2[1] {
+		t.Fatalf("both empty clusters repaired to the same centroid %v", r1)
+	}
+	// The reference helper must make the same distinct choices.
+	centroids := [][]float64{{0, 0}, {0, 0}, {0, 0}}
+	first := farthestPointRef(data, centroids, nil)
+	second := farthestPointRef(data, centroids, [][]float64{data[first]})
+	if first == second {
+		t.Fatalf("reference repair chose point %d twice", first)
+	}
+	if first != 1 || second != 2 {
+		t.Errorf("reference repairs = (%d, %d), want (1, 2)", first, second)
+	}
+}
+
+// benchmarkKMeans runs one kernel at the default experiment scale
+// (n=1000, K=10) for one dimensionality, on the clustered mixture data the
+// publish pipeline actually feeds the kernel.
+func benchmarkKMeans(b *testing.B, dim int, ref bool) {
+	data := MixtureData(1000, dim, 10, rand.New(rand.NewSource(1)))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		KMeans(data, Config{K: 10, Rng: rand.New(rand.NewSource(int64(i)))})
+		cfg := Config{K: 10, Rng: rand.New(rand.NewSource(int64(i)))}
+		if ref {
+			kmeansReference(data, cfg)
+		} else {
+			KMeans(data, cfg)
+		}
+	}
+}
+
+// BenchmarkKMeans compares the optimized kernel against the naive reference
+// at the default experiment scale (n=1000, k=10, d ∈ {2, 8, 64}); run with
+// -benchmem to see the allocation gap.
+func BenchmarkKMeans(b *testing.B) {
+	for _, dim := range []int{2, 8, 64} {
+		b.Run(fmt.Sprintf("d=%d/opt", dim), func(b *testing.B) { benchmarkKMeans(b, dim, false) })
+		b.Run(fmt.Sprintf("d=%d/ref", dim), func(b *testing.B) { benchmarkKMeans(b, dim, true) })
 	}
 }

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"hyperm/internal/vec"
+)
+
+// kmeansReference is the naive pre-optimization k-means kernel: full
+// O(n·k·d) scans per Lloyd iteration, O(n·k²) k-means++ seeding, and fresh
+// accumulator allocations every iteration. It is retained verbatim (modulo
+// the distinct-empty-repair fix, applied to both kernels) as the golden
+// oracle: the optimized KMeans must produce bit-identical results, which
+// TestPropOptimizedMatchesReference and cluster.CompareKernels verify.
+func kmeansReference(data [][]float64, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	dim := validateKMeansInput(data, cfg)
+	k := cfg.K
+	if k > len(data) {
+		k = len(data)
+	}
+
+	centroids := seedPlusPlusRef(data, k, cfg.Rng)
+	assign := make([]int, len(data))
+	counts := make([]int, k)
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		// Assignment step.
+		for i, x := range data {
+			assign[i] = nearestCentroidRef(x, centroids)
+		}
+		// Update step.
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, dim)
+			counts[c] = 0
+		}
+		for i, x := range data {
+			vec.Add(next[assign[i]], x)
+			counts[assign[i]]++
+		}
+		var repaired [][]float64
+		for c := range next {
+			if counts[c] == 0 {
+				// Reseed an empty cluster at the point farthest from the
+				// current centroids and any repairs already made this step,
+				// so simultaneous repairs land on distinct points.
+				far := farthestPointRef(data, centroids, repaired)
+				copy(next[c], data[far])
+				repaired = append(repaired, data[far])
+				continue
+			}
+			vec.Scale(next[c], 1/float64(counts[c]))
+		}
+		// Convergence check.
+		moved := 0.0
+		for c := range centroids {
+			if m := vec.Dist(centroids[c], next[c]); m > moved {
+				moved = m
+			}
+		}
+		centroids = next
+		if moved <= cfg.Tol {
+			iters++
+			break
+		}
+	}
+	// Final assignment against the converged centroids.
+	for i, x := range data {
+		assign[i] = nearestCentroidRef(x, centroids)
+	}
+	return buildResult(data, centroids, assign, iters)
+}
+
+// seedPlusPlusRef performs k-means++ initialization by rescanning every
+// chosen centroid for every point each round (the O(n·k²) baseline).
+func seedPlusPlusRef(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := data[rng.Intn(len(data))]
+	centroids = append(centroids, vec.Clone(first))
+	d2 := make([]float64, len(data))
+	for len(centroids) < k {
+		var total float64
+		for i, x := range data {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := vec.Dist2(x, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with existing centroids; any
+			// choice works and the clusters will be deduplicated by counts.
+			centroids = append(centroids, vec.Clone(data[rng.Intn(len(data))]))
+			continue
+		}
+		target := rng.Float64() * total
+		idx := len(data) - 1
+		var acc float64
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, vec.Clone(data[idx]))
+	}
+	return centroids
+}
+
+func nearestCentroidRef(x []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := vec.Dist2(x, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// farthestPointRef returns the index of the point farthest from the union of
+// centroids and extra (the repairs already made in this update step). Ties
+// keep the lowest index.
+func farthestPointRef(data, centroids, extra [][]float64) int {
+	best, bestD := 0, -1.0
+	for i, x := range data {
+		near := math.Inf(1)
+		for _, c := range centroids {
+			if d := vec.Dist2(x, c); d < near {
+				near = d
+			}
+		}
+		for _, c := range extra {
+			if d := vec.Dist2(x, c); d < near {
+				near = d
+			}
+		}
+		if near > bestD {
+			best, bestD = i, near
+		}
+	}
+	return best
+}

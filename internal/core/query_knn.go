@@ -143,12 +143,17 @@ func (s *System) levelEps(from, l, m int, qc []float64, k, span float64) (float6
 	r := 0.05 * span
 	maxR := span * math.Sqrt(float64(m))
 	totalHops := 0
+	// Both scratch slices live across the widening iterations: each pass
+	// resets them to length zero and refills, so one allocation (grown to the
+	// largest discovery set) serves the whole geometric search instead of a
+	// fresh sphere slice per widening step.
 	var refs []ClusterRef
+	var spheres []geometry.SphereAt
 	for {
 		entries, hops := s.overlays[l].SearchSphere(from, key, slacken(s.mappers[l].mapRadius(r)))
 		totalHops += hops
 		refs = refs[:0]
-		spheres := make([]geometry.SphereAt, 0, len(entries))
+		spheres = spheres[:0]
 		for _, e := range entries {
 			ref := e.Payload.(ClusterRef)
 			refs = append(refs, ref)

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"hyperm/internal/cluster"
+	"hyperm/internal/geometry"
 	"hyperm/internal/parallel"
 )
 
@@ -101,6 +103,95 @@ func RenderPublishBench(rows []PublishBenchRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-12d %-9d %-8d %-10d %-8d %-10.3f %-12.0f %-9.2f\n",
 			r.Parallelism, r.Workers, r.Items, r.Clusters, r.Hops, r.Seconds, r.ItemsPerSecond, r.Speedup)
+	}
+	return b.String()
+}
+
+// KernelBenchRow is one old-vs-new timing of a hot-path kernel: either the
+// k-means clustering behind PublishAll or the Eq 8 radius solver behind
+// KNNQuery. The rows are what `hyperm-bench -run kernels` renders and what
+// -out writes as BENCH_kernels.json.
+type KernelBenchRow struct {
+	// Kernel names the measured kernel: "kmeans" or "solve_eps".
+	Kernel string `json:"kernel"`
+	// Dim is the point (k-means) or subspace (solver) dimensionality.
+	Dim int `json:"dim"`
+	// Workload sizes the input: points clustered or spheres per solve.
+	Workload int `json:"workload"`
+	// Rounds is how many repetitions the timings aggregate.
+	Rounds int `json:"rounds"`
+	// RefSeconds / OptSeconds are total wall-clock times of the retained
+	// naive kernel and the optimized kernel on the identical input.
+	RefSeconds float64 `json:"ref_seconds"`
+	OptSeconds float64 `json:"opt_seconds"`
+	// Speedup is RefSeconds / OptSeconds.
+	Speedup float64 `json:"speedup"`
+	// RefBetaEvals / OptBetaEvals count continued-fraction RegIncBeta
+	// evaluations (solver rows only; zero for k-means rows).
+	RefBetaEvals int64 `json:"ref_beta_evals,omitempty"`
+	OptBetaEvals int64 `json:"opt_beta_evals,omitempty"`
+}
+
+// KernelBench runs the kernel comparison study: the optimized k-means against
+// its retained reference at d ∈ {2, 8, 64}, and the optimized Eq 8 solver
+// against its Newton reference at even and odd subspace dimensions. Every row
+// also verifies the two kernels agree (bit-identical clustering results,
+// matching solver roots), so the bench doubles as a regression check.
+func KernelBench(seed int64) ([]KernelBenchRow, error) {
+	var rows []KernelBenchRow
+	const (
+		kmN, kmK, kmRounds = 1000, 10, 3
+		seN, seRounds      = 50, 200
+		seK                = 100
+	)
+	for _, dim := range []int{2, 8, 64} {
+		ref, opt, err := cluster.CompareKernels(kmN, kmK, dim, kmRounds, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, KernelBenchRow{
+			Kernel: "kmeans", Dim: dim, Workload: kmN, Rounds: kmRounds,
+			RefSeconds: ref, OptSeconds: opt,
+		})
+	}
+	for _, dim := range []int{8, 9} { // even: Eq 5 series path; odd: beta path
+		ref, opt, refEvals, optEvals, err := geometry.CompareSolvers(dim, seN, seRounds, seK, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, KernelBenchRow{
+			Kernel: "solve_eps", Dim: dim, Workload: seN, Rounds: seRounds,
+			RefSeconds: ref, OptSeconds: opt,
+			RefBetaEvals: refEvals, OptBetaEvals: optEvals,
+		})
+	}
+	for i := range rows {
+		if rows[i].OptSeconds > 0 {
+			rows[i].Speedup = rows[i].RefSeconds / rows[i].OptSeconds
+		}
+	}
+	return rows, nil
+}
+
+// WriteKernelBenchJSON writes the rows to path as indented JSON —
+// the BENCH_kernels.json artifact.
+func WriteKernelBenchJSON(path string, rows []KernelBenchRow) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderKernelBench formats the rows as the CLI table.
+func RenderKernelBench(rows []KernelBenchRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel speedups — optimized vs retained reference (identical results verified)\n")
+	fmt.Fprintf(&b, "%-10s %-5s %-9s %-7s %-11s %-11s %-8s %-10s %-10s\n",
+		"kernel", "dim", "workload", "rounds", "ref_s", "opt_s", "speedup", "ref_evals", "opt_evals")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-5d %-9d %-7d %-11.4f %-11.4f %-8.2f %-10d %-10d\n",
+			r.Kernel, r.Dim, r.Workload, r.Rounds, r.RefSeconds, r.OptSeconds, r.Speedup, r.RefBetaEvals, r.OptBetaEvals)
 	}
 	return b.String()
 }

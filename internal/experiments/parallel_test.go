@@ -100,3 +100,52 @@ func TestPublishBench(t *testing.T) {
 		t.Errorf("JSON round trip lost data: %+v", back)
 	}
 }
+
+// The kernel comparison driver must verify optimized-vs-reference agreement
+// internally, report positive timings and solver eval counts, and round-trip
+// through the BENCH_kernels.json writer.
+func TestKernelBench(t *testing.T) {
+	rows, err := KernelBench(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.RefSeconds <= 0 || r.OptSeconds <= 0 || r.Speedup <= 0 {
+			t.Errorf("missing timing: %+v", r)
+		}
+		switch r.Kernel {
+		case "kmeans":
+			if r.RefBetaEvals != 0 || r.OptBetaEvals != 0 {
+				t.Errorf("kmeans row carries solver eval counts: %+v", r)
+			}
+		case "solve_eps":
+			if r.RefBetaEvals <= 0 {
+				t.Errorf("solver row missing eval counts: %+v", r)
+			}
+		default:
+			t.Errorf("unknown kernel: %+v", r)
+		}
+	}
+	if RenderKernelBench(rows) == "" {
+		t.Error("empty render")
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_kernels.json")
+	if err := WriteKernelBenchJSON(path, rows); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []KernelBenchRow
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rows) || back[0].Kernel != rows[0].Kernel {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}

@@ -15,6 +15,8 @@ package geometry
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // BallVolume returns the volume of a d-dimensional ball of radius r:
@@ -156,10 +158,169 @@ func ExpectedCount(d int, eps float64, spheres []SphereAt) float64 {
 	return k
 }
 
+// sphereInv is one sphere of an epsSolver with its eps-independent
+// invariants precomputed: the items count as a float, log(Radius) for the
+// containment-ratio case, and the point-mass flag.
+type sphereInv struct {
+	dist, radius float64
+	items        float64
+	logR         float64
+	point        bool // radius == 0: treated as a point mass
+}
+
+// epsSolver evaluates Eq 8 repeatedly at fixed dimension and sphere set —
+// the shape of the root-finding loop inside SolveEpsForCount. Everything
+// that does not depend on eps is computed once: per-sphere invariants, the
+// dimension as a float, and either the Eq 5 series coefficients (even d) or
+// the lgamma prefactor of the one RegIncBeta (a, b) pair a fixed subspace
+// dimension ever uses (odd d). The eps-dependent case analysis mirrors
+// ExpectedCount/IntersectFraction exactly; the cap fraction itself comes
+// from whichever of the paper's two equivalent forms is cheaper for the
+// dimension's parity, with the forms pinned together to 1e-9 by
+// TestCapFractionPaperSeriesAllEvenD.
+type epsSolver struct {
+	d      int
+	df     float64 // float64(d)
+	a, b   float64 // CapFraction's RegIncBeta parameters: ((d+1)/2, 1/2)
+	lg     float64 // lgamma prefactor for (a, b); symmetric, so valid for (b, a)
+	series []float64
+	sph    []sphereInv
+}
+
+func newEpsSolver(d int, spheres []SphereAt) *epsSolver {
+	if d < 1 {
+		panic("geometry: SolveEpsForCount requires d >= 1")
+	}
+	s := &epsSolver{
+		d:   d,
+		df:  float64(d),
+		a:   (float64(d) + 1) / 2,
+		b:   0.5,
+		sph: make([]sphereInv, len(spheres)),
+	}
+	s.lg = lgammaPrefactor(s.a, s.b)
+	if d >= 2 && d%2 == 0 {
+		// For even d the paper's Eq 5 closed-form series evaluates the cap
+		// fraction with (d/2) multiply-adds and no continued fraction at
+		// all. Precompute its coefficients 2^{2i}(i!)^2/(2i+1)! once. (The
+		// lgamma prefactor is still kept: tiny caps feeding the scaled lens
+		// term fall back to the beta form, see capFraction.)
+		s.series = make([]float64, d/2)
+		term := 1.0
+		for i := range s.series {
+			s.series[i] = term
+			term *= 2 * float64(i+1) / float64(2*i+3)
+		}
+	}
+	for i, sp := range spheres {
+		if sp.Radius < 0 || sp.Dist < 0 {
+			panic("geometry: negative radius or distance")
+		}
+		s.sph[i] = sphereInv{
+			dist:   sp.Dist,
+			radius: sp.Radius,
+			items:  float64(sp.Items),
+			point:  sp.Radius == 0,
+		}
+		if !s.sph[i].point {
+			s.sph[i].logR = math.Log(sp.Radius)
+		}
+	}
+	return s
+}
+
+// expected is ExpectedCount with the solver's precomputed invariants:
+// bit-identical results, none of the per-call recomputation.
+func (s *epsSolver) expected(eps float64) float64 {
+	var k float64
+	for i := range s.sph {
+		k += s.intersect(&s.sph[i], eps) * s.sph[i].items
+	}
+	return k
+}
+
+// intersect mirrors IntersectFraction case-for-case using the precomputed
+// invariants. The cheap disjoint/containment classifications run before any
+// transcendental work, so fully-covered and unreached spheres never touch
+// the RegIncBeta path.
+func (s *epsSolver) intersect(p *sphereInv, eps float64) float64 {
+	if p.point {
+		if p.dist <= eps {
+			return 1
+		}
+		return 0
+	}
+	if eps == 0 {
+		return 0
+	}
+	b, r := p.dist, p.radius
+	switch {
+	case b >= r+eps:
+		return 0 // disjoint
+	case b+r <= eps:
+		return 1 // data sphere inside query sphere
+	case b+eps <= r:
+		// query sphere inside data sphere: ratio of ball volumes (eps/r)^d
+		return math.Exp(s.df * (math.Log(eps) - p.logR))
+	}
+	x := (b*b + r*r - eps*eps) / (2 * b)
+	alpha := math.Acos(clamp(x/r, -1, 1))      // half-angle of the data-sphere cap
+	beta := math.Acos(clamp((b-x)/eps, -1, 1)) // half-angle of the query-sphere cap
+	frac := s.capFraction(alpha, false) + s.capFraction(beta, true)*math.Exp(s.df*(math.Log(eps)-p.logR))
+	return clamp(frac, 0, 1)
+}
+
+// capFraction is CapFraction specialized to the solver's fixed dimension.
+// Even d uses the precomputed Eq 5 series — a handful of multiply-adds in
+// place of a Lentz continued fraction; TestCapFractionPaperSeriesAllEvenD
+// pins the two forms together to 1e-9 for every even d <= 512. Odd d keeps
+// the incomplete-beta form with the memoized lgamma prefactor.
+//
+// The series computes (phi - cos*sum)/pi, a difference of near-equal O(1)
+// terms when the cap is tiny: its ~1e-16 ABSOLUTE error is fine wherever
+// the fraction enters the lens sum directly, but the query-sphere cap is
+// multiplied by (eps/r)^d — up to ~1e18 — so that operand needs RELATIVE
+// accuracy a cancelled difference cannot offer. Callers flag that scaled
+// position; small series results there fall back to the beta form, whose
+// continued fraction is relatively accurate at any magnitude. Reflection at
+// pi/2 happens first, so the series always runs with cos(phi) >= 0
+// (all-positive terms) and a reflected complement only ever needs absolute
+// accuracy.
+func (s *epsSolver) capFraction(phi float64, scaled bool) float64 {
+	switch {
+	case phi <= 0:
+		return 0
+	case phi >= math.Pi:
+		return 1
+	case phi > math.Pi/2:
+		return 1 - s.capFraction(math.Pi-phi, false)
+	}
+	if s.series != nil {
+		sin, cos := math.Sin(phi), math.Cos(phi)
+		sum := 0.0
+		sinPow := sin
+		for _, c := range s.series {
+			sum += c * sinPow
+			sinPow *= sin * sin
+		}
+		v := (phi - cos*sum) / math.Pi
+		if !scaled || v >= 1e-3 {
+			return v
+		}
+	}
+	sin := math.Sin(phi)
+	return 0.5 * regIncBetaPre(s.a, s.b, sin*sin, s.lg)
+}
+
 // SolveEpsForCount inverts Eq 8: it returns the smallest query radius eps
-// whose expected retrieved-item count reaches k, using a Newton iteration
-// with a bisection safeguard (the function is monotonically non-decreasing
-// in eps, so bracketing is exact).
+// whose expected retrieved-item count reaches k. The function is
+// monotonically non-decreasing in eps and bracketed by construction, so the
+// root is found with an Illinois-damped secant/bisection hybrid — one Eq 8
+// evaluation per step, against the three (value plus centered numeric
+// derivative) the previous Newton iteration spent — over an evaluator with
+// all eps-independent sphere invariants precomputed (see epsSolver). The
+// stopping tolerances are the old solver's; solveEpsReference agreement is
+// covered by TestPropSolverMatchesReference.
 //
 // If k meets or exceeds the total item mass, the radius that covers every
 // sphere entirely is returned. If the sphere list is empty or k <= 0, zero
@@ -179,35 +340,85 @@ func SolveEpsForCount(d int, k float64, spheres []SphereAt) float64 {
 	if k >= total {
 		return hi
 	}
-	lo := 0.0
-	f := func(eps float64) float64 { return ExpectedCount(d, eps, spheres) - k }
-	// Newton with numeric derivative, safeguarded: every step must stay in
-	// [lo, hi]; otherwise fall back to bisection on the bracketing interval.
+	sol := newEpsSolver(d, spheres)
+	// Bracket endpoints with known signs: expected(0)-k = -k < 0 and
+	// expected(hi)-k = total-k > 0 (at hi every sphere is fully covered).
+	lo, flo := 0.0, -k
+	fhi := total - k
 	eps := hi / 2
+	side := 0
 	const iters = 100
 	for i := 0; i < iters; i++ {
-		fv := f(eps)
+		fv := sol.expected(eps) - k
 		if math.Abs(fv) < 1e-9*math.Max(1, k) || hi-lo < 1e-12*math.Max(1, hi) {
 			break
 		}
 		if fv > 0 {
-			hi = eps
+			hi, fhi = eps, fv
+			if side == 1 {
+				// Illinois damping: the opposite endpoint is stale, halve
+				// its weight so the secant cannot stagnate on one side.
+				flo *= 0.5
+			}
+			side = 1
 		} else {
-			lo = eps
+			lo, flo = eps, fv
+			if side == -1 {
+				fhi *= 0.5
+			}
+			side = -1
 		}
-		h := 1e-6 * math.Max(eps, 1e-6)
-		df := (f(eps+h) - f(eps-h)) / (2 * h)
-		var next float64
-		if df > 0 {
-			next = eps - fv/df
-		}
-		if df <= 0 || next <= lo || next >= hi {
+		next := lo - flo*(hi-lo)/(fhi-flo)
+		if !(next > lo && next < hi) {
 			next = (lo + hi) / 2 // bisection fallback
 		}
 		eps = next
 	}
 	return eps
 }
+
+// betaKey identifies one (a, b) parameter pair of RegIncBeta.
+type betaKey struct{ a, b float64 }
+
+// lgammaPrefactors memoizes the x-independent lgamma combination of
+// RegIncBeta for the parameter pairs the cap-volume machinery recycles: at a
+// fixed subspace dimension d every CapFraction call uses the same
+// ((d+1)/2, 1/2) pair, so the three Lgamma evaluations are paid once per
+// dimension instead of once per call. Only pairs with a half-integer 1/2
+// member are cached, which keeps the map bounded by the set of distinct
+// dimensions ever used.
+var lgammaPrefactors sync.Map // betaKey -> float64
+
+// lgammaPrefactor returns lgamma(a+b) - lgamma(a) - lgamma(b), memoized for
+// the recurring cap-fraction parameter family. The value is computed with
+// the same association order RegIncBeta historically used, so memoization
+// changes no bits.
+func lgammaPrefactor(a, b float64) float64 {
+	cacheable := a == 0.5 || b == 0.5
+	key := betaKey{a, b}
+	if cacheable {
+		if v, ok := lgammaPrefactors.Load(key); ok {
+			return v.(float64)
+		}
+	}
+	lg := lgamma(a+b) - lgamma(a) - lgamma(b)
+	if cacheable {
+		lgammaPrefactors.Store(key, lg)
+	}
+	return lg
+}
+
+// regIncBetaEvals counts continued-fraction RegIncBeta evaluations — the
+// expensive path the Eq 8 solver tries to avoid. The counter is atomic
+// benchmark instrumentation (see RegIncBetaEvals); its cost is noise next to
+// the Lentz iteration it counts.
+var regIncBetaEvals atomic.Int64
+
+// RegIncBetaEvals returns the cumulative number of continued-fraction
+// RegIncBeta evaluations performed by this process. Benchmarks and the
+// `kernels` experiment difference it around a workload to report
+// evaluations per solve.
+func RegIncBetaEvals() int64 { return regIncBetaEvals.Load() }
 
 // RegIncBeta returns the regularized incomplete beta function I_x(a, b),
 // computed by the standard continued-fraction expansion (Lentz's method).
@@ -221,7 +432,22 @@ func RegIncBeta(a, b, x float64) float64 {
 	case x >= 1:
 		return 1
 	}
-	logBt := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log1p(-x)
+	return regIncBetaPre(a, b, x, lgammaPrefactor(a, b))
+}
+
+// regIncBetaPre is RegIncBeta with the lgamma prefactor supplied by the
+// caller (memoized globally or cached in an epsSolver). The prefactor and
+// the x-dependent terms are combined in the historical association order, so
+// results are bit-identical to the unmemoized computation.
+func regIncBetaPre(a, b, x, lg float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	regIncBetaEvals.Add(1)
+	logBt := lg + a*math.Log(x) + b*math.Log1p(-x)
 	bt := math.Exp(logBt)
 	if x < (a+1)/(a+b+2) {
 		return bt * betacf(a, b, x) / a

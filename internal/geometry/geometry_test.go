@@ -300,6 +300,74 @@ func TestPropSolverInvertsExpectedCount(t *testing.T) {
 	}
 }
 
+// Property: the optimized Illinois solver agrees with the retained Newton
+// reference to 1e-9 across random sphere sets, dimensions and targets —
+// satellite (c) of the kernel-speedup PR.
+func TestPropSolverMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(16)
+		n := 1 + rng.Intn(60)
+		spheres := RandomSpheres(n, rng)
+		if seed%5 == 0 {
+			// Exercise point masses and duplicate geometry too.
+			spheres[0].Radius = 0
+			if n > 1 {
+				spheres[1] = spheres[0]
+			}
+		}
+		total := 0
+		hi := 0.0
+		for _, s := range spheres {
+			total += s.Items
+			if reach := s.Dist + s.Radius; reach > hi {
+				hi = reach
+			}
+		}
+		for _, frac := range []float64{0.01, 0.25, 0.5, 0.9, 1.5} {
+			k := frac * float64(total)
+			ref := solveEpsReference(d, k, spheres)
+			opt := SolveEpsForCount(d, k, spheres)
+			if err := solutionsAgree(d, k, hi, ref, opt, spheres); err != nil {
+				t.Errorf("seed=%d d=%d n=%d k=%v: %v", seed, d, n, k, err)
+			}
+		}
+	}
+}
+
+// The paper's Eq 5 series and the incomplete-beta form must agree for every
+// even dimension up to 512, not just a sampled subset — satellite (c).
+func TestCapFractionPaperSeriesAllEvenD(t *testing.T) {
+	for d := 2; d <= 512; d += 2 {
+		for _, alpha := range []float64{0.05, 0.5, 1.0, math.Pi / 2, 2.2, 3.0} {
+			series := CapFractionPaperSeries(d, alpha)
+			beta := CapFraction(d, alpha)
+			if math.Abs(series-beta) > 1e-9 {
+				t.Errorf("d=%d alpha=%v: series %v vs beta %v", d, alpha, series, beta)
+			}
+		}
+	}
+}
+
+func TestCompareSolvers(t *testing.T) {
+	refSec, optSec, refEvals, optEvals, err := CompareSolvers(8, 50, 3, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSec <= 0 || optSec <= 0 {
+		t.Errorf("non-positive timings: ref=%v opt=%v", refSec, optSec)
+	}
+	if refEvals <= 0 {
+		t.Errorf("non-positive reference eval count: %d", refEvals)
+	}
+	if optEvals*3 > refEvals {
+		t.Errorf("optimized solver used %d RegIncBeta evals, reference %d — expected >= 3x fewer", optEvals, refEvals)
+	}
+	if _, _, _, _, err := CompareSolvers(8, 50, 0, 100, 7); err == nil {
+		t.Error("rounds=0 should error")
+	}
+}
+
 func TestRegIncBetaKnown(t *testing.T) {
 	// I_x(1,1) = x (uniform CDF).
 	for _, x := range []float64{0.1, 0.5, 0.9} {
@@ -346,15 +414,24 @@ func BenchmarkIntersectFraction256D(b *testing.B) {
 	}
 }
 
-func BenchmarkSolveEpsForCount(b *testing.B) {
+// BenchmarkSolveEps compares the optimized Illinois Eq 8 solver against the
+// retained Newton reference on the levelEps workload shape (50 spheres,
+// d=8, k=100). The betaevals/op metric counts continued-fraction RegIncBeta
+// evaluations — the acceptance criterion is >= 3x fewer on the optimized
+// path.
+func BenchmarkSolveEps(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	spheres := make([]SphereAt, 50)
-	for i := range spheres {
-		spheres[i] = SphereAt{Dist: rng.Float64() * 5, Radius: rng.Float64(), Items: 1 + rng.Intn(50)}
+	spheres := RandomSpheres(50, rng)
+	run := func(b *testing.B, solve func(int, float64, []SphereAt) float64) {
+		b.ReportAllocs()
+		evals0 := RegIncBetaEvals()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solve(8, 100, spheres)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(RegIncBetaEvals()-evals0)/float64(b.N), "betaevals/op")
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		SolveEpsForCount(8, 100, spheres)
-	}
+	b.Run("opt", func(b *testing.B) { run(b, SolveEpsForCount) })
+	b.Run("ref", func(b *testing.B) { run(b, solveEpsReference) })
 }

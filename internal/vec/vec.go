@@ -28,6 +28,49 @@ func Dist2(a, b []float64) float64 {
 // Dist returns the Euclidean (L2) distance between a and b.
 func Dist(a, b []float64) float64 { return math.Sqrt(Dist2(a, b)) }
 
+// Dist2Capped returns the squared L2 distance between a and b with a
+// partial-distance early exit: once the running sum reaches bound, the
+// (partial) sum is returned immediately. Because squared terms are
+// non-negative the partial sum lower-bounds the full distance, so any
+// comparison of the form "distance < bound" is decided identically; and the
+// terms are accumulated in exactly Dist2's order, so when the result is below
+// bound it is bit-identical to Dist2(a, b). The check runs once per 8-element
+// block to keep the inner loop tight.
+func Dist2Capped(a, b []float64, bound float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		x, y := a[i:i+8], b[i:i+8]
+		d0 := x[0] - y[0]
+		s += d0 * d0
+		d1 := x[1] - y[1]
+		s += d1 * d1
+		d2 := x[2] - y[2]
+		s += d2 * d2
+		d3 := x[3] - y[3]
+		s += d3 * d3
+		d4 := x[4] - y[4]
+		s += d4 * d4
+		d5 := x[5] - y[5]
+		s += d5 * d5
+		d6 := x[6] - y[6]
+		s += d6 * d6
+		d7 := x[7] - y[7]
+		s += d7 * d7
+		if s >= bound {
+			return s
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
 // Norm2 returns the squared L2 norm of a.
 func Norm2(a []float64) float64 {
 	var s float64

@@ -161,3 +161,45 @@ func randVec(rng *rand.Rand, d int) []float64 {
 	}
 	return v
 }
+
+// Dist2Capped must return the exact Dist2 value whenever the full distance is
+// below the bound, and a value >= the bound (a lower bound on the distance)
+// whenever it exits early — across lengths that exercise both the unrolled
+// blocks and the scalar tail.
+func TestPropDist2Capped(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		full := Dist2(a, b)
+		for _, bound := range []float64{0, full * 0.25, full, full * 4, math.Inf(1)} {
+			got := Dist2Capped(a, b, bound)
+			if full < bound && got != full {
+				return false // below the bound: must be bit-identical
+			}
+			if got > full {
+				return false // partial sums never exceed the full distance
+			}
+			if full >= bound && got < bound && got != full {
+				return false // early exit must only happen at >= bound
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2CappedMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dist2Capped([]float64{1, 2}, []float64{1}, 10)
+}
