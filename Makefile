@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-kernels fuzz
+.PHONY: check fmt vet build test race bench bench-kernels bench-serve fuzz
 
 check: fmt vet build test
 
@@ -23,9 +23,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The packages that use or implement the worker pool, under -race.
+# The packages that use or implement the worker pool, plus the serving
+# runtime (concurrent RPC handlers over both transports), under -race.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -34,6 +35,11 @@ bench:
 # solver), 5 repetitions for benchstat-grade numbers.
 bench-kernels:
 	$(GO) test -run=^$$ -bench='^(BenchmarkKMeans|BenchmarkSolveEps)$$' -benchmem -count=5 ./internal/cluster ./internal/geometry
+
+# Serving-runtime load benchmark: 8 TCP nodes, 10k mixed requests, writes
+# BENCH_serve.json (fails on any request error).
+bench-serve:
+	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 10000 -transport tcp -out BENCH_serve.json
 
 # Short fuzz session for the wavelet round-trip invariant.
 fuzz:

@@ -1,0 +1,254 @@
+// Command hyperm-load is the closed-loop load harness of the serving
+// runtime: it boots a local cluster of serving nodes (one per peer of a
+// deterministic workload), then drives a mixed publish/range/kNN request
+// stream from N client goroutines and reports throughput and latency
+// percentiles.
+//
+// Usage:
+//
+//	hyperm-load                       # 8 nodes, 10k requests, TCP loopback
+//	hyperm-load -transport chan       # in-process transport
+//	hyperm-load -out BENCH_serve.json # also write the benchio artifact
+//
+// The mix is 10% publish, 45% range, 45% kNN, assigned deterministically by
+// request index. The process exits non-zero if any request fails — the
+// zero-errors contract of the serving runtime's acceptance check.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperm/internal/benchio"
+	"hyperm/internal/core"
+	"hyperm/internal/experiments"
+	"hyperm/internal/node"
+	"hyperm/internal/transport"
+	"hyperm/internal/vec"
+)
+
+// ServeBenchRow is one op-class measurement of a load run (op "all" is the
+// aggregate row carrying the overall QPS). Written as BENCH_serve.json under
+// the shared benchio envelope.
+type ServeBenchRow struct {
+	// Op is "publish", "range", "knn", or "all".
+	Op string `json:"op"`
+	// Transport is the substrate ("tcp" or "chan").
+	Transport string `json:"transport"`
+	// Nodes and Clients describe the cluster and the offered load.
+	Nodes   int `json:"nodes"`
+	Clients int `json:"clients"`
+	// Requests and Errors count this op's completions and failures.
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	// Seconds is the whole run's wall-clock time (same on every row).
+	Seconds float64 `json:"seconds"`
+	// QPS is Requests/Seconds for this op class.
+	QPS float64 `json:"qps"`
+	// P50/P95/P99Ms are latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+type sample struct {
+	op  int // 0 publish, 1 range, 2 knn
+	dur time.Duration
+	err error
+}
+
+var opNames = [3]string{"publish", "range", "knn"}
+
+// opFor assigns ops deterministically by request index: 1 publish, then
+// alternating range/kNN — a 10/45/45 mix at every scale.
+func opFor(i int64) int {
+	switch m := i % 10; {
+	case m == 0:
+		return 0
+	case m%2 == 1:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	nodes := flag.Int("nodes", 8, "cluster size (peers)")
+	requests := flag.Int("requests", 10000, "total requests to issue")
+	clients := flag.Int("clients", 8, "closed-loop client goroutines")
+	transportName := flag.String("transport", "tcp", "substrate: 'tcp' (loopback sockets) or 'chan' (in-process)")
+	itemsPerPeer := flag.Int("items", 40, "items per peer in the workload")
+	dim := flag.Int("dim", 32, "data dimensionality (power of two)")
+	levels := flag.Int("levels", 3, "wavelet levels / overlays")
+	clustersPerPeer := flag.Int("clusters", 4, "published clusters per peer per level")
+	k := flag.Int("k", 5, "k for kNN requests")
+	seed := flag.Int64("seed", 1, "workload and traffic seed")
+	out := flag.String("out", "", "also write the rows to this path (e.g. BENCH_serve.json)")
+	flag.Parse()
+
+	fmt.Printf("hyperm-load: building %d-node workload (items/peer=%d dim=%d levels=%d seed=%d)\n",
+		*nodes, *itemsPerPeer, *dim, *levels, *seed)
+	sys, err := experiments.BuildMarkovSystem(experiments.Params{
+		Peers: *nodes, ItemsPerPeer: *itemsPerPeer, Dim: *dim,
+		Levels: *levels, ClustersPerPeer: *clustersPerPeer, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+		return 1
+	}
+	sys.PublishAll()
+
+	var tr transport.Transport
+	var listen func(int) string
+	switch *transportName {
+	case "tcp":
+		tr = transport.NewTCP()
+		listen = func(int) string { return "127.0.0.1:0" }
+	case "chan":
+		tr = transport.NewChan()
+		listen = func(int) string { return "" }
+	default:
+		fmt.Fprintf(os.Stderr, "hyperm-load: unknown transport %q\n", *transportName)
+		return 2
+	}
+	defer tr.Close()
+
+	policy := transport.Policy{Timeout: 60 * time.Second, Seed: *seed}
+	cl, err := node.StartCluster(sys, tr, listen, policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+		return 1
+	}
+	defer cl.Stop()
+	fmt.Printf("hyperm-load: %d nodes up (%s transport)\n", len(cl.Nodes), *transportName)
+
+	// Query pool: in-domain centers (stored items) with inter-item radii, so
+	// range and kNN requests do real multi-level, multi-peer work.
+	poolRng := rand.New(rand.NewSource(*seed + 7))
+	const poolSize = 64
+	var centers [][]float64
+	var radii []float64
+	for len(centers) < poolSize {
+		_, itemsA := sys.PeerData(poolRng.Intn(*nodes))
+		_, itemsB := sys.PeerData(poolRng.Intn(*nodes))
+		if len(itemsA) == 0 || len(itemsB) == 0 {
+			continue
+		}
+		q := itemsA[poolRng.Intn(len(itemsA))]
+		centers = append(centers, q)
+		radii = append(radii, vec.Dist(q, itemsB[poolRng.Intn(len(itemsB))]))
+	}
+
+	client := node.NewClient(tr, policy)
+	ctx := context.Background()
+	var next int64
+	var nextID int64 = 1 << 20 // publish ids beyond the corpus range
+	results := make([][]sample, *clients)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*1000 + int64(c)))
+			for {
+				i := atomic.AddInt64(&next, 1) - 1
+				if i >= int64(*requests) {
+					return
+				}
+				op := opFor(i)
+				addr := cl.Addrs[rng.Intn(len(cl.Addrs))]
+				qi := rng.Intn(len(centers))
+				var err error
+				t0 := time.Now()
+				switch op {
+				case 0:
+					item := append([]float64(nil), centers[qi]...)
+					for d := range item {
+						item[d] += 0.01 * rng.Float64()
+					}
+					err = client.Publish(ctx, addr, int(atomic.AddInt64(&nextID, 1)), item)
+				case 1:
+					_, err = client.Range(ctx, addr, centers[qi], radii[qi], core.RangeOptions{})
+				case 2:
+					_, err = client.KNN(ctx, addr, centers[qi], *k, core.KNNOptions{})
+				}
+				results[c] = append(results[c], sample{op: op, dur: time.Since(t0), err: err})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hyperm-load: %s request %d: %v\n", opNames[op], i, err)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	// Aggregate per op class plus the "all" row.
+	perOp := map[string][]time.Duration{}
+	errs := map[string]int{}
+	for _, rs := range results {
+		for _, s := range rs {
+			name := opNames[s.op]
+			if s.err != nil {
+				errs[name]++
+				errs["all"]++
+				continue
+			}
+			perOp[name] = append(perOp[name], s.dur)
+			perOp["all"] = append(perOp["all"], s.dur)
+		}
+	}
+	var rows []ServeBenchRow
+	for _, op := range []string{"publish", "range", "knn", "all"} {
+		durs := perOp[op]
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		row := ServeBenchRow{
+			Op: op, Transport: *transportName, Nodes: *nodes, Clients: *clients,
+			Requests: len(durs) + errs[op], Errors: errs[op], Seconds: elapsed,
+			P50Ms: percentile(durs, 0.50), P95Ms: percentile(durs, 0.95), P99Ms: percentile(durs, 0.99),
+		}
+		if elapsed > 0 {
+			row.QPS = float64(row.Requests) / elapsed
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport\n",
+		*requests, *clients, *nodes, *transportName)
+	fmt.Printf("%-8s %-9s %-7s %-10s %-9s %-9s %-9s\n", "op", "requests", "errors", "qps", "p50_ms", "p95_ms", "p99_ms")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-9d %-7d %-10.1f %-9.3f %-9.3f %-9.3f\n",
+			r.Op, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms)
+	}
+
+	if *out != "" {
+		if err := benchio.Write(*out, "serve", rows); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if errs["all"] > 0 {
+		fmt.Fprintf(os.Stderr, "hyperm-load: %d requests failed\n", errs["all"])
+		return 1
+	}
+	return 0
+}

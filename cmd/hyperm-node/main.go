@@ -1,0 +1,133 @@
+// Command hyperm-node runs one serving node of a Hyper-M cluster over TCP.
+//
+// Every process rebuilds the same deterministic deployment from the shared
+// workload parameters (the simulator doubles as the cluster bootstrap — all
+// processes derive identical overlay state from the same seed), extracts its
+// own peer's snapshot, and serves it until SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	hyperm-node -config node0.json
+//
+// with a config like:
+//
+//	{
+//	  "peer": 0,
+//	  "listen": "127.0.0.1:7400",
+//	  "peers": ["127.0.0.1:7400", "127.0.0.1:7401"],
+//	  "workload": {
+//	    "peers": 2, "items_per_peer": 40, "dim": 32,
+//	    "levels": 3, "clusters_per_peer": 4, "seed": 1
+//	  }
+//	}
+//
+// "peers" lists every node's address in peer-id order; it must be identical
+// across the cluster. Query RPCs ("range", "knn") arriving at this node are
+// coordinated by it peer-to-peer via can_search/fetch RPCs to those
+// addresses.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hyperm/internal/experiments"
+	"hyperm/internal/node"
+	"hyperm/internal/transport"
+)
+
+// workloadConfig mirrors experiments.Params in JSON clothing.
+type workloadConfig struct {
+	Peers           int   `json:"peers"`
+	ItemsPerPeer    int   `json:"items_per_peer"`
+	Dim             int   `json:"dim"`
+	Levels          int   `json:"levels"`
+	ClustersPerPeer int   `json:"clusters_per_peer"`
+	Seed            int64 `json:"seed"`
+}
+
+type nodeConfig struct {
+	Peer     int            `json:"peer"`
+	Listen   string         `json:"listen"`
+	Peers    []string       `json:"peers"`
+	Workload workloadConfig `json:"workload"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	configPath := flag.String("config", "", "path to the node's JSON config (required)")
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "hyperm-node: -config is required")
+		flag.Usage()
+		return 2
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
+		return 1
+	}
+	var cfg nodeConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: parsing %s: %v\n", *configPath, err)
+		return 1
+	}
+	w := cfg.Workload
+	if cfg.Peer < 0 || cfg.Peer >= w.Peers {
+		fmt.Fprintf(os.Stderr, "hyperm-node: peer %d outside workload of %d peers\n", cfg.Peer, w.Peers)
+		return 1
+	}
+	if len(cfg.Peers) != w.Peers {
+		fmt.Fprintf(os.Stderr, "hyperm-node: config lists %d peer addresses for %d peers\n", len(cfg.Peers), w.Peers)
+		return 1
+	}
+
+	fmt.Printf("hyperm-node: building workload (peers=%d items/peer=%d dim=%d levels=%d seed=%d)\n",
+		w.Peers, w.ItemsPerPeer, w.Dim, w.Levels, w.Seed)
+	sys, err := experiments.BuildMarkovSystem(experiments.Params{
+		Peers: w.Peers, ItemsPerPeer: w.ItemsPerPeer, Dim: w.Dim,
+		Levels: w.Levels, ClustersPerPeer: w.ClustersPerPeer, Seed: w.Seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
+		return 1
+	}
+	sys.PublishAll()
+	snap, err := node.ExtractSnapshot(sys, cfg.Peer)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
+		return 1
+	}
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	nd, err := node.New(node.Config{Snapshot: snap, Transport: tr, Listen: cfg.Listen})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
+		return 1
+	}
+	if err := nd.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
+		return 1
+	}
+	nd.SetPeers(cfg.Peers)
+	fmt.Printf("hyperm-node: peer %d serving %d items on %s\n", cfg.Peer, nd.ItemCount(), nd.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nhyperm-node: shutting down")
+	if err := nd.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-node: stop: %v\n", err)
+		return 1
+	}
+	for name, v := range nd.Counters() {
+		fmt.Printf("hyperm-node: %s = %.0f\n", name, v)
+	}
+	return 0
+}

@@ -1,0 +1,72 @@
+// Package benchio is the single writer (and reader) for the repository's
+// BENCH_*.json artifacts. Every benchmark — publication throughput, kernel
+// comparisons, the serving-runtime load harness — writes the same envelope:
+//
+//	{
+//	  "bench": "<name>",
+//	  "schema": 1,
+//	  "rows": [ ... driver-specific row objects ... ]
+//	}
+//
+// so downstream tooling can identify and version any artifact without
+// guessing from the filename. Rows stay typed by their owning driver; the
+// envelope is the only shared contract, and Schema is bumped on any
+// incompatible change to it.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the current envelope schema version.
+const Schema = 1
+
+// Envelope is the common frame around every benchmark artifact.
+type Envelope struct {
+	// Bench names the producing benchmark ("publish", "kernels", "serve").
+	Bench string `json:"bench"`
+	// Schema is the envelope version the artifact was written with.
+	Schema int `json:"schema"`
+	// Rows holds the driver-specific measurements.
+	Rows json.RawMessage `json:"rows"`
+}
+
+// Write stores rows under the named bench's envelope at path, as indented
+// JSON with a trailing newline.
+func Write(path, bench string, rows any) error {
+	rowData, err := json.Marshal(rows)
+	if err != nil {
+		return fmt.Errorf("benchio: encoding %s rows: %w", bench, err)
+	}
+	data, err := json.MarshalIndent(Envelope{Bench: bench, Schema: Schema, Rows: rowData}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: encoding %s envelope: %w", bench, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Read loads the artifact at path, verifies the envelope names the expected
+// bench and a known schema, and unmarshals the rows into rowsOut (a pointer
+// to the driver's row slice).
+func Read(path, bench string, rowsOut any) (Envelope, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Envelope{}, fmt.Errorf("benchio: %s is not a benchmark envelope: %w", path, err)
+	}
+	if env.Bench != bench {
+		return env, fmt.Errorf("benchio: %s holds bench %q, want %q", path, env.Bench, bench)
+	}
+	if env.Schema != Schema {
+		return env, fmt.Errorf("benchio: %s has schema %d, this build reads %d", path, env.Schema, Schema)
+	}
+	if err := json.Unmarshal(env.Rows, rowsOut); err != nil {
+		return env, fmt.Errorf("benchio: decoding %s rows: %w", bench, err)
+	}
+	return env, nil
+}

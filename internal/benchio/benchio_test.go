@@ -1,0 +1,67 @@
+package benchio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type row struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	rows := []row{{Name: "a", Value: 1.5}, {Name: "b", Value: -2}}
+	if err := Write(path, "x", rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []row
+	env, err := Read(path, "x", &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Bench != "x" || env.Schema != Schema {
+		t.Fatalf("envelope %+v", env)
+	}
+	if len(back) != 2 || back[0] != rows[0] || back[1] != rows[1] {
+		t.Fatalf("rows %+v", back)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"bench": "x"`, `"schema": 1`, `"rows"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("artifact missing %s:\n%s", want, raw)
+		}
+	}
+	if !strings.HasSuffix(string(raw), "\n") {
+		t.Error("artifact missing trailing newline")
+	}
+}
+
+func TestReadRejectsMismatches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_x.json")
+	if err := Write(path, "x", []row{{Name: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	var back []row
+	if _, err := Read(path, "y", &back); err == nil {
+		t.Error("wrong bench name accepted")
+	}
+	if _, err := Read(filepath.Join(dir, "absent.json"), "x", &back); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"bench":"x","schema":99,"rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad, "x", &back); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}

@@ -138,6 +138,24 @@ type keyMapper struct {
 	lo, hi float64
 }
 
+// buildMappers derives the per-level key mappers from coefficient bounds —
+// the one place the bounds→key-space rule lives, shared by the in-process
+// System and engines rebuilt from serving snapshots.
+func buildMappers(bounds []Bounds) []keyMapper {
+	mappers := make([]keyMapper, len(bounds))
+	for l, b := range bounds {
+		if b.Hi <= b.Lo {
+			// Degenerate level (all coefficients identical): widen minimally
+			// so the mapper stays well defined.
+			b.Hi = b.Lo + 1e-9
+		}
+		// 5% margin keeps query spheres slightly inside the torus seam.
+		span := b.Hi - b.Lo
+		mappers[l] = keyMapper{lo: b.Lo - 0.05*span, hi: b.Hi + 0.05*span}
+	}
+	return mappers
+}
+
 // mapCoord maps a single coefficient into [0, 1).
 func (m keyMapper) mapCoord(c float64) float64 {
 	span := m.hi - m.lo

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hyperm/internal/geometry"
+	"hyperm/internal/overlay"
+	"hyperm/internal/vec"
+	"hyperm/internal/wavelet"
+)
+
+// ItemDist pairs a fetched item id with its squared distance to the query,
+// computed on the peer that stores the item. Carrying the distance with the
+// id lets the query coordinator produce the final distance-sorted answer
+// without a global id→vector lookup — the property that makes the same
+// engine code serve both the in-process simulation and a real cluster of
+// nodes.
+type ItemDist struct {
+	ID    int
+	Dist2 float64
+}
+
+// Backend is the data plane a query Engine drives: the per-level overlay
+// search of the scoring phase and the per-peer data fetches of the retrieval
+// phase. core.System implements it directly on its in-memory structures;
+// internal/node implements it with peer-to-peer RPCs over a transport. Both
+// must discover the same entries in the same order for the engine's answers
+// to be byte-identical — the serving runtime's determinism-oracle tests
+// check exactly that.
+type Backend interface {
+	// Search returns every published entry whose sphere intersects the query
+	// sphere at the given wavelet level, plus the overlay hops spent. The
+	// entry order must match the overlay's deterministic flood order.
+	Search(from, level int, key []float64, radius float64) ([]overlay.Entry, int, error)
+	// FetchRange asks peer for the ids of its items within eps of q
+	// (LocalRange). A dead or unreachable peer yields no items and no error:
+	// the contact budget is spent either way.
+	FetchRange(from, peer int, q []float64, eps float64) ([]int, error)
+	// FetchKNN asks peer for its k locally nearest items with their squared
+	// distances (LocalKNN). Dead peers yield nothing, as in FetchRange.
+	FetchKNN(from, peer int, q []float64, k int) ([]ItemDist, error)
+}
+
+// Engine executes the two-phase query protocol of §4 — per-level scoring via
+// Backend.Search, score aggregation, and proportional data fetches via the
+// Backend fetch calls — independent of where the data actually lives.
+// System's RangeQuery/KNNQuery delegate to an Engine over its in-memory
+// backend; a serving node builds an Engine over its transport backend, which
+// is how served answers stay byte-identical to the simulation oracle.
+type Engine struct {
+	cfg     Config
+	mappers []keyMapper
+	backend Backend
+}
+
+// NewEngine builds an engine from a (possibly partial) Config, the per-level
+// coefficient bounds, and a backend. Only the query-relevant Config fields
+// are used (Dim, Levels, Convention, Aggregation, C); Factory and Rng may be
+// nil, which is what lets a serving node reconstruct an engine from a
+// serialized snapshot.
+func NewEngine(cfg Config, bounds []Bounds, b Backend) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if !wavelet.IsPow2(cfg.Dim) {
+		return nil, fmt.Errorf("core: engine Dim must be a power of two, got %d", cfg.Dim)
+	}
+	if max := wavelet.NumSubspaces(cfg.Dim); cfg.Levels < 1 || cfg.Levels > max {
+		return nil, fmt.Errorf("core: engine Levels must be in [1,%d] for Dim=%d, got %d", max, cfg.Dim, cfg.Levels)
+	}
+	if len(bounds) != cfg.Levels {
+		return nil, fmt.Errorf("core: engine got %d bounds for %d levels", len(bounds), cfg.Levels)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("core: engine backend is required")
+	}
+	return &Engine{cfg: cfg, mappers: buildMappers(bounds), backend: b}, nil
+}
+
+// RangeQuery runs the §4.1 protocol against the backend. See
+// System.RangeQuery for semantics; the error reports a backend failure
+// (impossible in-process, a transport fault when serving).
+func (e *Engine) RangeQuery(from int, q []float64, eps float64, opts RangeOptions) (RangeResult, error) {
+	if len(q) != e.cfg.Dim {
+		panic(fmt.Sprintf("core: query dim %d, want %d", len(q), e.cfg.Dim))
+	}
+	if eps < 0 {
+		panic("core: negative query radius")
+	}
+
+	dec := wavelet.Decompose(q, e.cfg.Convention)
+	scores := make(map[int][]float64)
+	var res RangeResult
+
+	for l := 0; l < e.cfg.Levels; l++ {
+		qc := dec.Subspace(l)
+		m := wavelet.SubspaceDim(l)
+		epsL := eps * wavelet.RadiusScale(e.cfg.Convention, e.cfg.Dim, m)
+		entries, hops, err := e.backend.Search(from, l, e.mappers[l].mapPoint(qc), slacken(e.mappers[l].mapRadius(epsL)))
+		if err != nil {
+			return res, fmt.Errorf("core: level %d search: %w", l, err)
+		}
+		res.OverlayHops += hops
+		for _, en := range entries {
+			ref := en.Payload.(ClusterRef)
+			frac := clusterFraction(m, ref, qc, epsL)
+			if frac <= 0 {
+				continue
+			}
+			perLevel, ok := scores[ref.Peer]
+			if !ok {
+				perLevel = make([]float64, e.cfg.Levels)
+				scores[ref.Peer] = perLevel
+			}
+			perLevel[l] += frac * float64(ref.Items)
+		}
+	}
+
+	res.Scores = sortScores(scores, e.cfg.Aggregation)
+	limit := len(res.Scores)
+	if opts.MaxPeers > 0 && opts.MaxPeers < limit {
+		limit = opts.MaxPeers
+	}
+	for _, ps := range res.Scores[:limit] {
+		res.PeersContacted++
+		ids, err := e.backend.FetchRange(from, ps.Peer, q, eps)
+		if err != nil {
+			return res, fmt.Errorf("core: fetch from peer %d: %w", ps.Peer, err)
+		}
+		res.Items = append(res.Items, ids...)
+	}
+	sort.Ints(res.Items)
+	return res, nil
+}
+
+// KNNQuery runs the Figure 5 heuristic against the backend. See
+// System.KNNQuery for semantics.
+func (e *Engine) KNNQuery(from int, q []float64, k int, opts KNNOptions) (KNNResult, error) {
+	if len(q) != e.cfg.Dim {
+		panic(fmt.Sprintf("core: query dim %d, want %d", len(q), e.cfg.Dim))
+	}
+	if k < 1 {
+		panic("core: k must be >= 1")
+	}
+	c := opts.C
+	if c == 0 {
+		c = e.cfg.C
+	}
+
+	dec := wavelet.Decompose(q, e.cfg.Convention)
+	scores := make(map[int][]float64)
+	res := KNNResult{EpsPerLevel: make([]float64, e.cfg.Levels)}
+
+	// Steps 1–3: per-level radius estimation and range queries.
+	for l := 0; l < e.cfg.Levels; l++ {
+		qc := dec.Subspace(l)
+		m := wavelet.SubspaceDim(l)
+		span := e.mappers[l].hi - e.mappers[l].lo
+		epsL, refs, hops, err := e.levelEps(from, l, m, qc, float64(k), span)
+		if err != nil {
+			return res, fmt.Errorf("core: level %d radius estimation: %w", l, err)
+		}
+		res.OverlayHops += hops
+		res.EpsPerLevel[l] = epsL
+		for _, ref := range refs {
+			frac := clusterFraction(m, ref, qc, epsL)
+			if frac <= 0 {
+				continue
+			}
+			perLevel, ok := scores[ref.Peer]
+			if !ok {
+				perLevel = make([]float64, e.cfg.Levels)
+				scores[ref.Peer] = perLevel
+			}
+			perLevel[l] += frac * float64(ref.Items)
+		}
+	}
+
+	// Step 4: merge.
+	res.Scores = sortScores(scores, e.cfg.Aggregation)
+	if len(res.Scores) == 0 {
+		return res, nil
+	}
+
+	// Steps 5–6: choose P — the smallest score-ordered prefix whose summed
+	// expected item mass reaches k — and the normalizing sum.
+	p := 0
+	var sum float64
+	for p < len(res.Scores) && sum < float64(k) {
+		sum += res.Scores[p].Score
+		p++
+	}
+	if opts.MaxPeers > 0 && opts.MaxPeers < p {
+		p = opts.MaxPeers
+		sum = 0
+		for _, ps := range res.Scores[:p] {
+			sum += ps.Score
+		}
+	}
+	if sum <= 0 {
+		return res, nil
+	}
+
+	// Steps 7–9: fetch a proportional share from each selected peer.
+	var fetched []ItemDist
+	for _, ps := range res.Scores[:p] {
+		res.PeersContacted++
+		want := int(math.Ceil(c * float64(k) * ps.Score / sum))
+		if want < 1 {
+			want = 1
+		}
+		items, err := e.backend.FetchKNN(from, ps.Peer, q, want)
+		if err != nil {
+			return res, fmt.Errorf("core: fetch from peer %d: %w", ps.Peer, err)
+		}
+		fetched = append(fetched, items...)
+	}
+
+	// Step 10: sort the merged result by true distance to the query.
+	res.Items = sortFetched(fetched)
+	return res, nil
+}
+
+// levelEps discovers the clusters reachable at level l and estimates the
+// Eq 8 radius expected to yield k items. Discovery expands the overlay
+// search radius geometrically until the expected item mass covers k (or the
+// whole key space is swept); the Eq 8 inversion then runs on the discovered
+// cluster set, which is a superset of the clusters reachable at the solved
+// radius.
+func (e *Engine) levelEps(from, l, m int, qc []float64, k, span float64) (float64, []ClusterRef, int, error) {
+	key := e.mappers[l].mapPoint(qc)
+	// Start at 5% of the coefficient span; stop once the search sphere can
+	// cover the entire level space.
+	r := 0.05 * span
+	maxR := span * math.Sqrt(float64(m))
+	totalHops := 0
+	// Both scratch slices live across the widening iterations: each pass
+	// resets them to length zero and refills, so one allocation (grown to the
+	// largest discovery set) serves the whole geometric search instead of a
+	// fresh sphere slice per widening step.
+	var refs []ClusterRef
+	var spheres []geometry.SphereAt
+	for {
+		entries, hops, err := e.backend.Search(from, l, key, slacken(e.mappers[l].mapRadius(r)))
+		if err != nil {
+			return 0, nil, totalHops, err
+		}
+		totalHops += hops
+		refs = refs[:0]
+		spheres = spheres[:0]
+		for _, en := range entries {
+			ref := en.Payload.(ClusterRef)
+			refs = append(refs, ref)
+			spheres = append(spheres, geometry.SphereAt{
+				Dist:   vec.Dist(qc, ref.Center),
+				Radius: ref.Radius,
+				Items:  ref.Items,
+			})
+		}
+		if geometry.ExpectedCount(m, r, spheres) >= k || r >= maxR {
+			eps := geometry.SolveEpsForCount(m, k, spheres)
+			if eps > r && r < maxR {
+				// Solver wants a bigger radius than we searched: widen once
+				// more so scoring sees every cluster the radius can touch.
+				r = eps
+				continue
+			}
+			return eps, append([]ClusterRef(nil), refs...), totalHops, nil
+		}
+		r *= 2
+	}
+}
+
+// sortFetched orders fetched items by ascending true distance to the query
+// (ties by ascending id) and returns the ids. Items are globally unique ids;
+// duplicates (an id fetched from two peers cannot happen, but replicated
+// harness use might) are removed, keeping the first occurrence.
+func sortFetched(fetched []ItemDist) []int {
+	seen := make(map[int]bool, len(fetched))
+	cands := make([]ItemDist, 0, len(fetched))
+	for _, it := range fetched {
+		if seen[it.ID] {
+			continue
+		}
+		seen[it.ID] = true
+		cands = append(cands, it)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Dist2 != cands[j].Dist2 {
+			return cands[i].Dist2 < cands[j].Dist2
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// systemBackend adapts the in-process System to the Backend interface: the
+// overlays are searched directly and peers are "contacted" by scanning their
+// in-memory stores. It never returns an error.
+type systemBackend struct{ s *System }
+
+func (b systemBackend) Search(from, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
+	entries, hops := b.s.overlays[level].SearchSphere(from, key, radius)
+	return entries, hops, nil
+}
+
+func (b systemBackend) FetchRange(from, peer int, q []float64, eps float64) ([]int, error) {
+	ps := b.s.peers[peer]
+	if ps.dead {
+		return nil, nil // contact times out; the budget is still spent
+	}
+	return LocalRange(q, eps, ps.itemIDs, ps.items), nil
+}
+
+func (b systemBackend) FetchKNN(from, peer int, q []float64, k int) ([]ItemDist, error) {
+	ps := b.s.peers[peer]
+	if ps.dead {
+		return nil, nil // contact times out; the budget is still spent
+	}
+	return LocalKNN(q, k, ps.itemIDs, ps.items), nil
+}

@@ -2,12 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sort"
-
-	"hyperm/internal/geometry"
-	"hyperm/internal/vec"
-	"hyperm/internal/wavelet"
 )
 
 // KNNOptions tunes a k-nearest-neighbor query.
@@ -41,177 +35,23 @@ type KNNResult struct {
 // range radius that is expected to capture k items by inverting Eq 8 over
 // the reachable clusters, run the per-level range queries, merge peer
 // scores, and fetch a score-proportional number of items from the top peers.
+// The protocol itself runs in the shared query Engine; this wrapper adds the
+// simulation-side checks.
 func (s *System) KNNQuery(from int, q []float64, k int, opts KNNOptions) KNNResult {
-	if len(q) != s.cfg.Dim {
-		panic(fmt.Sprintf("core: query dim %d, want %d", len(q), s.cfg.Dim))
-	}
-	if k < 1 {
-		panic("core: k must be >= 1")
-	}
-	if s.mappers == nil {
-		panic("core: bounds not installed; call DeriveBounds or SetBounds first")
-	}
+	s.requireBounds()
 	if s.peers[from].dead {
 		panic(fmt.Sprintf("core: peer %d has left the network and cannot query", from))
 	}
-	c := opts.C
-	if c == 0 {
-		c = s.cfg.C
+	res, err := s.engine.KNNQuery(from, q, k, opts)
+	if err != nil {
+		// The in-memory backend never fails; an error here is a bug.
+		panic(fmt.Sprintf("core: in-process k-nn query failed: %v", err))
 	}
-
-	dec := wavelet.Decompose(q, s.cfg.Convention)
-	scores := make(map[int][]float64)
-	res := KNNResult{EpsPerLevel: make([]float64, s.cfg.Levels)}
-
-	// Steps 1–3: per-level radius estimation and range queries.
-	for l := 0; l < s.cfg.Levels; l++ {
-		qc := dec.Subspace(l)
-		m := wavelet.SubspaceDim(l)
-		span := s.mappers[l].hi - s.mappers[l].lo
-		epsL, refs, hops := s.levelEps(from, l, m, qc, float64(k), span)
-		res.OverlayHops += hops
-		res.EpsPerLevel[l] = epsL
-		for _, ref := range refs {
-			frac := clusterFraction(m, ref, qc, epsL)
-			if frac <= 0 {
-				continue
-			}
-			perLevel, ok := scores[ref.Peer]
-			if !ok {
-				perLevel = make([]float64, s.cfg.Levels)
-				scores[ref.Peer] = perLevel
-			}
-			perLevel[l] += frac * float64(ref.Items)
-		}
-	}
-
-	// Step 4: merge.
-	res.Scores = sortScores(scores, s.cfg.Aggregation)
-	if len(res.Scores) == 0 {
-		return res
-	}
-
-	// Steps 5–6: choose P — the smallest score-ordered prefix whose summed
-	// expected item mass reaches k — and the normalizing sum.
-	p := 0
-	var sum float64
-	for p < len(res.Scores) && sum < float64(k) {
-		sum += res.Scores[p].Score
-		p++
-	}
-	if opts.MaxPeers > 0 && opts.MaxPeers < p {
-		p = opts.MaxPeers
-		sum = 0
-		for _, ps := range res.Scores[:p] {
-			sum += ps.Score
-		}
-	}
-	if sum <= 0 {
-		return res
-	}
-
-	// Steps 7–9: fetch a proportional share from each selected peer.
-	var fetched []int
-	for _, ps := range res.Scores[:p] {
-		res.PeersContacted++
-		peer := s.peers[ps.Peer]
-		if peer.dead {
-			continue // contact times out; the budget is still spent
-		}
-		want := int(math.Ceil(c * float64(k) * ps.Score / sum))
-		if want < 1 {
-			want = 1
-		}
-		fetched = append(fetched, peer.localKNN(q, want)...)
-	}
-
-	// Step 10: sort the merged result by true distance to the query.
-	res.Items = s.sortByDistance(fetched, q)
 	return res
 }
 
-// levelEps discovers the clusters reachable at level l and estimates the
-// Eq 8 radius expected to yield k items. Discovery expands the overlay
-// search radius geometrically until the expected item mass covers k (or the
-// whole key space is swept); the Eq 8 inversion then runs on the discovered
-// cluster set, which is a superset of the clusters reachable at the solved
-// radius.
-func (s *System) levelEps(from, l, m int, qc []float64, k, span float64) (float64, []ClusterRef, int) {
-	key := s.mappers[l].mapPoint(qc)
-	// Start at 5% of the coefficient span; stop once the search sphere can
-	// cover the entire level space.
-	r := 0.05 * span
-	maxR := span * math.Sqrt(float64(m))
-	totalHops := 0
-	// Both scratch slices live across the widening iterations: each pass
-	// resets them to length zero and refills, so one allocation (grown to the
-	// largest discovery set) serves the whole geometric search instead of a
-	// fresh sphere slice per widening step.
-	var refs []ClusterRef
-	var spheres []geometry.SphereAt
-	for {
-		entries, hops := s.overlays[l].SearchSphere(from, key, slacken(s.mappers[l].mapRadius(r)))
-		totalHops += hops
-		refs = refs[:0]
-		spheres = spheres[:0]
-		for _, e := range entries {
-			ref := e.Payload.(ClusterRef)
-			refs = append(refs, ref)
-			spheres = append(spheres, geometry.SphereAt{
-				Dist:   vec.Dist(qc, ref.Center),
-				Radius: ref.Radius,
-				Items:  ref.Items,
-			})
-		}
-		if geometry.ExpectedCount(m, r, spheres) >= k || r >= maxR {
-			eps := geometry.SolveEpsForCount(m, k, spheres)
-			if eps > r && r < maxR {
-				// Solver wants a bigger radius than we searched: widen once
-				// more so scoring sees every cluster the radius can touch.
-				r = eps
-				continue
-			}
-			return eps, append([]ClusterRef(nil), refs...), totalHops
-		}
-		r *= 2
-	}
-}
-
-// sortByDistance orders fetched item ids by true distance to q, resolving
-// each id through the peer that returned it. Items are globally unique ids;
-// duplicates (an id fetched from two peers cannot happen, but replicated
-// harness use might) are removed.
-func (s *System) sortByDistance(ids []int, q []float64) []int {
-	type cand struct {
-		id int
-		d2 float64
-	}
-	lookup := s.itemLookup()
-	seen := make(map[int]bool, len(ids))
-	cands := make([]cand, 0, len(ids))
-	for _, id := range ids {
-		if seen[id] {
-			continue
-		}
-		seen[id] = true
-		if x, ok := lookup[id]; ok {
-			cands = append(cands, cand{id: id, d2: vec.Dist2(q, x)})
-		}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d2 != cands[j].d2 {
-			return cands[i].d2 < cands[j].d2
-		}
-		return cands[i].id < cands[j].id
-	})
-	out := make([]int, len(cands))
-	for i, c := range cands {
-		out[i] = c.id
-	}
-	return out
-}
-
-// itemLookup maps global item ids to vectors across all peers.
+// itemLookup maps global item ids to vectors across all peers (test and
+// diagnostics helper; the query path itself never needs global knowledge).
 func (s *System) itemLookup() map[int][]float64 {
 	out := make(map[int][]float64, s.TotalItems())
 	for _, ps := range s.peers {

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+
+	"hyperm/internal/vec"
+	"hyperm/internal/wavelet"
+)
+
+// LocalRange is the second query phase on a contacted peer: an exact scan of
+// its locally stored original vectors, returning the ids of every item
+// within eps of q. Exported so serving nodes (internal/node) answer fetch
+// RPCs with the exact same rule as the in-process simulation.
+func LocalRange(q []float64, eps float64, ids []int, items [][]float64) []int {
+	var out []int
+	eps2 := eps * eps
+	for i, x := range items {
+		if vec.Dist2(q, x) <= eps2 {
+			out = append(out, ids[i])
+		}
+	}
+	return out
+}
+
+// LocalKNN returns the k locally stored items closest to q with their squared
+// distances, ordered by ascending distance (ties by ascending id). Exported
+// for serving nodes, like LocalRange.
+func LocalKNN(q []float64, k int, ids []int, items [][]float64) []ItemDist {
+	if k <= 0 || len(items) == 0 {
+		return nil
+	}
+	cands := make([]ItemDist, len(items))
+	for i, x := range items {
+		cands[i] = ItemDist{ID: ids[i], Dist2: vec.Dist2(q, x)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Dist2 != cands[j].Dist2 {
+			return cands[i].Dist2 < cands[j].Dist2
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return cands[:k]
+}
+
+// AbsorbInsert applies the local bookkeeping of a post-creation insert to a
+// peer's published summaries: at every level the item joins the nearest
+// published cluster, whose local Items count is bumped (the overlay copy
+// stays stale — exactly the Fig 10c degradation). Exported so serving nodes
+// apply the same rule to their snapshot when handling Publish RPCs.
+func AbsorbInsert(published [][]ClusterRef, item []float64, conv wavelet.Convention) {
+	if published == nil {
+		return
+	}
+	dec := wavelet.Decompose(item, conv)
+	for l := range published {
+		refs := published[l]
+		if len(refs) == 0 {
+			continue
+		}
+		coeff := dec.Subspace(l)
+		best, bestD := 0, -1.0
+		for i, ref := range refs {
+			d := vec.Dist(coeff, ref.Center)
+			if bestD < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		refs[best].Items++ // local bookkeeping; the published copy is stale
+	}
+}

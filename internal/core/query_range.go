@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"hyperm/internal/geometry"
 	"hyperm/internal/vec"
-	"hyperm/internal/wavelet"
 )
 
 // RangeOptions tunes a range query.
@@ -38,60 +36,18 @@ type RangeResult struct {
 // 3.1 radius scaling, score peers by sphere intersection (Eq 1), aggregate
 // with the configured policy, then fetch and locally filter from the top
 // peers. With AggMin and MaxPeers=0 the result has no false dismissals
-// (Theorem 4.1).
+// (Theorem 4.1). The protocol itself runs in the shared query Engine; this
+// wrapper adds the simulation-side checks.
 func (s *System) RangeQuery(from int, q []float64, eps float64, opts RangeOptions) RangeResult {
-	if len(q) != s.cfg.Dim {
-		panic(fmt.Sprintf("core: query dim %d, want %d", len(q), s.cfg.Dim))
-	}
-	if eps < 0 {
-		panic("core: negative query radius")
-	}
-	if s.mappers == nil {
-		panic("core: bounds not installed; call DeriveBounds or SetBounds first")
-	}
+	s.requireBounds()
 	if s.peers[from].dead {
 		panic(fmt.Sprintf("core: peer %d has left the network and cannot query", from))
 	}
-
-	dec := wavelet.Decompose(q, s.cfg.Convention)
-	scores := make(map[int][]float64)
-	var res RangeResult
-
-	for l := 0; l < s.cfg.Levels; l++ {
-		qc := dec.Subspace(l)
-		m := wavelet.SubspaceDim(l)
-		epsL := eps * wavelet.RadiusScale(s.cfg.Convention, s.cfg.Dim, m)
-		entries, hops := s.overlays[l].SearchSphere(from, s.mappers[l].mapPoint(qc), slacken(s.mappers[l].mapRadius(epsL)))
-		res.OverlayHops += hops
-		for _, e := range entries {
-			ref := e.Payload.(ClusterRef)
-			frac := clusterFraction(m, ref, qc, epsL)
-			if frac <= 0 {
-				continue
-			}
-			perLevel, ok := scores[ref.Peer]
-			if !ok {
-				perLevel = make([]float64, s.cfg.Levels)
-				scores[ref.Peer] = perLevel
-			}
-			perLevel[l] += frac * float64(ref.Items)
-		}
+	res, err := s.engine.RangeQuery(from, q, eps, opts)
+	if err != nil {
+		// The in-memory backend never fails; an error here is a bug.
+		panic(fmt.Sprintf("core: in-process range query failed: %v", err))
 	}
-
-	res.Scores = sortScores(scores, s.cfg.Aggregation)
-	limit := len(res.Scores)
-	if opts.MaxPeers > 0 && opts.MaxPeers < limit {
-		limit = opts.MaxPeers
-	}
-	for _, ps := range res.Scores[:limit] {
-		res.PeersContacted++
-		peer := s.peers[ps.Peer]
-		if peer.dead {
-			continue // contact times out; the budget is still spent
-		}
-		res.Items = append(res.Items, peer.localRange(q, eps)...)
-	}
-	sort.Ints(res.Items)
 	return res
 }
 
@@ -109,47 +65,4 @@ func clusterFraction(dim int, ref ClusterRef, qc []float64, epsL float64) float6
 		return 0
 	}
 	return geometry.IntersectFraction(dim, ref.Radius, epsL, dist)
-}
-
-// localRange is the second query phase on a contacted peer: an exact scan of
-// its locally stored original vectors.
-func (ps *peerState) localRange(q []float64, eps float64) []int {
-	var out []int
-	eps2 := eps * eps
-	for i, x := range ps.items {
-		if vec.Dist2(q, x) <= eps2 {
-			out = append(out, ps.itemIDs[i])
-		}
-	}
-	return out
-}
-
-// localKNN returns the ids of the k locally stored items closest to q,
-// ordered by ascending distance.
-func (ps *peerState) localKNN(q []float64, k int) []int {
-	if k <= 0 || len(ps.items) == 0 {
-		return nil
-	}
-	type cand struct {
-		id int
-		d2 float64
-	}
-	cands := make([]cand, len(ps.items))
-	for i, x := range ps.items {
-		cands[i] = cand{id: ps.itemIDs[i], d2: vec.Dist2(q, x)}
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d2 != cands[j].d2 {
-			return cands[i].d2 < cands[j].d2
-		}
-		return cands[i].id < cands[j].id
-	})
-	if k > len(cands) {
-		k = len(cands)
-	}
-	out := make([]int, k)
-	for i := 0; i < k; i++ {
-		out[i] = cands[i].id
-	}
-	return out
 }

@@ -9,7 +9,6 @@ import (
 	"hyperm/internal/cluster"
 	"hyperm/internal/overlay"
 	"hyperm/internal/parallel"
-	"hyperm/internal/vec"
 	"hyperm/internal/wavelet"
 )
 
@@ -48,6 +47,7 @@ type System struct {
 	mappers  []keyMapper
 	peers    []*peerState
 	bounds   []Bounds
+	engine   *Engine
 }
 
 // NewSystem builds the per-level overlays and empty peers. Data is added
@@ -179,17 +179,27 @@ func (s *System) SetBounds(b []Bounds) {
 }
 
 func (s *System) installBounds() {
-	s.mappers = make([]keyMapper, s.cfg.Levels)
-	for l, b := range s.bounds {
-		if b.Hi <= b.Lo {
-			// Degenerate level (all coefficients identical): widen minimally
-			// so the mapper stays well defined.
-			b.Hi = b.Lo + 1e-9
-		}
-		// 5% margin keeps query spheres slightly inside the torus seam.
-		span := b.Hi - b.Lo
-		s.mappers[l] = keyMapper{lo: b.Lo - 0.05*span, hi: b.Hi + 0.05*span}
+	s.mappers = buildMappers(s.bounds)
+	s.engine = &Engine{cfg: s.cfg, mappers: s.mappers, backend: systemBackend{s}}
+}
+
+// Bounds returns a copy of the installed per-level coefficient bounds
+// (nil before DeriveBounds/SetBounds). Serving nodes snapshot these to
+// rebuild the identical key mapping.
+func (s *System) Bounds() []Bounds {
+	if s.bounds == nil {
+		return nil
 	}
+	return append([]Bounds(nil), s.bounds...)
+}
+
+// PeerData returns peer p's item ids and vectors. The outer slices are
+// copies; the vectors themselves are shared (they are treated as immutable
+// throughout the repository). Serving nodes snapshot this as their local
+// store.
+func (s *System) PeerData(p int) (ids []int, items [][]float64) {
+	ps := s.peers[p]
+	return append([]int(nil), ps.itemIDs...), append([][]float64(nil), ps.items...)
 }
 
 // PublishStats reports the network cost of announcing one peer's summaries.
@@ -328,25 +338,7 @@ func (s *System) PostInsert(p int, id int, item []float64) {
 	ps := s.peers[p]
 	ps.itemIDs = append(ps.itemIDs, id)
 	ps.items = append(ps.items, item)
-	if ps.published == nil {
-		return
-	}
-	dec := wavelet.Decompose(item, s.cfg.Convention)
-	for l := range ps.published {
-		refs := ps.published[l]
-		if len(refs) == 0 {
-			continue
-		}
-		coeff := dec.Subspace(l)
-		best, bestD := 0, -1.0
-		for i, ref := range refs {
-			d := vec.Dist(coeff, ref.Center)
-			if bestD < 0 || d < bestD {
-				best, bestD = i, d
-			}
-		}
-		refs[best].Items++ // local bookkeeping; the published copy is stale
-	}
+	AbsorbInsert(ps.published, item, s.cfg.Convention)
 }
 
 // FailPeer models device p crashing or walking out of radio range after
@@ -417,6 +409,22 @@ func (s *System) PublishedClusters(p, l int) []ClusterRef {
 		return nil
 	}
 	return append([]ClusterRef(nil), ps.published[l]...)
+}
+
+// PublishedAll returns a copy of every cluster summary peer p announced,
+// indexed by level, or nil if the peer has not published. The copy is
+// AbsorbInsert-independent from the system's own bookkeeping, which is what
+// a serving node snapshots to track post-creation inserts on its own.
+func (s *System) PublishedAll(p int) [][]ClusterRef {
+	ps := s.peers[p]
+	if ps.published == nil {
+		return nil
+	}
+	out := make([][]ClusterRef, len(ps.published))
+	for l, refs := range ps.published {
+		out[l] = append([]ClusterRef(nil), refs...)
+	}
+	return out
 }
 
 // KeyRadius converts a level-l subspace radius into overlay key-space units

@@ -1,12 +1,11 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
+	"hyperm/internal/benchio"
 	"hyperm/internal/cluster"
 	"hyperm/internal/geometry"
 	"hyperm/internal/parallel"
@@ -84,14 +83,10 @@ func PublishBench(p Params, parallelisms []int) ([]PublishBenchRow, error) {
 	return rows, nil
 }
 
-// WritePublishBenchJSON writes the rows to path as indented JSON —
-// the BENCH_publish.json artifact.
+// WritePublishBenchJSON writes the rows to path under the shared benchio
+// envelope — the BENCH_publish.json artifact.
 func WritePublishBenchJSON(path string, rows []PublishBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return benchio.Write(path, "publish", rows)
 }
 
 // RenderPublishBench formats the rows as the CLI table.
@@ -173,14 +168,10 @@ func KernelBench(seed int64) ([]KernelBenchRow, error) {
 	return rows, nil
 }
 
-// WriteKernelBenchJSON writes the rows to path as indented JSON —
-// the BENCH_kernels.json artifact.
+// WriteKernelBenchJSON writes the rows to path under the shared benchio
+// envelope — the BENCH_kernels.json artifact.
 func WriteKernelBenchJSON(path string, rows []KernelBenchRow) error {
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return benchio.Write(path, "kernels", rows)
 }
 
 // RenderKernelBench formats the rows as the CLI table.

@@ -1,11 +1,11 @@
 package experiments
 
 import (
-	"encoding/json"
-	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"hyperm/internal/benchio"
 )
 
 // Driver determinism: running a sweep with concurrent cells must produce
@@ -88,12 +88,8 @@ func TestPublishBench(t *testing.T) {
 	if err := WritePublishBenchJSON(path, rows); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var back []PublishBenchRow
-	if err := json.Unmarshal(raw, &back); err != nil {
+	if _, err := benchio.Read(path, "publish", &back); err != nil {
 		t.Fatal(err)
 	}
 	if len(back) != len(rows) || back[0].Hops != rows[0].Hops {
@@ -137,12 +133,8 @@ func TestKernelBench(t *testing.T) {
 	if err := WriteKernelBenchJSON(path, rows); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
 	var back []KernelBenchRow
-	if err := json.Unmarshal(raw, &back); err != nil {
+	if _, err := benchio.Read(path, "kernels", &back); err != nil {
 		t.Fatal(err)
 	}
 	if len(back) != len(rows) || back[0].Kernel != rows[0].Kernel {

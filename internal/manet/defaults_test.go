@@ -1,0 +1,33 @@
+package manet
+
+import "testing"
+
+// Config.withDefaults must fill every zero field that has a documented
+// default and leave explicit settings untouched. The table enumerates each
+// defaulted field so adding a default without extending the test shows up as
+// a gap here.
+func TestConfigWithDefaults(t *testing.T) {
+	zero := Config{}.withDefaults()
+	defaults := []struct {
+		field string
+		got   any
+		want  any
+	}{
+		{"MaxPlacementTries", zero.MaxPlacementTries, 200},
+	}
+	for _, d := range defaults {
+		if d.got != d.want {
+			t.Errorf("zero Config: %s defaulted to %v, want %v", d.field, d.got, d.want)
+		}
+	}
+	// Fields without defaults must stay zero (New validates them instead).
+	if zero.Nodes != 0 || zero.ArenaSide != 0 || zero.Range != 0 {
+		t.Errorf("withDefaults invented values for required fields: %+v", zero)
+	}
+
+	// Explicit settings survive.
+	explicit := Config{Nodes: 7, ArenaSide: 30, Range: 5, MaxPlacementTries: 3}.withDefaults()
+	if explicit != (Config{Nodes: 7, ArenaSide: 30, Range: 5, MaxPlacementTries: 3}) {
+		t.Errorf("withDefaults rewrote explicit settings: %+v", explicit)
+	}
+}

@@ -1,0 +1,52 @@
+package node
+
+import (
+	"context"
+	"fmt"
+
+	"hyperm/internal/core"
+	"hyperm/internal/transport"
+)
+
+// Client issues query and publish RPCs against serving nodes. It is the
+// front door used by cmd/hyperm-load and the integration tests; each call
+// targets one node's address, and that node coordinates whatever multi-hop
+// work the request needs.
+type Client struct {
+	c *transport.Client
+}
+
+// NewClient builds a client over tr with the given retry policy (zero value
+// = defaults).
+func NewClient(tr transport.Transport, p transport.Policy) *Client {
+	return &Client{c: transport.NewClient(tr, p)}
+}
+
+// Range runs a range query on the node at addr, which acts as the querying
+// peer.
+func (c *Client) Range(ctx context.Context, addr string, q []float64, eps float64, opts core.RangeOptions) (core.RangeResult, error) {
+	resp, err := c.c.Call(ctx, addr, transport.Request{Method: methodRange, Body: encodeRangeReq(q, eps, opts)})
+	if err != nil {
+		return core.RangeResult{}, fmt.Errorf("node: range via %s: %w", addr, err)
+	}
+	return decodeRangeResp(resp.Body)
+}
+
+// KNN runs a k-nn query on the node at addr.
+func (c *Client) KNN(ctx context.Context, addr string, q []float64, k int, opts core.KNNOptions) (core.KNNResult, error) {
+	resp, err := c.c.Call(ctx, addr, transport.Request{Method: methodKNN, Body: encodeKNNReq(q, k, opts)})
+	if err != nil {
+		return core.KNNResult{}, fmt.Errorf("node: knn via %s: %w", addr, err)
+	}
+	return decodeKNNResp(resp.Body)
+}
+
+// Publish post-inserts one item on the node at addr (PostInsert semantics:
+// the node's overlay summaries go stale, Fig 10c).
+func (c *Client) Publish(ctx context.Context, addr string, id int, item []float64) error {
+	_, err := c.c.Call(ctx, addr, transport.Request{Method: methodPublish, Body: encodePublishReq(id, item)})
+	if err != nil {
+		return fmt.Errorf("node: publish via %s: %w", addr, err)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package node
+
+import (
+	"fmt"
+
+	"hyperm/internal/core"
+	"hyperm/internal/transport"
+)
+
+// Cluster is a set of serving nodes covering every peer of a deployment,
+// started together and wired to each other's addresses — the single-process
+// cluster used by the integration tests and the load harness.
+type Cluster struct {
+	Nodes []*Node
+	// Addrs[p] is peer p's serving address.
+	Addrs []string
+}
+
+// StartCluster snapshots every peer of sys, starts one node per peer on the
+// transport (listen(p) supplies each listen address — "" for the chan
+// transport, "127.0.0.1:0" for TCP), and installs the full address book on
+// every node. On error, already-started nodes are stopped.
+func StartCluster(sys *core.System, tr transport.Transport, listen func(peer int) string, retry transport.Policy) (*Cluster, error) {
+	snaps, err := ExtractAll(sys)
+	if err != nil {
+		return nil, err
+	}
+	if listen == nil {
+		listen = func(int) string { return "" }
+	}
+	c := &Cluster{}
+	for p, snap := range snaps {
+		nd, err := New(Config{Snapshot: snap, Transport: tr, Listen: listen(p), Retry: retry})
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if err := nd.Start(); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("node: starting peer %d: %w", p, err)
+		}
+		c.Nodes = append(c.Nodes, nd)
+		c.Addrs = append(c.Addrs, nd.Addr())
+	}
+	for _, nd := range c.Nodes {
+		nd.SetPeers(c.Addrs)
+	}
+	return c, nil
+}
+
+// Stop shuts every node down.
+func (c *Cluster) Stop() {
+	for _, nd := range c.Nodes {
+		nd.Stop()
+	}
+}

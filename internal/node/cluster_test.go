@@ -1,0 +1,195 @@
+package node_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperm/internal/core"
+	"hyperm/internal/experiments"
+	"hyperm/internal/node"
+	"hyperm/internal/transport"
+	"hyperm/internal/vec"
+)
+
+// testParams is a small-but-real deployment: every peer owns data, every
+// level has published spheres, and queries cross multiple zones.
+func testParams() experiments.Params {
+	return experiments.Params{Peers: 8, ItemsPerPeer: 40, Dim: 32, Levels: 3, ClustersPerPeer: 4, Seed: 1}
+}
+
+func buildPublishedSystem(t *testing.T) *core.System {
+	t.Helper()
+	sys, err := experiments.BuildMarkovSystem(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.PublishAll()
+	return sys
+}
+
+// testQueries derives in-domain query points with meaningful radii from the
+// corpus itself: stored items as centers, inter-item distances as radii.
+func testQueries(t *testing.T, sys *core.System, n int) (qs [][]float64, radii []float64) {
+	t.Helper()
+	p := testParams()
+	for i := 0; i < n; i++ {
+		_, itemsA := sys.PeerData(i % p.Peers)
+		_, itemsB := sys.PeerData((i + 3) % p.Peers)
+		if len(itemsA) == 0 || len(itemsB) == 0 {
+			t.Fatalf("peer without items in test corpus")
+		}
+		q := itemsA[i%len(itemsA)]
+		qs = append(qs, q)
+		radii = append(radii, vec.Dist(q, itemsB[(2*i)%len(itemsB)]))
+	}
+	return qs, radii
+}
+
+// normalizeRange maps empty-vs-nil slice representation differences away:
+// the wire codec decodes zero-length sequences as nil while the in-process
+// path may hold empty non-nil slices. Values are compared exactly.
+func normalizeRange(r core.RangeResult) core.RangeResult {
+	if len(r.Items) == 0 {
+		r.Items = nil
+	}
+	if len(r.Scores) == 0 {
+		r.Scores = nil
+	}
+	return r
+}
+
+func normalizeKNN(r core.KNNResult) core.KNNResult {
+	if len(r.Items) == 0 {
+		r.Items = nil
+	}
+	if len(r.Scores) == 0 {
+		r.Scores = nil
+	}
+	if len(r.EpsPerLevel) == 0 {
+		r.EpsPerLevel = nil
+	}
+	return r
+}
+
+// clusterTransports enumerates the two substrates the oracle test runs on.
+func clusterTransports() []struct {
+	name   string
+	mk     func() transport.Transport
+	listen func(int) string
+} {
+	return []struct {
+		name   string
+		mk     func() transport.Transport
+		listen func(int) string
+	}{
+		{name: "chan", mk: func() transport.Transport { return transport.NewChan() }, listen: func(int) string { return "" }},
+		{name: "tcp", mk: func() transport.Transport { return transport.NewTCP() }, listen: func(int) string { return "127.0.0.1:0" }},
+	}
+}
+
+// TestClusterMatchesOracle is the determinism oracle: a cluster of nodes
+// built from system snapshots must answer every range and k-nn query
+// byte-identically to the in-process System — items, scores, per-level
+// radii, peer contacts, and overlay hop counts — over both transports, and
+// must stay identical after post-creation inserts applied through Publish
+// RPCs (vs the oracle's PostInsert).
+func TestClusterMatchesOracle(t *testing.T) {
+	for _, tc := range clusterTransports() {
+		t.Run(tc.name, func(t *testing.T) {
+			sys := buildPublishedSystem(t)
+			tr := tc.mk()
+			defer tr.Close()
+			cl, err := node.StartCluster(sys, tr, tc.listen, transport.Policy{Timeout: 30e9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Stop()
+
+			client := node.NewClient(tr, transport.Policy{Timeout: 30e9})
+			ctx := context.Background()
+			p := testParams()
+			qs, radii := testQueries(t, sys, 6)
+
+			check := func(tag string) {
+				t.Helper()
+				for i, q := range qs {
+					from := i % p.Peers
+					eps := radii[i]
+
+					wantR := sys.RangeQuery(from, q, eps, core.RangeOptions{})
+					gotR, err := client.Range(ctx, cl.Addrs[from], q, eps, core.RangeOptions{})
+					if err != nil {
+						t.Fatalf("%s: range query %d: %v", tag, i, err)
+					}
+					if !reflect.DeepEqual(normalizeRange(wantR), normalizeRange(gotR)) {
+						t.Errorf("%s: range query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
+							tag, i, from, wantR, gotR)
+					}
+
+					wantK := sys.KNNQuery(from, q, 5, core.KNNOptions{})
+					gotK, err := client.KNN(ctx, cl.Addrs[from], q, 5, core.KNNOptions{})
+					if err != nil {
+						t.Fatalf("%s: knn query %d: %v", tag, i, err)
+					}
+					if !reflect.DeepEqual(normalizeKNN(wantK), normalizeKNN(gotK)) {
+						t.Errorf("%s: knn query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
+							tag, i, from, wantK, gotK)
+					}
+				}
+			}
+
+			check("initial")
+
+			// Post-creation inserts: the same items enter the oracle via
+			// PostInsert and the cluster via Publish RPCs; answers (now served
+			// from stale summaries, Fig 10c) must keep matching.
+			rng := rand.New(rand.NewSource(99))
+			for i := 0; i < 6; i++ {
+				peer := i % p.Peers
+				_, items := sys.PeerData(peer)
+				item := append([]float64(nil), items[i%len(items)]...)
+				for d := range item {
+					item[d] += 0.01 * rng.Float64()
+				}
+				id := 100000 + i
+				sys.PostInsert(peer, id, item)
+				if err := client.Publish(ctx, cl.Addrs[peer], id, item); err != nil {
+					t.Fatalf("publish %d: %v", i, err)
+				}
+			}
+			check("after inserts")
+
+			// The lookups really ran peer-to-peer: nodes answered can_search
+			// hops for each other.
+			var canSearches float64
+			for _, nd := range cl.Nodes {
+				canSearches += nd.Counters()["rpc.can_search"]
+			}
+			if canSearches == 0 {
+				t.Error("no can_search RPCs recorded — lookups did not run peer-to-peer")
+			}
+		})
+	}
+}
+
+// TestSnapshotRequiresCAN pins the extraction contract: serving replicates
+// CAN routing, so non-CAN overlays are rejected explicitly.
+func TestSnapshotErrors(t *testing.T) {
+	sys, err := experiments.BuildMarkovSystem(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published state is not required, but bounds are.
+	if _, err := node.ExtractSnapshot(sys, 0); err != nil {
+		t.Fatalf("snapshot of bounds-installed system: %v", err)
+	}
+	sys2, err := core.NewSystem(sys.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ExtractSnapshot(sys2, 0); err == nil {
+		t.Fatal("snapshot without bounds succeeded")
+	}
+}

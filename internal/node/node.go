@@ -1,0 +1,308 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hyperm/internal/can"
+	"hyperm/internal/core"
+	"hyperm/internal/sim"
+	"hyperm/internal/transport"
+)
+
+// Config parameterizes one serving node.
+type Config struct {
+	// Snapshot is the peer's slice of the deployment (see ExtractSnapshot).
+	Snapshot Snapshot
+	// Transport carries this node's RPCs — both the endpoint it serves and
+	// the calls it makes to other nodes. Typically shared by every node of
+	// an in-process cluster (chan transport) or one per process (TCP).
+	Transport transport.Transport
+	// Listen is the address to serve on ("" lets the chan transport pick a
+	// name; "127.0.0.1:0" lets TCP pick a port).
+	Listen string
+	// Retry is the policy for node→node calls. Zero value = defaults.
+	Retry transport.Policy
+}
+
+// Node hosts one peer: its items, published summaries, and per-level CAN
+// slice. After Start it serves the node RPCs; after SetPeers it can answer
+// queries (which require contacting other nodes). Safe for concurrent use.
+type Node struct {
+	peer        int
+	clusterSize int
+	cfg         core.Config
+	levels      []can.NodeView
+	engine      *core.Engine
+	tr          transport.Transport
+	client      *transport.Client
+	listen      string
+
+	mu      sync.RWMutex // guards itemIDs, items, published (publish vs fetch)
+	itemIDs []int
+	items   [][]float64
+	// published is local bookkeeping only: Publish absorbs new items into it
+	// (core.AbsorbInsert) while the overlay records stay stale, exactly like
+	// the simulator's PostInsert.
+	published [][]core.ClusterRef
+
+	peersMu   sync.RWMutex
+	peerAddrs []string
+
+	srvMu sync.Mutex
+	srv   transport.Server
+
+	ctrMu    sync.Mutex
+	counters sim.Counters
+}
+
+// New builds a node from its snapshot. The node is inert until Start.
+func New(cfg Config) (*Node, error) {
+	snap := cfg.Snapshot
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("node: transport is required")
+	}
+	if len(snap.Levels) != snap.Config.Levels {
+		return nil, fmt.Errorf("node: snapshot has %d level views for %d levels", len(snap.Levels), snap.Config.Levels)
+	}
+	if len(snap.ItemIDs) != len(snap.Items) {
+		return nil, fmt.Errorf("node: snapshot has %d ids for %d items", len(snap.ItemIDs), len(snap.Items))
+	}
+	n := &Node{
+		peer:        snap.Peer,
+		clusterSize: snap.ClusterSize,
+		cfg:         snap.Config,
+		levels:      snap.Levels,
+		tr:          cfg.Transport,
+		client:      transport.NewClient(cfg.Transport, cfg.Retry),
+		listen:      cfg.Listen,
+		itemIDs:     snap.ItemIDs,
+		items:       snap.Items,
+		published:   snap.Published,
+	}
+	engine, err := core.NewEngine(snap.Config, snap.Bounds, &netBackend{n: n})
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	n.engine = engine
+	return n, nil
+}
+
+// Peer returns the node's peer id.
+func (n *Node) Peer() int { return n.peer }
+
+// Start begins serving the node's RPC endpoint.
+func (n *Node) Start() error {
+	n.srvMu.Lock()
+	defer n.srvMu.Unlock()
+	if n.srv != nil {
+		return fmt.Errorf("node: peer %d already started", n.peer)
+	}
+	srv, err := n.tr.Serve(n.listen, n.handle)
+	if err != nil {
+		return fmt.Errorf("node: peer %d: %w", n.peer, err)
+	}
+	n.srv = srv
+	return nil
+}
+
+// Addr returns the served address (empty before Start).
+func (n *Node) Addr() string {
+	n.srvMu.Lock()
+	defer n.srvMu.Unlock()
+	if n.srv == nil {
+		return ""
+	}
+	return n.srv.Addr()
+}
+
+// SetPeers installs the cluster address book: addrs[p] is peer p's serving
+// address. Must be called (on every node) after all nodes have started and
+// before any query traffic.
+func (n *Node) SetPeers(addrs []string) {
+	n.peersMu.Lock()
+	n.peerAddrs = append([]string(nil), addrs...)
+	n.peersMu.Unlock()
+}
+
+func (n *Node) peerAddr(p int) (string, error) {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
+	if p < 0 || p >= len(n.peerAddrs) {
+		return "", fmt.Errorf("node: peer %d has no known address (SetPeers installed %d)", p, len(n.peerAddrs))
+	}
+	return n.peerAddrs[p], nil
+}
+
+// Stop tears down the RPC endpoint. In-flight requests are abandoned (their
+// callers see a retryable transport fault). Idempotent.
+func (n *Node) Stop() error {
+	n.srvMu.Lock()
+	srv := n.srv
+	n.srv = nil
+	n.srvMu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// Counters returns a snapshot of the node's per-RPC counters ("rpc.range",
+// "rpc.can_search", …).
+func (n *Node) Counters() map[string]float64 {
+	n.ctrMu.Lock()
+	defer n.ctrMu.Unlock()
+	return n.counters.Snapshot()
+}
+
+func (n *Node) count(name string) {
+	// sim.Counters is not thread-safe; the node serves RPCs concurrently.
+	n.ctrMu.Lock()
+	n.counters.Add(name, 1)
+	n.ctrMu.Unlock()
+}
+
+// RangeQuery answers a range query with this node as the querying peer,
+// driving the overlay lookups peer-to-peer. Byte-identical to the source
+// System's RangeQuery from the same state.
+func (n *Node) RangeQuery(ctx context.Context, q []float64, eps float64, opts core.RangeOptions) (core.RangeResult, error) {
+	if len(q) != n.cfg.Dim {
+		return core.RangeResult{}, fmt.Errorf("node: query dim %d, want %d", len(q), n.cfg.Dim)
+	}
+	if eps < 0 {
+		return core.RangeResult{}, fmt.Errorf("node: negative query radius")
+	}
+	return n.engine.RangeQuery(n.peer, q, eps, opts)
+}
+
+// KNNQuery answers a k-nn query with this node as the querying peer.
+func (n *Node) KNNQuery(ctx context.Context, q []float64, k int, opts core.KNNOptions) (core.KNNResult, error) {
+	if len(q) != n.cfg.Dim {
+		return core.KNNResult{}, fmt.Errorf("node: query dim %d, want %d", len(q), n.cfg.Dim)
+	}
+	if k < 1 {
+		return core.KNNResult{}, fmt.Errorf("node: k must be >= 1, got %d", k)
+	}
+	return n.engine.KNNQuery(n.peer, q, k, opts)
+}
+
+// Publish post-inserts one item into this node's local store and absorbs it
+// into the nearest published cluster per level — core.System.PostInsert
+// semantics: the overlay summaries stay stale (Fig 10c).
+func (n *Node) Publish(id int, item []float64) error {
+	if len(item) != n.cfg.Dim {
+		return fmt.Errorf("node: item dim %d, want %d", len(item), n.cfg.Dim)
+	}
+	n.mu.Lock()
+	n.itemIDs = append(n.itemIDs, id)
+	n.items = append(n.items, item)
+	core.AbsorbInsert(n.published, item, n.cfg.Convention)
+	n.mu.Unlock()
+	return nil
+}
+
+// ItemCount returns the number of locally stored items.
+func (n *Node) ItemCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.items)
+}
+
+// handle dispatches one RPC.
+func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Response, error) {
+	n.count("rpc." + req.Method)
+	switch req.Method {
+	case methodRange:
+		q, eps, opts, err := decodeRangeReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		res, err := n.RangeQuery(ctx, q, eps, opts)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		return transport.Response{Body: encodeRangeResp(res)}, nil
+
+	case methodKNN:
+		q, k, opts, err := decodeKNNReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		res, err := n.KNNQuery(ctx, q, k, opts)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		return transport.Response{Body: encodeKNNResp(res)}, nil
+
+	case methodPublish:
+		id, item, err := decodePublishReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		if err := n.Publish(id, item); err != nil {
+			return transport.Response{}, err
+		}
+		return transport.Response{}, nil
+
+	case methodCanSearch:
+		level, key, radius, err := decodeSearchReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		if level < 0 || level >= len(n.levels) {
+			return transport.Response{}, fmt.Errorf("node: no level %d", level)
+		}
+		body, err := encodeSearchResp(n.localView(level, key, radius))
+		if err != nil {
+			return transport.Response{}, err
+		}
+		return transport.Response{Body: body}, nil
+
+	case methodFetchRange:
+		q, eps, err := decodeFetchRangeReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		n.mu.RLock()
+		ids := core.LocalRange(q, eps, n.itemIDs, n.items)
+		n.mu.RUnlock()
+		return transport.Response{Body: encodeFetchRangeResp(ids)}, nil
+
+	case methodFetchKNN:
+		q, k, err := decodeFetchKNNReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		n.mu.RLock()
+		items := core.LocalKNN(q, k, n.itemIDs, n.items)
+		n.mu.RUnlock()
+		return transport.Response{Body: encodeFetchKNNResp(items)}, nil
+
+	default:
+		return transport.Response{}, fmt.Errorf("node: unknown method %q", req.Method)
+	}
+}
+
+// localView answers one can_search hop from this node's own slice: identity,
+// zones, neighbor table, and the stored records matching the query sphere in
+// storage order (owned first, then replicas) — the same order and match test
+// (can.TorusDist(key, center) <= recRadius+radius) as can.Overlay's collect.
+func (n *Node) localView(level int, key []float64, radius float64) searchView {
+	lv := n.levels[level]
+	v := searchView{ID: lv.ID, Zones: lv.Zones, Neighbors: lv.Neighbors}
+	for _, recs := range [][]can.RecordView{lv.Owned, lv.Replicas} {
+		for _, rec := range recs {
+			if can.TorusDist(rec.Entry.Key, key) <= rec.Entry.Radius+radius {
+				v.Records = append(v.Records, rec)
+			}
+		}
+	}
+	return v
+}
+
+// netBackend implements core.Backend with peer-to-peer RPCs: the overlay
+// search runs the coordinator-driven CAN lookup of search.go, and fetches go
+// straight to the scored peer's endpoint (one RPC each, like the paper's
+// phase-two contact). Methods live in search.go and fetch.go.
+type netBackend struct{ n *Node }

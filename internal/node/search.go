@@ -1,0 +1,217 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hyperm/internal/can"
+	"hyperm/internal/core"
+	"hyperm/internal/overlay"
+	"hyperm/internal/transport"
+)
+
+// This file is the distributed replica of can.Overlay.SearchSphere. The
+// querying node acts as lookup coordinator: it holds its own slice locally
+// (zero hops, like the in-process search starting at `from`) and contacts
+// one node per hop with a can_search RPC, whose response carries everything
+// the next decision needs — the node's zones, its neighbor table, and its
+// matching records. Routing and flood decisions are then made locally from
+// exactly the information the corresponding in-process node would have used:
+//
+//   - greedy routing picks the neighbor minimizing the torus distance of its
+//     zones to the target, +1e6 penalty for already-visited nodes, first
+//     strict minimum winning ties — neighbor-list order is significant;
+//   - the flood starts a fresh visited set at the owner and expands in
+//     frontier order, testing zone/sphere intersection before charging the
+//     hop, exactly like the simulator;
+//   - records are collected from the owner onward (routing-phase responses
+//     contribute no records), deduplicated by overlay sequence number in
+//     arrival order.
+//
+// Hops therefore count RPCs the same way the simulator counts messages, and
+// the entries come back in the identical order — which is what makes served
+// query answers byte-identical to the core.System oracle (the per-peer score
+// accumulation order and the k-nn radius inversion both depend on entry
+// order).
+//
+// The in-process search has two fallback paths (routing loop limit, no
+// routable neighbor) that the simulator resolves with a global scan; a
+// serving node has no global view, so those paths — unreachable on a healthy
+// topology — are errors here.
+
+// zonesContain reports whether any zone contains p.
+func zonesContain(zs []can.Zone, p []float64) bool {
+	for _, z := range zs {
+		if z.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// zonesDist is the torus distance from p to the closest zone.
+func zonesDist(zs []can.Zone, p []float64) float64 {
+	best := math.Inf(1)
+	for _, z := range zs {
+		if d := z.DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// zonesIntersect reports whether any zone touches the query sphere.
+func zonesIntersect(zs []can.Zone, key []float64, radius float64) bool {
+	for _, z := range zs {
+		if z.IntersectsSphere(key, radius) {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchView obtains one node's view of the query sphere: locally for this
+// node (no RPC — the coordinator is the node), via can_search otherwise.
+// Hop accounting is the caller's job.
+func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radius float64) (searchView, error) {
+	if id == n.peer {
+		return n.localView(level, key, radius), nil
+	}
+	addr, err := n.peerAddr(id)
+	if err != nil {
+		return searchView{}, err
+	}
+	resp, err := n.client.Call(ctx, addr, transport.Request{
+		Method: methodCanSearch,
+		Body:   encodeSearchReq(level, key, radius),
+	})
+	if err != nil {
+		return searchView{}, fmt.Errorf("node: can_search peer %d: %w", id, err)
+	}
+	return decodeSearchResp(resp.Body)
+}
+
+// searchSphere runs the full lookup for one level: greedy route to the
+// owner of key, then flood the zones intersecting the query sphere.
+func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
+	// Routing phase. The coordinator starts at its own slice: zero hops, as
+	// in the in-process route whose start node is free.
+	cur := n.localView(level, key, radius)
+	hops := 0
+	visited := map[int]bool{cur.ID: true}
+	limit := 8*n.clusterSize + 16
+	for !zonesContain(cur.Zones, key) {
+		if hops > limit {
+			return nil, hops, fmt.Errorf("node: level %d route to %v exceeded %d hops", level, key, limit)
+		}
+		bestID, bestDist := -1, math.Inf(1)
+		for _, nb := range cur.Neighbors {
+			d := zonesDist(nb.Zones, key)
+			if visited[nb.ID] {
+				d += 1e6 // strongly avoid revisits, but allow as last resort
+			}
+			if d < bestDist {
+				bestID, bestDist = nb.ID, d
+			}
+		}
+		if bestID < 0 {
+			return nil, hops, fmt.Errorf("node: level %d route to %v dead-ended at node %d", level, key, cur.ID)
+		}
+		next, err := n.fetchView(ctx, level, bestID, key, radius)
+		if err != nil {
+			return nil, hops, err
+		}
+		hops++
+		cur = next
+		visited[cur.ID] = true
+	}
+
+	// Flood phase: fresh visited set rooted at the owner, frontier expansion
+	// in neighbor-list order, intersection test before the hop is charged.
+	seen := map[int]bool{}
+	var results []overlay.Entry
+	collect := func(v searchView) {
+		for _, rec := range v.Records {
+			if seen[rec.Seq] {
+				continue
+			}
+			seen[rec.Seq] = true
+			results = append(results, rec.Entry)
+		}
+	}
+	floodVisited := map[int]bool{cur.ID: true}
+	collect(cur)
+	frontier := []searchView{cur}
+	for len(frontier) > 0 {
+		var next []searchView
+		for _, v := range frontier {
+			for _, nb := range v.Neighbors {
+				if floodVisited[nb.ID] {
+					continue
+				}
+				floodVisited[nb.ID] = true
+				if !zonesIntersect(nb.Zones, key, radius) {
+					continue
+				}
+				nv, err := n.fetchView(ctx, level, nb.ID, key, radius)
+				if err != nil {
+					return nil, hops, err
+				}
+				hops++
+				collect(nv)
+				next = append(next, nv)
+			}
+		}
+		frontier = next
+	}
+	return results, hops, nil
+}
+
+func (b *netBackend) Search(from, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
+	return b.n.searchSphere(context.Background(), level, key, radius)
+}
+
+func (b *netBackend) FetchRange(from, peer int, q []float64, eps float64) ([]int, error) {
+	n := b.n
+	if peer == n.peer {
+		n.mu.RLock()
+		ids := core.LocalRange(q, eps, n.itemIDs, n.items)
+		n.mu.RUnlock()
+		return ids, nil
+	}
+	addr, err := n.peerAddr(peer)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Call(context.Background(), addr, transport.Request{
+		Method: methodFetchRange,
+		Body:   encodeFetchRangeReq(q, eps),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node: fetch_range peer %d: %w", peer, err)
+	}
+	return decodeFetchRangeResp(resp.Body)
+}
+
+func (b *netBackend) FetchKNN(from, peer int, q []float64, k int) ([]core.ItemDist, error) {
+	n := b.n
+	if peer == n.peer {
+		n.mu.RLock()
+		items := core.LocalKNN(q, k, n.itemIDs, n.items)
+		n.mu.RUnlock()
+		return items, nil
+	}
+	addr, err := n.peerAddr(peer)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Call(context.Background(), addr, transport.Request{
+		Method: methodFetchKNN,
+		Body:   encodeFetchKNNReq(q, k),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("node: fetch_knn peer %d: %w", peer, err)
+	}
+	return decodeFetchKNNResp(resp.Body)
+}

@@ -1,0 +1,98 @@
+// Package node is the serving half of the live runtime: a Node daemon hosts
+// one peer's slice of the Hyper-M deployment — its local items, its published
+// cluster summaries, and its per-level CAN zone with the index records stored
+// there — and answers Publish, RangeQuery and KNNQuery RPCs over a
+// transport.Transport. Multi-hop overlay lookups run peer-to-peer: the
+// queried node drives the CAN greedy route and flood itself, contacting one
+// node per hop, instead of walking a shared in-memory structure.
+//
+// The package's defining property is the determinism oracle: a cluster of
+// nodes built from ExtractSnapshot answers every query byte-identically to
+// the core.System it was extracted from. The query protocol itself is the
+// shared core.Engine; this package contributes a core.Backend whose overlay
+// search reproduces can.Overlay's exact visit and collection order (see
+// search.go) and whose fetches run core.LocalRange/LocalKNN on the storing
+// peer.
+package node
+
+import (
+	"fmt"
+
+	"hyperm/internal/can"
+	"hyperm/internal/core"
+)
+
+// Snapshot is everything one peer needs to serve its slice of a deployment:
+// configuration and key-mapping bounds (shared by all peers), its local item
+// store, its published summaries, and its per-level CAN node state. It is
+// extracted from a fully built core.System — the simulator doubles as the
+// cluster bootstrap, so every node starts from exactly the state the oracle
+// holds.
+type Snapshot struct {
+	// Peer is this node's peer id (also its overlay node id at every level).
+	Peer int
+	// ClusterSize is the total number of overlay nodes; the routing loop
+	// limit (8*ClusterSize+16) depends on it.
+	ClusterSize int
+	// Config is the deployment configuration. Only the query-relevant fields
+	// are used; Factory and Rng are cleared (a serving node never builds
+	// overlays or clusters data).
+	Config core.Config
+	// Bounds are the installed per-level coefficient bounds; they rebuild
+	// the exact key mapping of the source system.
+	Bounds []core.Bounds
+	// ItemIDs/Items are the peer's local store (parallel slices).
+	ItemIDs []int
+	Items   [][]float64
+	// Published holds the peer's announced per-level cluster summaries (nil
+	// if the peer has not published). Publish RPCs absorb new items into it
+	// exactly like core.System.PostInsert.
+	Published [][]core.ClusterRef
+	// Levels[l] is the peer's slice of the level-l CAN overlay: zones,
+	// neighbor table, stored records.
+	Levels []can.NodeView
+}
+
+// ExtractSnapshot copies peer's slice out of a built system. The system must
+// have bounds installed and use *can.Overlay at every level (the serving
+// runtime replicates CAN's routing; other overlays have no NodeView).
+func ExtractSnapshot(sys *core.System, peer int) (Snapshot, error) {
+	cfg := sys.Config()
+	bounds := sys.Bounds()
+	if bounds == nil {
+		return Snapshot{}, fmt.Errorf("node: system has no bounds installed; call DeriveBounds or SetBounds first")
+	}
+	snap := Snapshot{
+		Peer:        peer,
+		ClusterSize: cfg.Peers,
+		Config:      cfg,
+		Bounds:      bounds,
+		Published:   sys.PublishedAll(peer),
+		Levels:      make([]can.NodeView, cfg.Levels),
+	}
+	snap.Config.Factory = nil
+	snap.Config.Rng = nil
+	snap.ItemIDs, snap.Items = sys.PeerData(peer)
+	for l := 0; l < cfg.Levels; l++ {
+		ov, ok := sys.Overlay(l).(*can.Overlay)
+		if !ok {
+			return Snapshot{}, fmt.Errorf("node: level %d overlay is %T, want *can.Overlay", l, sys.Overlay(l))
+		}
+		snap.Levels[l] = ov.View(peer)
+	}
+	return snap, nil
+}
+
+// ExtractAll snapshots every peer of the system (the single-process cluster
+// bootstrap path).
+func ExtractAll(sys *core.System) ([]Snapshot, error) {
+	snaps := make([]Snapshot, sys.Config().Peers)
+	for p := range snaps {
+		s, err := ExtractSnapshot(sys, p)
+		if err != nil {
+			return nil, err
+		}
+		snaps[p] = s
+	}
+	return snaps, nil
+}

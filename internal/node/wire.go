@@ -1,0 +1,317 @@
+package node
+
+import (
+	"fmt"
+
+	"hyperm/internal/can"
+	"hyperm/internal/core"
+	"hyperm/internal/overlay"
+	"hyperm/internal/transport"
+)
+
+// RPC methods served by a Node. The bodies are binary messages built with
+// the transport codec; float64 values cross the wire bit-exactly, which the
+// determinism oracle depends on.
+const (
+	methodRange      = "range"       // client → node: run a range query as this peer
+	methodKNN        = "knn"         // client → node: run a k-nn query as this peer
+	methodPublish    = "publish"     // client → node: post-insert one item
+	methodCanSearch  = "can_search"  // node → node: one hop of an overlay lookup
+	methodFetchRange = "fetch_range" // node → node: phase-two local range scan
+	methodFetchKNN   = "fetch_knn"   // node → node: phase-two local k-nn scan
+)
+
+// ---- range ----
+
+func encodeRangeReq(q []float64, eps float64, opts core.RangeOptions) []byte {
+	var e transport.Encoder
+	e.Floats(q)
+	e.F64(eps)
+	e.Int(opts.MaxPeers)
+	return e.Bytes()
+}
+
+func decodeRangeReq(b []byte) (q []float64, eps float64, opts core.RangeOptions, err error) {
+	d := transport.NewDecoder(b)
+	q = d.Floats()
+	eps = d.F64()
+	opts.MaxPeers = d.Int()
+	return q, eps, opts, d.Finish()
+}
+
+func encodeScores(e *transport.Encoder, scores []core.PeerScore) {
+	e.U32(uint32(len(scores)))
+	for _, s := range scores {
+		e.Int(s.Peer)
+		e.F64(s.Score)
+	}
+}
+
+func decodeScores(d *transport.Decoder) []core.PeerScore {
+	n := int(d.U32())
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]core.PeerScore, n)
+	for i := range out {
+		out[i] = core.PeerScore{Peer: d.Int(), Score: d.F64()}
+	}
+	return out
+}
+
+func encodeRangeResp(res core.RangeResult) []byte {
+	var e transport.Encoder
+	e.Ints(res.Items)
+	encodeScores(&e, res.Scores)
+	e.Int(res.PeersContacted)
+	e.Int(res.OverlayHops)
+	return e.Bytes()
+}
+
+func decodeRangeResp(b []byte) (core.RangeResult, error) {
+	d := transport.NewDecoder(b)
+	var res core.RangeResult
+	res.Items = d.Ints()
+	res.Scores = decodeScores(d)
+	res.PeersContacted = d.Int()
+	res.OverlayHops = d.Int()
+	return res, d.Finish()
+}
+
+// ---- knn ----
+
+func encodeKNNReq(q []float64, k int, opts core.KNNOptions) []byte {
+	var e transport.Encoder
+	e.Floats(q)
+	e.Int(k)
+	e.Int(opts.MaxPeers)
+	e.F64(opts.C)
+	return e.Bytes()
+}
+
+func decodeKNNReq(b []byte) (q []float64, k int, opts core.KNNOptions, err error) {
+	d := transport.NewDecoder(b)
+	q = d.Floats()
+	k = d.Int()
+	opts.MaxPeers = d.Int()
+	opts.C = d.F64()
+	return q, k, opts, d.Finish()
+}
+
+func encodeKNNResp(res core.KNNResult) []byte {
+	var e transport.Encoder
+	e.Ints(res.Items)
+	encodeScores(&e, res.Scores)
+	e.Floats(res.EpsPerLevel)
+	e.Int(res.PeersContacted)
+	e.Int(res.OverlayHops)
+	return e.Bytes()
+}
+
+func decodeKNNResp(b []byte) (core.KNNResult, error) {
+	d := transport.NewDecoder(b)
+	var res core.KNNResult
+	res.Items = d.Ints()
+	res.Scores = decodeScores(d)
+	res.EpsPerLevel = d.Floats()
+	res.PeersContacted = d.Int()
+	res.OverlayHops = d.Int()
+	return res, d.Finish()
+}
+
+// ---- publish ----
+
+func encodePublishReq(id int, item []float64) []byte {
+	var e transport.Encoder
+	e.Int(id)
+	e.Floats(item)
+	return e.Bytes()
+}
+
+func decodePublishReq(b []byte) (id int, item []float64, err error) {
+	d := transport.NewDecoder(b)
+	id = d.Int()
+	item = d.Floats()
+	return id, item, d.Finish()
+}
+
+// ---- can_search ----
+
+func encodeSearchReq(level int, key []float64, radius float64) []byte {
+	var e transport.Encoder
+	e.Int(level)
+	e.Floats(key)
+	e.F64(radius)
+	return e.Bytes()
+}
+
+func decodeSearchReq(b []byte) (level int, key []float64, radius float64, err error) {
+	d := transport.NewDecoder(b)
+	level = d.Int()
+	key = d.Floats()
+	radius = d.F64()
+	return level, key, radius, d.Finish()
+}
+
+// searchView is one node's answer to a can_search hop: its identity and
+// zones (routing), its neighbor table (the coordinator's next-hop and flood
+// decisions), and its stored records matching the query sphere, in storage
+// order (owned first, then replicas) with their overlay sequence numbers so
+// the coordinator deduplicates replicas exactly like the in-process flood.
+type searchView struct {
+	ID        int
+	Zones     []can.Zone
+	Neighbors []can.NeighborView
+	Records   []can.RecordView
+}
+
+func encodeZones(e *transport.Encoder, zs []can.Zone) {
+	e.U32(uint32(len(zs)))
+	for _, z := range zs {
+		e.Floats(z.Lo)
+		e.Floats(z.Hi)
+	}
+}
+
+func decodeZones(d *transport.Decoder) []can.Zone {
+	n := int(d.U32())
+	if d.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]can.Zone, n)
+	for i := range out {
+		out[i] = can.Zone{Lo: d.Floats(), Hi: d.Floats()}
+	}
+	return out
+}
+
+func encodeRef(e *transport.Encoder, ref core.ClusterRef) {
+	e.Int(ref.Peer)
+	e.Int(ref.Level)
+	e.Int(ref.Index)
+	e.Floats(ref.Center)
+	e.F64(ref.Radius)
+	e.Int(ref.Items)
+}
+
+func decodeRef(d *transport.Decoder) core.ClusterRef {
+	return core.ClusterRef{
+		Peer:   d.Int(),
+		Level:  d.Int(),
+		Index:  d.Int(),
+		Center: d.Floats(),
+		Radius: d.F64(),
+		Items:  d.Int(),
+	}
+}
+
+func encodeSearchResp(v searchView) ([]byte, error) {
+	var e transport.Encoder
+	e.Int(v.ID)
+	encodeZones(&e, v.Zones)
+	e.U32(uint32(len(v.Neighbors)))
+	for _, nb := range v.Neighbors {
+		e.Int(nb.ID)
+		encodeZones(&e, nb.Zones)
+	}
+	e.U32(uint32(len(v.Records)))
+	for _, rec := range v.Records {
+		ref, ok := rec.Entry.Payload.(core.ClusterRef)
+		if !ok {
+			return nil, fmt.Errorf("node: record payload is %T, want core.ClusterRef", rec.Entry.Payload)
+		}
+		e.Int(rec.Seq)
+		e.Floats(rec.Entry.Key)
+		e.F64(rec.Entry.Radius)
+		encodeRef(&e, ref)
+	}
+	return e.Bytes(), nil
+}
+
+func decodeSearchResp(b []byte) (searchView, error) {
+	d := transport.NewDecoder(b)
+	var v searchView
+	v.ID = d.Int()
+	v.Zones = decodeZones(d)
+	if n := int(d.U32()); d.Err() == nil && n > 0 {
+		v.Neighbors = make([]can.NeighborView, n)
+		for i := range v.Neighbors {
+			v.Neighbors[i] = can.NeighborView{ID: d.Int(), Zones: decodeZones(d)}
+		}
+	}
+	if n := int(d.U32()); d.Err() == nil && n > 0 {
+		v.Records = make([]can.RecordView, n)
+		for i := range v.Records {
+			v.Records[i].Seq = d.Int()
+			v.Records[i].Entry = overlay.Entry{Key: d.Floats(), Radius: d.F64()}
+			v.Records[i].Entry.Payload = decodeRef(d)
+		}
+	}
+	return v, d.Finish()
+}
+
+// ---- fetch_range ----
+
+func encodeFetchRangeReq(q []float64, eps float64) []byte {
+	var e transport.Encoder
+	e.Floats(q)
+	e.F64(eps)
+	return e.Bytes()
+}
+
+func decodeFetchRangeReq(b []byte) (q []float64, eps float64, err error) {
+	d := transport.NewDecoder(b)
+	q = d.Floats()
+	eps = d.F64()
+	return q, eps, d.Finish()
+}
+
+func encodeFetchRangeResp(ids []int) []byte {
+	var e transport.Encoder
+	e.Ints(ids)
+	return e.Bytes()
+}
+
+func decodeFetchRangeResp(b []byte) ([]int, error) {
+	d := transport.NewDecoder(b)
+	ids := d.Ints()
+	return ids, d.Finish()
+}
+
+// ---- fetch_knn ----
+
+func encodeFetchKNNReq(q []float64, k int) []byte {
+	var e transport.Encoder
+	e.Floats(q)
+	e.Int(k)
+	return e.Bytes()
+}
+
+func decodeFetchKNNReq(b []byte) (q []float64, k int, err error) {
+	d := transport.NewDecoder(b)
+	q = d.Floats()
+	k = d.Int()
+	return q, k, d.Finish()
+}
+
+func encodeFetchKNNResp(items []core.ItemDist) []byte {
+	var e transport.Encoder
+	e.U32(uint32(len(items)))
+	for _, it := range items {
+		e.Int(it.ID)
+		e.F64(it.Dist2)
+	}
+	return e.Bytes()
+}
+
+func decodeFetchKNNResp(b []byte) ([]core.ItemDist, error) {
+	d := transport.NewDecoder(b)
+	var items []core.ItemDist
+	if n := int(d.U32()); d.Err() == nil && n > 0 {
+		items = make([]core.ItemDist, n)
+		for i := range items {
+			items[i] = core.ItemDist{ID: d.Int(), Dist2: d.F64()}
+		}
+	}
+	return items, d.Finish()
+}

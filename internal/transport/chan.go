@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// ChanTransport is the in-process transport: endpoints are named entries in
+// a registry, and a call runs the handler on a fresh goroutine while the
+// caller selects on completion, deadline, and server shutdown. There is no
+// serialization loss and no scheduling nondeterminism beyond the handlers'
+// own — with serial callers it is fully deterministic — and everything is
+// race-detector clean, which is why the cluster oracle tests run on it.
+type ChanTransport struct {
+	mu      sync.RWMutex
+	servers map[string]*chanServer
+	closed  bool
+	nextID  int
+}
+
+// NewChan builds an empty in-process transport.
+func NewChan() *ChanTransport {
+	return &ChanTransport{servers: make(map[string]*chanServer)}
+}
+
+type chanServer struct {
+	t       *ChanTransport
+	addr    string
+	h       Handler
+	stopped chan struct{}
+	once    sync.Once
+}
+
+func (s *chanServer) Addr() string { return s.addr }
+
+func (s *chanServer) Close() error {
+	s.once.Do(func() {
+		close(s.stopped)
+		s.t.mu.Lock()
+		if s.t.servers[s.addr] == s {
+			delete(s.t.servers, s.addr)
+		}
+		s.t.mu.Unlock()
+	})
+	return nil
+}
+
+// Serve registers h under addr. An empty addr auto-assigns a unique name
+// (mirroring TCP's ":0"). Registering a taken address fails.
+func (t *ChanTransport) Serve(addr string, h Handler) (Server, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if addr == "" {
+		addr = fmt.Sprintf("chan-%d", t.nextID)
+		t.nextID++
+	}
+	if _, taken := t.servers[addr]; taken {
+		return nil, fmt.Errorf("transport: address %q already served", addr)
+	}
+	srv := &chanServer{t: t, addr: addr, h: h, stopped: make(chan struct{})}
+	t.servers[addr] = srv
+	return srv, nil
+}
+
+// Call runs the handler registered at addr. Unknown addresses and stopped
+// servers are ErrUnavailable (retryable — the endpoint may come up);
+// deadline expiry mid-handler surfaces ctx.Err().
+func (t *ChanTransport) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	t.mu.RLock()
+	srv := t.servers[addr]
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return Response{}, ErrClosed
+	}
+	if srv == nil {
+		return Response{}, fmt.Errorf("transport: no server at %q: %w", addr, ErrUnavailable)
+	}
+	select {
+	case <-srv.stopped:
+		return Response{}, fmt.Errorf("transport: server %q stopped: %w", addr, ErrUnavailable)
+	default:
+	}
+
+	type outcome struct {
+		resp Response
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := srv.h(ctx, req)
+		done <- outcome{resp, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return Response{}, &RemoteError{Msg: o.err.Error()}
+		}
+		return o.resp, nil
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	case <-srv.stopped:
+		// Server torn down mid-request: the reply is lost even if the
+		// handler finishes. Retryable — a restarted endpoint can answer.
+		return Response{}, fmt.Errorf("transport: server %q stopped mid-request: %w", addr, ErrUnavailable)
+	}
+}
+
+// Close tears down the transport and every registered server.
+func (t *ChanTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	servers := make([]*chanServer, 0, len(t.servers))
+	for _, s := range t.servers {
+		servers = append(servers, s)
+	}
+	t.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoder builds a binary message body: fixed-width big-endian integers,
+// IEEE-754 bit-exact floats, and length-prefixed sequences. The format is
+// deliberately trivial — no reflection, no varints — so that encode(decode)
+// round-trips are bit-identical, which the serving runtime's determinism
+// oracle depends on (float64 coordinates must survive the wire untouched).
+//
+// The zero value is ready to use.
+type Encoder struct{ b []byte }
+
+// Bytes returns the encoded message.
+func (e *Encoder) Bytes() []byte { return e.b }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.b = append(e.b, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+
+// Int appends an int as a big-endian int64.
+func (e *Encoder) Int(v int) { e.b = binary.BigEndian.AppendUint64(e.b, uint64(int64(v))) }
+
+// F64 appends a float64 bit pattern.
+func (e *Encoder) F64(v float64) { e.b = binary.BigEndian.AppendUint64(e.b, math.Float64bits(v)) }
+
+// Floats appends a length-prefixed []float64.
+func (e *Encoder) Floats(v []float64) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.F64(x)
+	}
+}
+
+// Ints appends a length-prefixed []int.
+func (e *Encoder) Ints(v []int) {
+	e.U32(uint32(len(v)))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Decoder reads a message produced by Encoder. Errors are sticky: after the
+// first short read every accessor returns zero values, and Err/Finish report
+// the failure — callers check once at the end instead of after every field.
+type Decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps an encoded message.
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
+// Err returns the first decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish returns the first decode error, or an error if trailing bytes
+// remain — a message must be consumed exactly.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("transport: %d trailing bytes in message", len(d.b)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.err = fmt.Errorf("transport: truncated message: want %d bytes at offset %d, have %d", n, d.off, len(d.b)-d.off)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// Int reads an int written by Encoder.Int.
+func (d *Decoder) Int() int {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return int(int64(binary.BigEndian.Uint64(b)))
+}
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// len reads a sequence length and bounds it by the remaining payload so a
+// corrupt prefix cannot force a huge allocation.
+func (d *Decoder) seqLen(elemSize int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n*elemSize > len(d.b)-d.off {
+		d.err = fmt.Errorf("transport: sequence length %d exceeds remaining %d bytes", n, len(d.b)-d.off)
+		return 0
+	}
+	return n
+}
+
+// Floats reads a length-prefixed []float64 (nil when empty).
+func (d *Decoder) Floats() []float64 {
+	n := d.seqLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.F64()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int (nil when empty).
+func (d *Decoder) Ints() []int {
+	n := d.seqLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.seqLen(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return string(d.take(n))
+}

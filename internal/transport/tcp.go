@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format of the TCP transport (documented in DESIGN.md §8):
+//
+//	frame    := u32_be(len(payload)) payload          (len <= maxFrame)
+//	request  := u8(len(method)) method body
+//	response := u8(status) rest                       (status 0: rest = body,
+//	                                                   status 1: rest = error message)
+//
+// One frame carries exactly one request or response; a connection carries a
+// strict request/response sequence (no interleaving), and concurrency comes
+// from the per-address connection pool.
+const (
+	maxFrame     = 64 << 20
+	statusOK     = 0
+	statusRemote = 1
+)
+
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func encodeRequest(req Request) ([]byte, error) {
+	if len(req.Method) > 255 {
+		return nil, fmt.Errorf("transport: method name %q too long", req.Method)
+	}
+	out := make([]byte, 0, 1+len(req.Method)+len(req.Body))
+	out = append(out, byte(len(req.Method)))
+	out = append(out, req.Method...)
+	return append(out, req.Body...), nil
+}
+
+func decodeRequest(payload []byte) (Request, error) {
+	if len(payload) < 1 {
+		return Request{}, fmt.Errorf("transport: empty request frame")
+	}
+	n := int(payload[0])
+	if len(payload) < 1+n {
+		return Request{}, fmt.Errorf("transport: truncated method name")
+	}
+	return Request{Method: string(payload[1 : 1+n]), Body: payload[1+n:]}, nil
+}
+
+// TCPTransport carries frames over real sockets with per-address connection
+// reuse. Implements Transport.
+type TCPTransport struct {
+	mu     sync.Mutex
+	idle   map[string][]net.Conn
+	closed bool
+
+	// maxIdle bounds pooled connections per address; extras are closed on
+	// release.
+	maxIdle int
+	// dialTimeout bounds connection establishment when the context allows
+	// more (or has no deadline).
+	dialTimeout time.Duration
+}
+
+// NewTCP builds a TCP transport with a small per-address connection pool.
+func NewTCP() *TCPTransport {
+	return &TCPTransport{idle: make(map[string][]net.Conn), maxIdle: 4, dialTimeout: time.Second}
+}
+
+type tcpServer struct {
+	tr      *TCPTransport
+	ln      net.Listener
+	h       Handler
+	ctx     context.Context
+	cancel  context.CancelFunc
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+func (s *tcpServer) Addr() string { return s.ln.Addr().String() }
+
+func (s *tcpServer) Close() error {
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.stopped = true
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		s.ln.Close()
+		// Close connections before canceling the handler context: an
+		// in-flight handler unblocked by cancelation must not win the race
+		// and deliver its response on a connection we are abandoning.
+		for _, c := range conns {
+			c.Close()
+		}
+		s.cancel()
+		s.wg.Wait()
+	})
+	return nil
+}
+
+// Serve listens on addr ("host:0" picks a free port) and serves each
+// connection with a strict read-request/write-response loop.
+func (t *TCPTransport) Serve(addr string, h Handler) (Server, error) {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &tcpServer{tr: t, ln: ln, h: h, ctx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+func (s *tcpServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // client went away or server closing
+		}
+		req, err := decodeRequest(payload)
+		var out []byte
+		if err == nil {
+			var resp Response
+			resp, err = s.h(s.ctx, req)
+			if err == nil {
+				out = append([]byte{statusOK}, resp.Body...)
+			}
+		}
+		if err != nil {
+			out = append([]byte{statusRemote}, err.Error()...)
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// Call dials (or reuses) a connection to addr, writes the request frame and
+// reads the response frame, honoring ctx's deadline via socket deadlines.
+// Any socket failure poisons the connection (it is dropped, not pooled) and
+// comes back wrapped in ErrUnavailable; deadline expiry surfaces ctx.Err().
+func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	conn, err := t.checkout(ctx, addr)
+	if err != nil {
+		return Response{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	payload, err := encodeRequest(req)
+	if err != nil {
+		t.release(addr, conn, false)
+		return Response{}, err
+	}
+	if err := writeFrame(conn, payload); err != nil {
+		t.release(addr, conn, false)
+		return Response{}, t.classify(ctx, "write", addr, err)
+	}
+	reply, err := readFrame(conn)
+	if err != nil {
+		t.release(addr, conn, false)
+		return Response{}, t.classify(ctx, "read", addr, err)
+	}
+	t.release(addr, conn, true)
+	if len(reply) < 1 {
+		return Response{}, fmt.Errorf("transport: empty response frame from %s: %w", addr, ErrUnavailable)
+	}
+	switch reply[0] {
+	case statusOK:
+		return Response{Body: reply[1:]}, nil
+	case statusRemote:
+		return Response{}, &RemoteError{Msg: string(reply[1:])}
+	default:
+		return Response{}, fmt.Errorf("transport: bad response status %d from %s: %w", reply[0], addr, ErrUnavailable)
+	}
+}
+
+// classify maps a socket error to the transport's failure taxonomy.
+func (t *TCPTransport) classify(ctx context.Context, op, addr string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return context.DeadlineExceeded
+	}
+	return fmt.Errorf("transport: %s %s: %v: %w", op, addr, err, ErrUnavailable)
+}
+
+// checkout returns a pooled connection to addr or dials a fresh one.
+func (t *TCPTransport) checkout(ctx context.Context, addr string) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if conns := t.idle[addr]; len(conns) > 0 {
+		conn := conns[len(conns)-1]
+		t.idle[addr] = conns[:len(conns)-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+
+	d := net.Dialer{Timeout: t.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, t.classify(ctx, "dial", addr, err)
+	}
+	return conn, nil
+}
+
+// release returns a healthy connection to the pool and closes broken or
+// surplus ones.
+func (t *TCPTransport) release(addr string, conn net.Conn, healthy bool) {
+	if !healthy {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	t.mu.Lock()
+	if t.closed || len(t.idle[addr]) >= t.maxIdle {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.idle[addr] = append(t.idle[addr], conn)
+	t.mu.Unlock()
+}
+
+// Close tears down the pool. Servers created by Serve are independent and
+// must be closed by their owners (the transport does not track them).
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	var conns []net.Conn
+	for _, list := range t.idle {
+		conns = append(conns, list...)
+	}
+	t.idle = nil
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// harness abstracts over the two implementations so every behavioral test
+// runs against both.
+type harness struct {
+	name string
+	mk   func(t *testing.T) Transport
+	// freeAddr reserves an address that is currently not served but can be
+	// served later (late-start scenarios).
+	freeAddr func(t *testing.T, tr Transport) string
+}
+
+func harnesses() []harness {
+	return []harness{
+		{
+			name:     "chan",
+			mk:       func(t *testing.T) Transport { return NewChan() },
+			freeAddr: func(t *testing.T, tr Transport) string { return "late-endpoint" },
+		},
+		{
+			name: "tcp",
+			mk:   func(t *testing.T) Transport { return NewTCP() },
+			freeAddr: func(t *testing.T, tr Transport) string {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				addr := ln.Addr().String()
+				ln.Close()
+				return addr
+			},
+		},
+	}
+}
+
+func echoHandler(ctx context.Context, req Request) (Response, error) {
+	return Response{Body: append([]byte("echo:"), req.Body...)}, nil
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			tr := h.mk(t)
+			defer tr.Close()
+			srv, err := tr.Serve(serveAddr(h), echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			// Repeated calls exercise connection reuse on the TCP transport.
+			for i := 0; i < 5; i++ {
+				body := fmt.Sprintf("ping-%d", i)
+				resp, err := tr.Call(context.Background(), srv.Addr(), Request{Method: "echo", Body: []byte(body)})
+				if err != nil {
+					t.Fatalf("call %d: %v", i, err)
+				}
+				if got, want := string(resp.Body), "echo:"+body; got != want {
+					t.Fatalf("call %d: got %q, want %q", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func serveAddr(h harness) string {
+	if h.name == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return "" // chan transport auto-assigns
+}
+
+// TestFailureModes is the table-driven matrix of the satellite requirement:
+// deadline exceeded, retry-then-succeed, retry budget exhausted, and server
+// stopped mid-request — on both transports.
+func TestFailureModes(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			t.Run("deadline exceeded", func(t *testing.T) {
+				tr := h.mk(t)
+				defer tr.Close()
+				srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+					select {
+					case <-time.After(2 * time.Second):
+					case <-ctx.Done():
+					}
+					return Response{}, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				defer cancel()
+				start := time.Now()
+				_, err = tr.Call(ctx, srv.Addr(), Request{Method: "slow"})
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("got %v, want DeadlineExceeded", err)
+				}
+				if el := time.Since(start); el > time.Second {
+					t.Fatalf("deadline ignored: call took %v", el)
+				}
+				if Retryable(err) {
+					t.Fatal("deadline expiry must not be retryable")
+				}
+			})
+
+			t.Run("retry then succeed", func(t *testing.T) {
+				tr := h.mk(t)
+				defer tr.Close()
+				addr := h.freeAddr(t, tr)
+				client := NewClient(tr, Policy{MaxAttempts: 20, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Timeout: 5 * time.Second})
+				// Bring the endpoint up only after the client has started
+				// failing: the first attempts hit nothing, the retry loop
+				// must pick the server up once it appears.
+				go func() {
+					time.Sleep(30 * time.Millisecond)
+					if _, err := tr.Serve(addr, echoHandler); err != nil {
+						t.Error(err)
+					}
+				}()
+				resp, err := client.Call(context.Background(), addr, Request{Method: "echo", Body: []byte("x")})
+				if err != nil {
+					t.Fatalf("retries never succeeded: %v", err)
+				}
+				if string(resp.Body) != "echo:x" {
+					t.Fatalf("bad response %q", resp.Body)
+				}
+			})
+
+			t.Run("retry budget exhausted", func(t *testing.T) {
+				tr := h.mk(t)
+				defer tr.Close()
+				addr := h.freeAddr(t, tr) // never served
+				client := NewClient(tr, Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Timeout: 5 * time.Second})
+				start := time.Now()
+				_, err := client.Call(context.Background(), addr, Request{Method: "echo"})
+				if err == nil {
+					t.Fatal("call to dead endpoint succeeded")
+				}
+				if !errors.Is(err, ErrUnavailable) {
+					t.Fatalf("got %v, want ErrUnavailable after budget", err)
+				}
+				if !strings.Contains(err.Error(), "3 attempts") {
+					t.Fatalf("error %q does not report the attempt budget", err)
+				}
+				if el := time.Since(start); el > 2*time.Second {
+					t.Fatalf("budget exhaustion took %v", el)
+				}
+			})
+
+			t.Run("server stopped mid-request", func(t *testing.T) {
+				tr := h.mk(t)
+				defer tr.Close()
+				started := make(chan struct{})
+				unblock := make(chan struct{})
+				defer close(unblock)
+				srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+					close(started)
+					select {
+					case <-unblock:
+					case <-ctx.Done():
+					}
+					return Response{Body: []byte("too late")}, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				errs := make(chan error, 1)
+				go func() {
+					_, err := tr.Call(context.Background(), srv.Addr(), Request{Method: "hang"})
+					errs <- err
+				}()
+				<-started
+				srv.Close()
+				select {
+				case err := <-errs:
+					if err == nil {
+						t.Fatal("call survived server shutdown")
+					}
+					if !Retryable(err) {
+						t.Fatalf("mid-request shutdown not retryable: %v", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("call hung across server shutdown")
+				}
+				// The endpoint is gone: subsequent calls fail fast and stay
+				// retryable.
+				if _, err := tr.Call(context.Background(), srv.Addr(), Request{Method: "hang"}); !Retryable(err) {
+					t.Fatalf("post-shutdown call: %v", err)
+				}
+			})
+
+			t.Run("remote errors are not retried", func(t *testing.T) {
+				tr := h.mk(t)
+				defer tr.Close()
+				var calls atomic.Int64
+				srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+					calls.Add(1)
+					return Response{}, fmt.Errorf("no such method")
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				client := NewClient(tr, Policy{MaxAttempts: 5, BaseDelay: time.Millisecond})
+				_, err = client.Call(context.Background(), srv.Addr(), Request{Method: "bogus"})
+				var remote *RemoteError
+				if !errors.As(err, &remote) {
+					t.Fatalf("got %v, want RemoteError", err)
+				}
+				if !strings.Contains(remote.Msg, "no such method") {
+					t.Fatalf("remote message lost: %q", remote.Msg)
+				}
+				if n := calls.Load(); n != 1 {
+					t.Fatalf("handler ran %d times, want 1 (no retry on remote errors)", n)
+				}
+			})
+		})
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	var e Encoder
+	e.U8(7)
+	e.Int(-42)
+	e.F64(3.14159)
+	e.Floats([]float64{1.5, -2.5, 0})
+	e.Ints([]int{10, -20})
+	e.Floats(nil)
+	e.String("hello")
+
+	d := NewDecoder(e.Bytes())
+	if v := d.U8(); v != 7 {
+		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.Int(); v != -42 {
+		t.Fatalf("Int = %d", v)
+	}
+	if v := d.F64(); v != 3.14159 {
+		t.Fatalf("F64 = %v", v)
+	}
+	f := d.Floats()
+	if len(f) != 3 || f[0] != 1.5 || f[1] != -2.5 || f[2] != 0 {
+		t.Fatalf("Floats = %v", f)
+	}
+	i := d.Ints()
+	if len(i) != 2 || i[0] != 10 || i[1] != -20 {
+		t.Fatalf("Ints = %v", i)
+	}
+	if v := d.Floats(); v != nil {
+		t.Fatalf("empty Floats = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Fatalf("String = %q", v)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation is caught, errors are sticky, and Finish rejects leftovers.
+	d = NewDecoder(e.Bytes()[:3])
+	d.U8()
+	d.Int()
+	if d.Err() == nil {
+		t.Fatal("truncated decode not detected")
+	}
+	if d.Int() != 0 || d.Floats() != nil {
+		t.Fatal("sticky error did not zero later reads")
+	}
+	d = NewDecoder(e.Bytes())
+	d.U8()
+	if err := d.Finish(); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+	// A corrupt length prefix must not force a huge allocation.
+	var bad Encoder
+	bad.U32(1 << 30)
+	d = NewDecoder(bad.Bytes())
+	if d.Floats() != nil || d.Err() == nil {
+		t.Fatal("oversized sequence accepted")
+	}
+}
+
+// Backoff delays must grow exponentially, stay within the jitter envelope,
+// cap at MaxDelay, and be reproducible from the seed.
+func TestClientBackoff(t *testing.T) {
+	mk := func() *Client {
+		return NewClient(NewChan(), Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Jitter: 0.2, Seed: 7})
+	}
+	a, b := mk(), mk()
+	for attempt := 1; attempt <= 8; attempt++ {
+		da := a.backoff(attempt)
+		if db := b.backoff(attempt); da != db {
+			t.Fatalf("attempt %d: same seed, different delays %v vs %v", attempt, da, db)
+		}
+		nominal := 10 * time.Millisecond << (attempt - 1)
+		if nominal > 80*time.Millisecond {
+			nominal = 80 * time.Millisecond
+		}
+		lo := time.Duration(float64(nominal) * 0.8)
+		hi := time.Duration(float64(nominal) * 1.2)
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: delay %v outside jitter envelope [%v, %v]", attempt, da, lo, hi)
+		}
+	}
+}
