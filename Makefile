@@ -24,9 +24,10 @@ test:
 	$(GO) test ./...
 
 # The packages that use or implement the worker pool, plus the serving
-# runtime (concurrent RPC handlers over both transports), under -race.
+# runtime (concurrent RPC handlers over both transports) and the routing
+# core it drives, under -race.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/can ./internal/route
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -41,6 +42,8 @@ bench-kernels:
 bench-serve:
 	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 10000 -transport tcp -out BENCH_serve.json
 
-# Short fuzz session for the wavelet round-trip invariant.
+# Short fuzz sessions: the wavelet round-trip invariant, and the routing
+# core vs the frozen pre-extraction sphere-search reference.
 fuzz:
 	$(GO) test -fuzz=FuzzDecomposeReconstruct -fuzztime=30s ./internal/wavelet
+	$(GO) test -fuzz=FuzzSearchSphere -fuzztime=30s ./internal/can

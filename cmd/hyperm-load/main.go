@@ -17,11 +17,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +58,26 @@ type ServeBenchRow struct {
 	P50Ms float64 `json:"p50_ms"`
 	P95Ms float64 `json:"p95_ms"`
 	P99Ms float64 `json:"p99_ms"`
+	// ErrorClasses breaks Errors down by failure class: the routing-core
+	// detail tokens ("route/loop-limit", "route/no-neighbor") vs plain
+	// remote errors ("remote") vs transport-level failures ("transport").
+	// Omitted when the run is clean.
+	ErrorClasses map[string]int `json:"error_classes,omitempty"`
+}
+
+// errorClass buckets one failed request. Routing stalls carry their
+// machine-readable detail token across the wire (see route.Detail*); any
+// other handler refusal is "remote"; everything else — unreachable endpoint,
+// retry budget exhausted, deadline — is "transport".
+func errorClass(err error) string {
+	if detail := transport.ErrorDetail(err); detail != "" {
+		return detail
+	}
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return "remote"
+	}
+	return "transport"
 }
 
 type sample struct {
@@ -204,12 +226,20 @@ func run() int {
 	// Aggregate per op class plus the "all" row.
 	perOp := map[string][]time.Duration{}
 	errs := map[string]int{}
+	classes := map[string]map[string]int{}
 	for _, rs := range results {
 		for _, s := range rs {
 			name := opNames[s.op]
 			if s.err != nil {
 				errs[name]++
 				errs["all"]++
+				class := errorClass(s.err)
+				for _, key := range []string{name, "all"} {
+					if classes[key] == nil {
+						classes[key] = map[string]int{}
+					}
+					classes[key][class]++
+				}
 				continue
 			}
 			perOp[name] = append(perOp[name], s.dur)
@@ -224,6 +254,7 @@ func run() int {
 			Op: op, Transport: *transportName, Nodes: *nodes, Clients: *clients,
 			Requests: len(durs) + errs[op], Errors: errs[op], Seconds: elapsed,
 			P50Ms: percentile(durs, 0.50), P95Ms: percentile(durs, 0.95), P99Ms: percentile(durs, 0.99),
+			ErrorClasses: classes[op],
 		}
 		if elapsed > 0 {
 			row.QPS = float64(row.Requests) / elapsed
@@ -247,7 +278,13 @@ func run() int {
 		fmt.Printf("\nwrote %s\n", *out)
 	}
 	if errs["all"] > 0 {
-		fmt.Fprintf(os.Stderr, "hyperm-load: %d requests failed\n", errs["all"])
+		var parts []string
+		for class, n := range classes["all"] {
+			parts = append(parts, fmt.Sprintf("%s=%d", class, n))
+		}
+		sort.Strings(parts)
+		fmt.Fprintf(os.Stderr, "hyperm-load: %d requests failed (%s)\n",
+			errs["all"], strings.Join(parts, " "))
 		return 1
 	}
 	return 0

@@ -13,6 +13,11 @@
 //     charged to insertion cost — exactly the overhead Figure 8a measures;
 //   - sphere searches route to the query center's owner and flood over the
 //     zones the query sphere touches, collecting intersecting entries.
+//
+// All routing and flood decisions are made by the shared machines of
+// internal/route; this package is the simulator-side driver, contributing
+// zone maintenance (join/split/leave), message and drop accounting, and the
+// global-scan fallbacks a simulated network can afford.
 package can
 
 import (
@@ -21,84 +26,16 @@ import (
 	"math/rand"
 
 	"hyperm/internal/overlay"
+	"hyperm/internal/route"
 )
 
-// Zone is an axis-aligned half-open box [Lo, Hi) inside the unit torus.
-// Zones produced by binary splits never wrap around the torus boundary.
-type Zone struct {
-	Lo, Hi []float64
-}
-
-// Contains reports whether point p lies inside the zone.
-func (z Zone) Contains(p []float64) bool {
-	for i := range z.Lo {
-		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
-			return false
-		}
-	}
-	return true
-}
-
-// Volume returns the zone's key-space volume.
-func (z Zone) Volume() float64 {
-	v := 1.0
-	for i := range z.Lo {
-		v *= z.Hi[i] - z.Lo[i]
-	}
-	return v
-}
-
-// String renders the zone box.
-func (z Zone) String() string { return fmt.Sprintf("zone%v-%v", z.Lo, z.Hi) }
-
-// circDist is the distance between two coordinates on the unit circle.
-func circDist(a, b float64) float64 {
-	d := math.Abs(a - b)
-	if d > 0.5 {
-		d = 1 - d
-	}
-	return d
-}
-
-// coordDistToSpan returns the torus distance from coordinate x to the
-// interval [lo, hi) on the unit circle.
-func coordDistToSpan(x, lo, hi float64) float64 {
-	if hi-lo >= 1 { // full axis
-		return 0
-	}
-	if x >= lo && x < hi {
-		return 0
-	}
-	return math.Min(circDist(x, lo), circDist(x, hi))
-}
-
-// DistToPoint returns the torus distance from point p to the closest point
-// of the zone.
-func (z Zone) DistToPoint(p []float64) float64 {
-	var s float64
-	for i := range z.Lo {
-		d := coordDistToSpan(p[i], z.Lo[i], z.Hi[i])
-		s += d * d
-	}
-	return math.Sqrt(s)
-}
-
-// IntersectsSphere reports whether a sphere of the given radius centered at
-// key touches the zone (under the torus metric).
-func (z Zone) IntersectsSphere(key []float64, radius float64) bool {
-	return z.DistToPoint(key) <= radius
-}
+// Zone is an axis-aligned half-open box [Lo, Hi) inside the unit torus; see
+// route.Zone (the routing core owns the zone geometry).
+type Zone = route.Zone
 
 // TorusDist returns the torus (wrap-around) Euclidean distance between two
 // key-space points.
-func TorusDist(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		d := circDist(a[i], b[i])
-		s += d * d
-	}
-	return math.Sqrt(s)
-}
+func TorusDist(a, b []float64) float64 { return route.TorusDist(a, b) }
 
 // node is one overlay participant: a zone, its neighbor set, and the entries
 // it stores (both owned — centroid in zone — and replicated).
@@ -107,39 +44,16 @@ type node struct {
 	zones     []Zone // usually one; temporarily more after a takeover (Leave)
 	alive     bool
 	neighbors []int
-	owned     []record
-	replicas  []record
+	owned     []RecordView
+	replicas  []RecordView
 }
 
 // containsPoint reports whether any of the node's zones contains p.
-func (n *node) containsPoint(p []float64) bool {
-	for _, z := range n.zones {
-		if z.Contains(p) {
-			return true
-		}
-	}
-	return false
-}
-
-// distToPoint is the torus distance from p to the node's closest zone.
-func (n *node) distToPoint(p []float64) float64 {
-	best := math.Inf(1)
-	for _, z := range n.zones {
-		if d := z.DistToPoint(p); d < best {
-			best = d
-		}
-	}
-	return best
-}
+func (n *node) containsPoint(p []float64) bool { return route.ZonesContain(n.zones, p) }
 
 // intersectsSphere reports whether any zone touches the sphere.
 func (n *node) intersectsSphere(key []float64, radius float64) bool {
-	for _, z := range n.zones {
-		if z.IntersectsSphere(key, radius) {
-			return true
-		}
-	}
-	return false
+	return route.ZonesIntersect(n.zones, key, radius)
 }
 
 // volume is the node's total key-space volume.
@@ -149,11 +63,6 @@ func (n *node) volume() float64 {
 		v += z.Volume()
 	}
 	return v
-}
-
-type record struct {
-	seq int // unique per logical entry; replicas share it
-	e   overlay.Entry
 }
 
 // Stats accumulates overlay-wide message accounting.
@@ -299,7 +208,7 @@ func (o *Overlay) split(owner, joiner *node, joinPoint []float64) {
 	owner.owned, owner.replicas = nil, nil
 	for _, rec := range oldOwned {
 		target := owner
-		if joiner.containsPoint(rec.e.Key) {
+		if joiner.containsPoint(rec.Entry.Key) {
 			target = joiner
 		}
 		target.owned = append(target.owned, rec)
@@ -307,13 +216,13 @@ func (o *Overlay) split(owner, joiner *node, joinPoint []float64) {
 		if target == owner {
 			other = joiner
 		}
-		if rec.e.Radius > 0 && other.intersectsSphere(rec.e.Key, rec.e.Radius) {
+		if rec.Entry.Radius > 0 && other.intersectsSphere(rec.Entry.Key, rec.Entry.Radius) {
 			other.replicas = append(other.replicas, rec)
 		}
 	}
 	for _, rec := range oldReplicas {
 		for _, n := range []*node{owner, joiner} {
-			if n.intersectsSphere(rec.e.Key, rec.e.Radius) {
+			if n.intersectsSphere(rec.Entry.Key, rec.Entry.Radius) {
 				n.replicas = append(n.replicas, rec)
 			}
 		}
@@ -448,44 +357,43 @@ func spanRelation(alo, ahi, blo, bhi float64) spanRel {
 	return spanDisjoint
 }
 
+// hopLimit is the routing-loop budget: generously above any greedy path
+// length on a consistent topology.
+func (o *Overlay) hopLimit() int { return 8*len(o.nodes) + 16 }
+
+// liveView builds node n's view for the routing core, sharing the live zone
+// and record slices (the machines treat views as read-only, so no copying is
+// needed on the simulator's synchronous path).
+func (o *Overlay) liveView(n *node) route.NodeView {
+	nbs := make([]route.NeighborView, len(n.neighbors))
+	for i, id := range n.neighbors {
+		nbs[i] = route.NeighborView{ID: id, Zones: o.nodes[id].zones}
+	}
+	return route.NodeView{ID: n.id, Zones: n.zones, Neighbors: nbs, Owned: n.owned, Replicas: n.replicas}
+}
+
 // route greedily forwards from start toward the owner of target, returning
-// the owner and the number of hops taken. A visited set plus a linear-scan
-// escape hatch guarantee termination even if greedy progress stalls.
+// the owner and the number of hops taken. The route.Router makes every
+// forwarding decision; this driver charges retransmitting radio links (each
+// attempt costs a hop) and resolves stalls with the simulator's global-scan
+// escape hatch, so termination is guaranteed even if greedy progress stalls.
 func (o *Overlay) route(start *node, target []float64) (*node, int) {
-	cur := start
-	hops := 0
-	visited := map[int]bool{cur.id: true}
-	limit := 8*len(o.nodes) + 16
-	for !cur.containsPoint(target) {
-		if hops > limit {
+	r := route.NewRouter(o.liveView(start), target, o.hopLimit())
+	for {
+		step, err := r.Next()
+		if err != nil {
 			// Should be unreachable; keep the simulation alive and flag it.
 			o.stats.RouteFallbacks++
 			owner := o.ownerScan(target)
-			o.message(cur.id, owner.id)
-			return owner, hops + 1
+			o.message(step.From, owner.id)
+			r.ResolveOwner(o.liveView(owner), 1)
+			continue
 		}
-		bestID, bestDist := -1, math.Inf(1)
-		for _, nb := range cur.neighbors {
-			nz := o.nodes[nb]
-			d := nz.distToPoint(target)
-			if visited[nb] {
-				d += 1e6 // strongly avoid revisits, but allow as last resort
-			}
-			if d < bestDist {
-				bestID, bestDist = nb, d
-			}
+		if step.Kind == route.StepDone {
+			return o.nodes[step.From], r.Hops()
 		}
-		if bestID < 0 {
-			o.stats.RouteFallbacks++
-			owner := o.ownerScan(target)
-			o.message(cur.id, owner.id)
-			return owner, hops + 1
-		}
-		hops += o.reliableMessage(cur.id, bestID)
-		cur = o.nodes[bestID]
-		visited[cur.id] = true
+		r.Feed(o.liveView(o.nodes[step.To]), o.reliableMessage(step.From, step.To))
 	}
-	return cur, hops
 }
 
 func (o *Overlay) ownerScan(target []float64) *node {
@@ -567,7 +475,7 @@ func (o *Overlay) InsertSphere(from int, e overlay.Entry) int {
 	}
 	owner, hops := o.route(o.nodes[from], e.Key)
 	o.stats.InsertRouteHops += hops
-	rec := record{seq: o.nextSeq, e: e}
+	rec := RecordView{Seq: o.nextSeq, Entry: e}
 	o.nextSeq++
 	owner.owned = append(owner.owned, rec)
 	if e.Radius > 0 {
@@ -577,33 +485,27 @@ func (o *Overlay) InsertSphere(from int, e overlay.Entry) int {
 }
 
 // replicate floods rec from its owner into every other zone the sphere
-// overlaps, returning the number of replication messages.
-func (o *Overlay) replicate(owner *node, rec record) int {
+// overlaps, returning the number of replication messages. The route.Flood
+// machine decides the visit order; this driver stores the replica on each
+// reached node and injects radio loss (a dropped message is charged but the
+// replica never lands, degrading coverage).
+func (o *Overlay) replicate(owner *node, rec RecordView) int {
+	f := route.NewFlood(o.liveView(owner), rec.Entry.Key, rec.Entry.Radius)
 	msgs := 0
-	visited := map[int]bool{owner.id: true}
-	frontier := []*node{owner}
-	for len(frontier) > 0 {
-		next := frontier[:0:0]
-		for _, n := range frontier {
-			for _, nbID := range n.neighbors {
-				if visited[nbID] {
-					continue
-				}
-				visited[nbID] = true
-				nb := o.nodes[nbID]
-				if !nb.intersectsSphere(rec.e.Key, rec.e.Radius) {
-					continue
-				}
-				o.message(n.id, nbID)
-				msgs++
-				if o.dropped() {
-					continue // replica lost in the air; coverage degrades
-				}
-				nb.replicas = append(nb.replicas, rec)
-				next = append(next, nb)
-			}
+	for {
+		step := f.Next()
+		if step.Kind == route.StepDone {
+			break
 		}
-		frontier = next
+		o.message(step.From, step.To)
+		msgs++
+		if o.dropped() {
+			f.Skip() // replica lost in the air; coverage degrades
+			continue
+		}
+		nb := o.nodes[step.To]
+		nb.replicas = append(nb.replicas, rec)
+		f.Feed(o.liveView(nb))
 	}
 	o.stats.InsertReplicationHops += msgs
 	return msgs
@@ -611,7 +513,10 @@ func (o *Overlay) replicate(owner *node, rec record) int {
 
 // SearchSphere routes to the owner of key and floods the zones intersecting
 // the query sphere, returning every stored entry whose own sphere intersects
-// the query (deduplicated across replicas) plus the hops spent.
+// the query (deduplicated across replicas) plus the hops spent. Every
+// routing, flood, and collection decision is the route.Search machine's;
+// this driver contributes message/drop accounting and the global-scan stall
+// fallback — the serving runtime drives the identical machine over RPCs.
 func (o *Overlay) SearchSphere(from int, key []float64, radius float64) ([]overlay.Entry, int) {
 	o.checkKey(key)
 	if radius < 0 {
@@ -620,52 +525,33 @@ func (o *Overlay) SearchSphere(from int, key []float64, radius float64) ([]overl
 	if !o.nodes[from].alive {
 		panic(fmt.Sprintf("can: node %d has left the overlay", from))
 	}
-	owner, hops := o.route(o.nodes[from], key)
-
-	seen := map[int]bool{}
-	var results []overlay.Entry
-	collect := func(n *node) {
-		for _, recs := range [][]record{n.owned, n.replicas} {
-			for _, rec := range recs {
-				if seen[rec.seq] {
-					continue
-				}
-				if TorusDist(rec.e.Key, key) <= rec.e.Radius+radius {
-					seen[rec.seq] = true
-					results = append(results, rec.e)
-				}
+	s := route.NewSearch(o.liveView(o.nodes[from]), key, radius, o.hopLimit())
+	for {
+		step, err := s.Next()
+		if err != nil {
+			// Should be unreachable; keep the simulation alive and flag it.
+			o.stats.RouteFallbacks++
+			owner := o.ownerScan(key)
+			o.message(step.From, owner.id)
+			s.ResolveOwner(o.liveView(owner), 1)
+			continue
+		}
+		switch step.Kind {
+		case route.StepDone:
+			hops := s.Hops()
+			o.stats.SearchHops += hops
+			return s.Results(), hops
+		case route.StepRouteHop:
+			s.Feed(o.liveView(o.nodes[step.To]), o.reliableMessage(step.From, step.To))
+		case route.StepFloodVisit:
+			o.message(step.From, step.To)
+			if o.dropped() {
+				s.Skip(1) // flood message lost; this zone goes unsearched
+			} else {
+				s.Feed(o.liveView(o.nodes[step.To]), 1)
 			}
 		}
 	}
-
-	visited := map[int]bool{owner.id: true}
-	collect(owner)
-	frontier := []*node{owner}
-	for len(frontier) > 0 {
-		next := frontier[:0:0]
-		for _, n := range frontier {
-			for _, nbID := range n.neighbors {
-				if visited[nbID] {
-					continue
-				}
-				visited[nbID] = true
-				nb := o.nodes[nbID]
-				if !nb.intersectsSphere(key, radius) {
-					continue
-				}
-				o.message(n.id, nbID)
-				hops++
-				if o.dropped() {
-					continue // flood message lost; this zone goes unsearched
-				}
-				collect(nb)
-				next = append(next, nb)
-			}
-		}
-		frontier = next
-	}
-	o.stats.SearchHops += hops
-	return results, hops
 }
 
 // NodeLoad returns how many entries node id stores: owned (centroid in the
@@ -759,14 +645,14 @@ func (o *Overlay) Leave(id int) (int, error) {
 	leaving.owned, leaving.replicas, leaving.zones = nil, nil, nil
 	leaving.alive = false
 	for _, rec := range oldOwned {
-		taker := o.ownerScan(rec.e.Key)
+		taker := o.ownerScan(rec.Entry.Key)
 		taker.owned = append(taker.owned, rec)
 		o.message(id, taker.id)
 		msgs++
 	}
 	for _, rec := range oldReplicas {
 		for _, taker := range takers {
-			if taker.intersectsSphere(rec.e.Key, rec.e.Radius) && !taker.holds(rec.seq) {
+			if taker.intersectsSphere(rec.Entry.Key, rec.Entry.Radius) && !taker.holds(rec.Seq) {
 				taker.replicas = append(taker.replicas, rec)
 				o.message(id, taker.id)
 				msgs++
@@ -787,12 +673,12 @@ func (o *Overlay) Leave(id int) (int, error) {
 // holds reports whether the node already stores record seq.
 func (n *node) holds(seq int) bool {
 	for _, r := range n.owned {
-		if r.seq == seq {
+		if r.Seq == seq {
 			return true
 		}
 	}
 	for _, r := range n.replicas {
-		if r.seq == seq {
+		if r.Seq == seq {
 			return true
 		}
 	}
@@ -834,7 +720,7 @@ func (o *Overlay) OwnedEntries(id int) []overlay.Entry {
 	n := o.nodes[id]
 	out := make([]overlay.Entry, len(n.owned))
 	for i, rec := range n.owned {
-		out[i] = rec.e
+		out[i] = rec.Entry
 	}
 	return out
 }

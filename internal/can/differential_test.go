@@ -1,0 +1,119 @@
+package can
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperm/internal/overlay"
+)
+
+// randomOverlay builds a lossless overlay with random size/dimension, random
+// sphere inserts, and random churn (graceful leaves and storage failures),
+// then returns it together with the ids of nodes still alive. Every shape
+// the topology can reach — splits, multi-zone takeovers, cleared storage —
+// is on the table, because the serving runtime inherits whatever the
+// simulator supports.
+func randomOverlay(t testing.TB, rng *rand.Rand) (*Overlay, []int) {
+	t.Helper()
+	nodes := 2 + rng.Intn(40)
+	dim := 1 + rng.Intn(4)
+	o, err := Build(Config{Nodes: nodes, Dim: dim, Rng: rng})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	inserts := rng.Intn(60)
+	for i := 0; i < inserts; i++ {
+		e := overlay.Entry{Key: randomKey(rng, dim), Payload: i}
+		if rng.Intn(3) > 0 { // two thirds are spheres, the rest points
+			e.Radius = rng.Float64() * 0.4
+		}
+		o.InsertSphere(rng.Intn(nodes), e)
+	}
+	// Churn: leave or crash up to a quarter of the overlay.
+	for i := 0; i < nodes/4; i++ {
+		id := rng.Intn(nodes)
+		if !o.Alive(id) {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			if _, err := o.Leave(id); err != nil {
+				t.Fatalf("Leave(%d): %v", id, err)
+			}
+		} else {
+			o.ClearNode(id)
+		}
+	}
+	var alive []int
+	for id := 0; id < nodes; id++ {
+		if o.Alive(id) {
+			alive = append(alive, id)
+		}
+	}
+	return o, alive
+}
+
+func randomKey(rng *rand.Rand, dim int) []float64 {
+	key := make([]float64, dim)
+	for i := range key {
+		key[i] = rng.Float64()
+	}
+	return key
+}
+
+// checkSearchAgainstReference runs one query through both the route-machine
+// path and the frozen reference and requires byte-identical entries (order
+// included) and an identical hop count.
+func checkSearchAgainstReference(t testing.TB, o *Overlay, from int, key []float64, radius float64) {
+	t.Helper()
+	wantEntries, wantHops := searchSphereReference(o, from, key, radius)
+	gotEntries, gotHops := o.SearchSphere(from, key, radius)
+	if gotHops != wantHops {
+		t.Errorf("SearchSphere(from=%d, key=%v, r=%v) hops = %d, reference %d",
+			from, key, radius, gotHops, wantHops)
+	}
+	if !reflect.DeepEqual(gotEntries, wantEntries) {
+		t.Errorf("SearchSphere(from=%d, key=%v, r=%v) entries diverge from reference:\n got %v\nwant %v",
+			from, key, radius, gotEntries, wantEntries)
+	}
+}
+
+// TestSearchSphereMatchesReference differentially tests the extracted
+// routing core against the frozen pre-extraction algorithm across many
+// random topologies, inserts, churn patterns, and query spheres.
+func TestSearchSphereMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		o, alive := randomOverlay(t, rng)
+		for q := 0; q < 25; q++ {
+			from := alive[rng.Intn(len(alive))]
+			radius := 0.0
+			if rng.Intn(4) > 0 {
+				radius = rng.Float64() * 0.6
+			}
+			checkSearchAgainstReference(t, o, from, randomKey(rng, o.Dim()), radius)
+		}
+		if t.Failed() {
+			t.Fatalf("divergence at seed %d", seed)
+		}
+	}
+}
+
+// FuzzSearchSphere drives the differential check from fuzzer-chosen seeds:
+// one seed derives the topology, inserts, and churn; the remaining inputs
+// shape a single query sphere.
+func FuzzSearchSphere(f *testing.F) {
+	f.Add(int64(1), int64(2), 0.1)
+	f.Add(int64(7), int64(0), 0.0)
+	f.Add(int64(42), int64(99), 0.55)
+	f.Fuzz(func(t *testing.T, topoSeed, querySeed int64, radius float64) {
+		if radius < 0 || radius > 1 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(topoSeed))
+		o, alive := randomOverlay(t, rng)
+		qrng := rand.New(rand.NewSource(querySeed))
+		from := alive[qrng.Intn(len(alive))]
+		checkSearchAgainstReference(t, o, from, randomKey(qrng, o.Dim()), radius)
+	})
+}

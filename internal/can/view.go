@@ -1,39 +1,23 @@
 package can
 
-import "hyperm/internal/overlay"
+import "hyperm/internal/route"
 
-// RecordView is one stored index record as seen from a node's slice of the
-// overlay: the entry plus the overlay-wide sequence number replicas share,
-// which is what lets a remote searcher deduplicate results exactly like the
-// in-process flood does.
-type RecordView struct {
-	Seq   int
-	Entry overlay.Entry
-}
-
-// NeighborView is the routing-table knowledge a CAN node keeps about one
-// neighbor: its id and current zones. Greedy routing and flood-expansion
-// decisions are made from this information alone, so a serving node carrying
-// its NeighborViews can route without any global state.
-type NeighborView struct {
-	ID    int
-	Zones []Zone
-}
-
-// NodeView is a self-contained copy of everything node id holds: its zones,
-// its neighbor table (in routing order — order matters, greedy tie-breaks
-// and flood visit order follow list position), and its stored records (owned
-// first, then replicas, each in storage order). A cluster of serving nodes
-// each holding only its own NodeView per level reproduces InsertSphere/
-// SearchSphere results exactly, which the serving runtime's oracle tests
-// rely on.
-type NodeView struct {
-	ID        int
-	Zones     []Zone
-	Neighbors []NeighborView
-	Owned     []RecordView
-	Replicas  []RecordView
-}
+// RecordView, NeighborView, and NodeView are the abstract node-state shapes
+// consumed by the routing core; they live in internal/route and are aliased
+// here so the overlay's public API is unchanged.
+type (
+	// RecordView is one stored index record: the entry plus the
+	// overlay-wide sequence number replicas share. See route.RecordView.
+	RecordView = route.RecordView
+	// NeighborView is the routing-table knowledge a node keeps about one
+	// neighbor. See route.NeighborView.
+	NeighborView = route.NeighborView
+	// NodeView is a self-contained copy of everything one node holds. A
+	// cluster of serving nodes each holding only its own NodeView per
+	// level reproduces InsertSphere/SearchSphere results exactly, which
+	// the serving runtime's oracle tests rely on. See route.NodeView.
+	NodeView = route.NodeView
+)
 
 // View extracts node id's slice of the overlay. All slices are copies; the
 // entries' keys and payloads are shared (treated as immutable).
@@ -44,18 +28,14 @@ func (o *Overlay) View(id int) NodeView {
 	for i, nbID := range n.neighbors {
 		v.Neighbors[i] = NeighborView{ID: nbID, Zones: o.Zones(nbID)}
 	}
-	v.Owned = recordViews(n.owned)
-	v.Replicas = recordViews(n.replicas)
+	v.Owned = copyRecords(n.owned)
+	v.Replicas = copyRecords(n.replicas)
 	return v
 }
 
-func recordViews(recs []record) []RecordView {
+func copyRecords(recs []RecordView) []RecordView {
 	if len(recs) == 0 {
 		return nil
 	}
-	out := make([]RecordView, len(recs))
-	for i, rec := range recs {
-		out[i] = RecordView{Seq: rec.seq, Entry: rec.e}
-	}
-	return out
+	return append([]RecordView{}, recs...)
 }

@@ -390,6 +390,9 @@ func (s *System) LeavePeer(p int) (msgs int, err error) {
 	return msgs, nil
 }
 
+// PeerAlive reports whether peer p has neither failed nor left.
+func (s *System) PeerAlive(p int) bool { return !s.peers[p].dead }
+
 // AlivePeers returns the number of peers that have not failed.
 func (s *System) AlivePeers() int {
 	alive := 0

@@ -112,14 +112,14 @@ func TestClusterMatchesOracle(t *testing.T) {
 			p := testParams()
 			qs, radii := testQueries(t, sys, 6)
 
-			check := func(tag string) {
+			check := func(tag string, addrs []string, froms []int) {
 				t.Helper()
 				for i, q := range qs {
-					from := i % p.Peers
+					from := froms[i%len(froms)]
 					eps := radii[i]
 
 					wantR := sys.RangeQuery(from, q, eps, core.RangeOptions{})
-					gotR, err := client.Range(ctx, cl.Addrs[from], q, eps, core.RangeOptions{})
+					gotR, err := client.Range(ctx, addrs[from], q, eps, core.RangeOptions{})
 					if err != nil {
 						t.Fatalf("%s: range query %d: %v", tag, i, err)
 					}
@@ -129,7 +129,7 @@ func TestClusterMatchesOracle(t *testing.T) {
 					}
 
 					wantK := sys.KNNQuery(from, q, 5, core.KNNOptions{})
-					gotK, err := client.KNN(ctx, cl.Addrs[from], q, 5, core.KNNOptions{})
+					gotK, err := client.KNN(ctx, addrs[from], q, 5, core.KNNOptions{})
 					if err != nil {
 						t.Fatalf("%s: knn query %d: %v", tag, i, err)
 					}
@@ -140,7 +140,11 @@ func TestClusterMatchesOracle(t *testing.T) {
 				}
 			}
 
-			check("initial")
+			allPeers := make([]int, p.Peers)
+			for i := range allPeers {
+				allPeers[i] = i
+			}
+			check("initial", cl.Addrs, allPeers)
 
 			// Post-creation inserts: the same items enter the oracle via
 			// PostInsert and the cluster via Publish RPCs; answers (now served
@@ -159,7 +163,7 @@ func TestClusterMatchesOracle(t *testing.T) {
 					t.Fatalf("publish %d: %v", i, err)
 				}
 			}
-			check("after inserts")
+			check("after inserts", cl.Addrs, allPeers)
 
 			// The lookups really ran peer-to-peer: nodes answered can_search
 			// hops for each other.
@@ -170,6 +174,33 @@ func TestClusterMatchesOracle(t *testing.T) {
 			if canSearches == 0 {
 				t.Error("no can_search RPCs recorded — lookups did not run peer-to-peer")
 			}
+
+			// Post-churn: one peer leaves gracefully (zones and records handed
+			// to neighbors, device gone), another crashes (storage wiped, zone
+			// still routable). A cluster snapshotted from this degraded
+			// topology — multi-zone takeover nodes included — must keep
+			// matching the oracle. The replica this test used to exercise
+			// never handled these shapes; the shared routing core does.
+			cl.Stop()
+			if _, err := sys.LeavePeer(7); err != nil {
+				t.Fatalf("LeavePeer: %v", err)
+			}
+			sys.FailPeer(2)
+			cl2, err := node.StartCluster(sys, tr, tc.listen, transport.Policy{Timeout: 30e9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl2.Stop()
+			// The departed device is off the network: fetches aimed at its
+			// surviving summaries must come back empty, like the oracle's
+			// dead-peer backend, not as errors.
+			cl2.Nodes[7].Stop()
+			if cl2.Nodes[7].ItemCount() != 0 || cl2.Nodes[2].ItemCount() != 0 {
+				t.Fatalf("dead peers still hold items: left=%d failed=%d",
+					cl2.Nodes[7].ItemCount(), cl2.Nodes[2].ItemCount())
+			}
+			alive := []int{0, 1, 3, 4, 5, 6}
+			check("post-churn", cl2.Addrs, alive)
 		})
 	}
 }

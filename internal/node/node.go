@@ -2,11 +2,13 @@ package node
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"hyperm/internal/can"
 	"hyperm/internal/core"
+	"hyperm/internal/route"
 	"hyperm/internal/sim"
 	"hyperm/internal/transport"
 )
@@ -209,6 +211,20 @@ func (n *Node) ItemCount() int {
 	return len(n.items)
 }
 
+// remoteErr classifies a query error for the wire: the routing-core stall
+// sentinels get their detail token attached so clients (hyperm-load) can
+// count routing stalls separately from transport failures; anything else
+// crosses unannotated.
+func remoteErr(err error) error {
+	switch {
+	case errors.Is(err, route.ErrLoopLimit):
+		return transport.WithDetail(err, route.DetailLoopLimit)
+	case errors.Is(err, route.ErrNoNeighbor):
+		return transport.WithDetail(err, route.DetailNoNeighbor)
+	}
+	return err
+}
+
 // handle dispatches one RPC.
 func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Response, error) {
 	n.count("rpc." + req.Method)
@@ -220,7 +236,7 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		}
 		res, err := n.RangeQuery(ctx, q, eps, opts)
 		if err != nil {
-			return transport.Response{}, err
+			return transport.Response{}, remoteErr(err)
 		}
 		return transport.Response{Body: encodeRangeResp(res)}, nil
 
@@ -231,7 +247,7 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		}
 		res, err := n.KNNQuery(ctx, q, k, opts)
 		if err != nil {
-			return transport.Response{}, err
+			return transport.Response{}, remoteErr(err)
 		}
 		return transport.Response{Body: encodeKNNResp(res)}, nil
 

@@ -2,78 +2,58 @@ package node
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"math"
 
-	"hyperm/internal/can"
 	"hyperm/internal/core"
 	"hyperm/internal/overlay"
+	"hyperm/internal/route"
 	"hyperm/internal/transport"
 )
 
-// This file is the distributed replica of can.Overlay.SearchSphere. The
-// querying node acts as lookup coordinator: it holds its own slice locally
-// (zero hops, like the in-process search starting at `from`) and contacts
-// one node per hop with a can_search RPC, whose response carries everything
-// the next decision needs — the node's zones, its neighbor table, and its
-// matching records. Routing and flood decisions are then made locally from
-// exactly the information the corresponding in-process node would have used:
+// This file adapts the routing core (internal/route) to the serving runtime.
+// The querying node acts as lookup coordinator: it holds its own slice
+// locally (zero hops, like the in-process search starting at `from`) and
+// feeds the route.Search machine one view per contact — its own view for
+// free, a can_search RPC per remote node, whose response carries everything
+// the next decision needs (zones, neighbor table, matching records). Every
+// routing and flood decision is made by the same machine the simulator
+// drives, so served answers are byte-identical to the core.System oracle by
+// construction: one implementation, two ViewSources.
 //
-//   - greedy routing picks the neighbor minimizing the torus distance of its
-//     zones to the target, +1e6 penalty for already-visited nodes, first
-//     strict minimum winning ties — neighbor-list order is significant;
-//   - the flood starts a fresh visited set at the owner and expands in
-//     frontier order, testing zone/sphere intersection before charging the
-//     hop, exactly like the simulator;
-//   - records are collected from the owner onward (routing-phase responses
-//     contribute no records), deduplicated by overlay sequence number in
-//     arrival order.
+// Hops count contacts exactly like the simulator counts messages (one per
+// Feed), so hops == RPCs, except that a flood wave re-entering the
+// coordinator's own zone is a free local read — charged one hop either way,
+// just as the simulator charges the message.
 //
-// Hops therefore count RPCs the same way the simulator counts messages, and
-// the entries come back in the identical order — which is what makes served
-// query answers byte-identical to the core.System oracle (the per-peer score
-// accumulation order and the k-nn radius inversion both depend on entry
-// order).
-//
-// The in-process search has two fallback paths (routing loop limit, no
-// routable neighbor) that the simulator resolves with a global scan; a
-// serving node has no global view, so those paths — unreachable on a healthy
-// topology — are errors here.
+// The machine's two stall outcomes (route.ErrLoopLimit, route.ErrNoNeighbor)
+// are resolved by the simulator with a global scan; a serving node has no
+// global view, so here they surface as request errors carrying their
+// sentinel (and, across the wire, their detail token — see remoteErr).
 
-// zonesContain reports whether any zone contains p.
-func zonesContain(zs []can.Zone, p []float64) bool {
-	for _, z := range zs {
-		if z.Contains(p) {
-			return true
-		}
-	}
-	return false
+// rpcViews is the RPC-fetching ViewSource: View answers locally for the
+// coordinator's own id and issues one can_search RPC for any other node,
+// pre-filtered server-side to the records matching the query sphere (the
+// machine's own filter is idempotent, so pre-filtering cannot change the
+// result).
+type rpcViews struct {
+	n      *Node
+	ctx    context.Context
+	level  int
+	key    []float64
+	radius float64
 }
 
-// zonesDist is the torus distance from p to the closest zone.
-func zonesDist(zs []can.Zone, p []float64) float64 {
-	best := math.Inf(1)
-	for _, z := range zs {
-		if d := z.DistToPoint(p); d < best {
-			best = d
-		}
+func (s rpcViews) View(id int) (route.NodeView, error) {
+	v, err := s.n.fetchView(s.ctx, s.level, id, s.key, s.radius)
+	if err != nil {
+		return route.NodeView{}, err
 	}
-	return best
-}
-
-// zonesIntersect reports whether any zone touches the query sphere.
-func zonesIntersect(zs []can.Zone, key []float64, radius float64) bool {
-	for _, z := range zs {
-		if z.IntersectsSphere(key, radius) {
-			return true
-		}
-	}
-	return false
+	return route.NodeView{ID: v.ID, Zones: v.Zones, Neighbors: v.Neighbors, Owned: v.Records}, nil
 }
 
 // fetchView obtains one node's view of the query sphere: locally for this
 // node (no RPC — the coordinator is the node), via can_search otherwise.
-// Hop accounting is the caller's job.
 func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radius float64) (searchView, error) {
 	if id == n.peer {
 		return n.localView(level, key, radius), nil
@@ -92,80 +72,20 @@ func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radi
 	return decodeSearchResp(resp.Body)
 }
 
-// searchSphere runs the full lookup for one level: greedy route to the
-// owner of key, then flood the zones intersecting the query sphere.
+// searchSphere runs the full lookup for one level by driving the shared
+// route.Search machine over RPC-fetched views.
 func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
-	// Routing phase. The coordinator starts at its own slice: zero hops, as
-	// in the in-process route whose start node is free.
-	cur := n.localView(level, key, radius)
-	hops := 0
-	visited := map[int]bool{cur.ID: true}
-	limit := 8*n.clusterSize + 16
-	for !zonesContain(cur.Zones, key) {
-		if hops > limit {
-			return nil, hops, fmt.Errorf("node: level %d route to %v exceeded %d hops", level, key, limit)
-		}
-		bestID, bestDist := -1, math.Inf(1)
-		for _, nb := range cur.Neighbors {
-			d := zonesDist(nb.Zones, key)
-			if visited[nb.ID] {
-				d += 1e6 // strongly avoid revisits, but allow as last resort
-			}
-			if d < bestDist {
-				bestID, bestDist = nb.ID, d
-			}
-		}
-		if bestID < 0 {
-			return nil, hops, fmt.Errorf("node: level %d route to %v dead-ended at node %d", level, key, cur.ID)
-		}
-		next, err := n.fetchView(ctx, level, bestID, key, radius)
-		if err != nil {
-			return nil, hops, err
-		}
-		hops++
-		cur = next
-		visited[cur.ID] = true
+	src := rpcViews{n: n, ctx: ctx, level: level, key: key, radius: radius}
+	start, err := src.View(n.peer)
+	if err != nil {
+		return nil, 0, err
 	}
-
-	// Flood phase: fresh visited set rooted at the owner, frontier expansion
-	// in neighbor-list order, intersection test before the hop is charged.
-	seen := map[int]bool{}
-	var results []overlay.Entry
-	collect := func(v searchView) {
-		for _, rec := range v.Records {
-			if seen[rec.Seq] {
-				continue
-			}
-			seen[rec.Seq] = true
-			results = append(results, rec.Entry)
-		}
+	s := route.NewSearch(start, key, radius, 8*n.clusterSize+16)
+	entries, hops, err := route.Run(s, src)
+	if err != nil {
+		return nil, hops, fmt.Errorf("node: level %d search at %v: %w", level, key, err)
 	}
-	floodVisited := map[int]bool{cur.ID: true}
-	collect(cur)
-	frontier := []searchView{cur}
-	for len(frontier) > 0 {
-		var next []searchView
-		for _, v := range frontier {
-			for _, nb := range v.Neighbors {
-				if floodVisited[nb.ID] {
-					continue
-				}
-				floodVisited[nb.ID] = true
-				if !zonesIntersect(nb.Zones, key, radius) {
-					continue
-				}
-				nv, err := n.fetchView(ctx, level, nb.ID, key, radius)
-				if err != nil {
-					return nil, hops, err
-				}
-				hops++
-				collect(nv)
-				next = append(next, nv)
-			}
-		}
-		frontier = next
-	}
-	return results, hops, nil
+	return entries, hops, nil
 }
 
 func (b *netBackend) Search(from, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
@@ -188,6 +108,12 @@ func (b *netBackend) FetchRange(from, peer int, q []float64, eps float64) ([]int
 		Method: methodFetchRange,
 		Body:   encodeFetchRangeReq(q, eps),
 	})
+	if errors.Is(err, transport.ErrUnavailable) {
+		// Backend contract: a dead or unreachable peer yields no items and
+		// no error — the same answer the simulator oracle gives for a peer
+		// that left the deployment.
+		return nil, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("node: fetch_range peer %d: %w", peer, err)
 	}
@@ -210,6 +136,10 @@ func (b *netBackend) FetchKNN(from, peer int, q []float64, k int) ([]core.ItemDi
 		Method: methodFetchKNN,
 		Body:   encodeFetchKNNReq(q, k),
 	})
+	if errors.Is(err, transport.ErrUnavailable) {
+		// See FetchRange: dead peers contribute nothing, as in the oracle.
+		return nil, nil
+	}
 	if err != nil {
 		return nil, fmt.Errorf("node: fetch_knn peer %d: %w", peer, err)
 	}

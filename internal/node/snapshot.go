@@ -3,16 +3,16 @@
 // cluster summaries, and its per-level CAN zone with the index records stored
 // there — and answers Publish, RangeQuery and KNNQuery RPCs over a
 // transport.Transport. Multi-hop overlay lookups run peer-to-peer: the
-// queried node drives the CAN greedy route and flood itself, contacting one
-// node per hop, instead of walking a shared in-memory structure.
+// queried node drives the shared routing core (internal/route), contacting
+// one node per hop, instead of walking a shared in-memory structure.
 //
 // The package's defining property is the determinism oracle: a cluster of
 // nodes built from ExtractSnapshot answers every query byte-identically to
 // the core.System it was extracted from. The query protocol itself is the
 // shared core.Engine; this package contributes a core.Backend whose overlay
-// search reproduces can.Overlay's exact visit and collection order (see
-// search.go) and whose fetches run core.LocalRange/LocalKNN on the storing
-// peer.
+// search drives the same route.Search machine as can.Overlay — one
+// implementation, two ViewSources (see search.go) — and whose fetches run
+// core.LocalRange/LocalKNN on the storing peer.
 package node
 
 import (
@@ -31,6 +31,11 @@ import (
 type Snapshot struct {
 	// Peer is this node's peer id (also its overlay node id at every level).
 	Peer int
+	// Alive reports whether the peer was still part of the deployment at
+	// extraction time. A dead peer's snapshot carries no items and no zones
+	// (its regions were handed over or orphaned); it is extracted only so
+	// ExtractAll keeps peer ids positional, and is not worth serving.
+	Alive bool
 	// ClusterSize is the total number of overlay nodes; the routing loop
 	// limit (8*ClusterSize+16) depends on it.
 	ClusterSize int
@@ -64,6 +69,7 @@ func ExtractSnapshot(sys *core.System, peer int) (Snapshot, error) {
 	}
 	snap := Snapshot{
 		Peer:        peer,
+		Alive:       sys.PeerAlive(peer),
 		ClusterSize: cfg.Peers,
 		Config:      cfg,
 		Bounds:      bounds,
@@ -72,7 +78,12 @@ func ExtractSnapshot(sys *core.System, peer int) (Snapshot, error) {
 	}
 	snap.Config.Factory = nil
 	snap.Config.Rng = nil
-	snap.ItemIDs, snap.Items = sys.PeerData(peer)
+	if snap.Alive {
+		// A dead peer's items left with the device: serving them would
+		// diverge from the oracle, whose backend answers no fetches for a
+		// dead peer.
+		snap.ItemIDs, snap.Items = sys.PeerData(peer)
+	}
 	for l := 0; l < cfg.Levels; l++ {
 		ov, ok := sys.Overlay(l).(*can.Overlay)
 		if !ok {

@@ -1,0 +1,203 @@
+package route
+
+import "hyperm/internal/overlay"
+
+// Flood expands breadth-first from a root node over every node whose zones
+// intersect a sphere — the visit pattern shared by sphere replication
+// (insert) and sphere search. Each emitted StepFloodVisit claims one
+// neighbor; the driver either Feeds its view (the node joins the next
+// frontier) or Skips it (the message was lost in the air — the visit is
+// still charged, but the region behind it goes unexplored, exactly the
+// radio-loss semantics of the robustness experiments).
+type Flood struct {
+	key      []float64
+	radius   float64
+	visited  map[int]bool
+	frontier []NodeView
+	next     []NodeView
+	fi, ni   int
+	pending  bool
+}
+
+// NewFlood starts a flood of the sphere (key, radius) rooted at root. The
+// root itself is considered visited and is not re-emitted.
+func NewFlood(root NodeView, key []float64, radius float64) *Flood {
+	return &Flood{
+		key:      key,
+		radius:   radius,
+		visited:  map[int]bool{root.ID: true},
+		frontier: []NodeView{root},
+	}
+}
+
+// Next emits the next flood decision: a StepFloodVisit for the first
+// unvisited, sphere-intersecting neighbor in frontier order, or StepDone
+// when the flood is exhausted.
+func (f *Flood) Next() Step {
+	if f.pending {
+		panic("route: Next before Feed/Skip of the pending visit")
+	}
+	for {
+		for f.fi < len(f.frontier) {
+			v := &f.frontier[f.fi]
+			for f.ni < len(v.Neighbors) {
+				nb := v.Neighbors[f.ni]
+				f.ni++
+				if f.visited[nb.ID] {
+					continue
+				}
+				f.visited[nb.ID] = true
+				if !ZonesIntersect(nb.Zones, f.key, f.radius) {
+					continue
+				}
+				f.pending = true
+				return Step{Kind: StepFloodVisit, From: v.ID, To: nb.ID}
+			}
+			f.fi++
+			f.ni = 0
+		}
+		if len(f.next) == 0 {
+			return Step{Kind: StepDone}
+		}
+		f.frontier, f.next = f.next, nil
+		f.fi, f.ni = 0, 0
+	}
+}
+
+// Feed delivers the visited node's view; it joins the next frontier.
+func (f *Flood) Feed(v NodeView) {
+	if !f.pending {
+		panic("route: Feed without a pending visit")
+	}
+	f.pending = false
+	f.next = append(f.next, v)
+}
+
+// Skip abandons the pending visit: the message was lost, the node is not
+// expanded. It stays claimed — the flood never retries a neighbor.
+func (f *Flood) Skip() {
+	if !f.pending {
+		panic("route: Skip without a pending visit")
+	}
+	f.pending = false
+}
+
+// Search is the full CAN sphere lookup: greedy-route to the owner of the
+// query center, then flood the zones the query sphere intersects, collecting
+// every record whose own sphere intersects the query. Records are collected
+// from the owner onward (routing-phase views contribute none), owned before
+// replicas, deduplicated by overlay sequence number in arrival order — the
+// entry order the query engine's score accumulation depends on.
+type Search struct {
+	router    *Router
+	flood     *Flood // nil until the routing phase completes
+	key       []float64
+	radius    float64
+	floodHops int
+	seen      map[int]bool
+	results   []overlay.Entry
+}
+
+// NewSearch starts a sphere search from the start view. hopLimit bounds the
+// routing phase (see NewRouter).
+func NewSearch(start NodeView, key []float64, radius float64, hopLimit int) *Search {
+	return &Search{
+		router: NewRouter(start, key, hopLimit),
+		key:    key,
+		radius: radius,
+		seen:   map[int]bool{},
+	}
+}
+
+// Next emits the next decision: StepRouteHops until the owner is reached
+// (stalls surface the Router sentinels and must be answered with
+// ResolveOwner), then StepFloodVisits, then StepDone. The owner's records
+// are collected at the phase transition.
+func (s *Search) Next() (Step, error) {
+	if s.flood == nil {
+		step, err := s.router.Next()
+		if err != nil || step.Kind == StepRouteHop {
+			return step, err
+		}
+		// Routing complete: the owner roots the flood and contributes first.
+		owner := s.router.Owner()
+		s.collect(owner)
+		s.flood = NewFlood(owner, s.key, s.radius)
+	}
+	return s.flood.Next(), nil
+}
+
+// Feed delivers the view requested by the last step, with the hops the
+// contact cost. Flood-phase views are collected and expanded.
+func (s *Search) Feed(v NodeView, hops int) {
+	if s.flood == nil {
+		s.router.Feed(v, hops)
+		return
+	}
+	s.floodHops += hops
+	s.collect(v)
+	s.flood.Feed(v)
+}
+
+// Skip abandons the pending flood visit (message lost), still charging the
+// given hops for the transmission.
+func (s *Search) Skip(hops int) {
+	if s.flood == nil {
+		panic("route: Skip during the routing phase")
+	}
+	s.floodHops += hops
+	s.flood.Skip()
+}
+
+// ResolveOwner answers a routing stall with an out-of-band owner view (see
+// Router.ResolveOwner).
+func (s *Search) ResolveOwner(v NodeView, hops int) { s.router.ResolveOwner(v, hops) }
+
+// collect appends v's matching records: owned before replicas, each in
+// storage order, skipping sequence numbers already seen and entries whose
+// sphere misses the query sphere. Sources that pre-filter records (the
+// can_search RPC ships only matches) pass the test trivially — the filter
+// is idempotent, so pre-filtering cannot change the result.
+func (s *Search) collect(v NodeView) {
+	for _, recs := range [2][]RecordView{v.Owned, v.Replicas} {
+		for _, rec := range recs {
+			if s.seen[rec.Seq] {
+				continue
+			}
+			if TorusDist(rec.Entry.Key, s.key) <= rec.Entry.Radius+s.radius {
+				s.seen[rec.Seq] = true
+				s.results = append(s.results, rec.Entry)
+			}
+		}
+	}
+}
+
+// Results returns the collected entries (valid at any point; complete after
+// StepDone).
+func (s *Search) Results() []overlay.Entry { return s.results }
+
+// Hops returns the total driver-reported hops across both phases.
+func (s *Search) Hops() int { return s.router.Hops() + s.floodHops }
+
+// Run drives a Search to completion over src, feeding every requested view
+// and charging one hop per contact — the common failure-free driving loop
+// (one contact = one hop = one RPC for a serving node). Stalls and source
+// failures abort the lookup with the hops spent so far; drivers needing
+// drop injection, retransmission accounting, or global-scan stall recovery
+// (the simulator) pump the machine directly instead.
+func Run(s *Search, src ViewSource) ([]overlay.Entry, int, error) {
+	for {
+		step, err := s.Next()
+		if err != nil {
+			return nil, s.Hops(), err
+		}
+		if step.Kind == StepDone {
+			return s.Results(), s.Hops(), nil
+		}
+		v, err := src.View(step.To)
+		if err != nil {
+			return nil, s.Hops(), err
+		}
+		s.Feed(v, 1)
+	}
+}

@@ -1,0 +1,117 @@
+package route
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zone is an axis-aligned half-open box [Lo, Hi) inside the unit torus.
+// Zones produced by binary splits never wrap around the torus boundary.
+type Zone struct {
+	Lo, Hi []float64
+}
+
+// Contains reports whether point p lies inside the zone.
+func (z Zone) Contains(p []float64) bool {
+	for i := range z.Lo {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the zone's key-space volume.
+func (z Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.Lo {
+		v *= z.Hi[i] - z.Lo[i]
+	}
+	return v
+}
+
+// String renders the zone box.
+func (z Zone) String() string { return fmt.Sprintf("zone%v-%v", z.Lo, z.Hi) }
+
+// circDist is the distance between two coordinates on the unit circle.
+func circDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// coordDistToSpan returns the torus distance from coordinate x to the
+// interval [lo, hi) on the unit circle.
+func coordDistToSpan(x, lo, hi float64) float64 {
+	if hi-lo >= 1 { // full axis
+		return 0
+	}
+	if x >= lo && x < hi {
+		return 0
+	}
+	return math.Min(circDist(x, lo), circDist(x, hi))
+}
+
+// DistToPoint returns the torus distance from point p to the closest point
+// of the zone.
+func (z Zone) DistToPoint(p []float64) float64 {
+	var s float64
+	for i := range z.Lo {
+		d := coordDistToSpan(p[i], z.Lo[i], z.Hi[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// IntersectsSphere reports whether a sphere of the given radius centered at
+// key touches the zone (under the torus metric).
+func (z Zone) IntersectsSphere(key []float64, radius float64) bool {
+	return z.DistToPoint(key) <= radius
+}
+
+// TorusDist returns the torus (wrap-around) Euclidean distance between two
+// key-space points.
+func TorusDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := circDist(a[i], b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// ZonesContain reports whether any of the zones contains p. A node may
+// manage several zones after a departure takeover; for routing and flood
+// purposes the set behaves as their union.
+func ZonesContain(zs []Zone, p []float64) bool {
+	for _, z := range zs {
+		if z.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ZonesDist is the torus distance from p to the closest of the zones
+// (infinite for an empty set — a departed node is unroutable).
+func ZonesDist(zs []Zone, p []float64) float64 {
+	best := math.Inf(1)
+	for _, z := range zs {
+		if d := z.DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ZonesIntersect reports whether any of the zones touches the query sphere.
+func ZonesIntersect(zs []Zone, key []float64, radius float64) bool {
+	for _, z := range zs {
+		if z.IntersectsSphere(key, radius) {
+			return true
+		}
+	}
+	return false
+}

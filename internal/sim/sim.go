@@ -123,8 +123,11 @@ func (c *Counters) Add(name string, delta float64) {
 // Get returns the current value of the named counter (zero if never added).
 func (c *Counters) Get(name string) float64 { return c.vals[name] }
 
-// Reset clears every counter.
-func (c *Counters) Reset() { c.vals = nil }
+// Reset clears every counter. The map is reinitialized, not nilled: a reset
+// Counters behaves exactly like a fresh value, and the next Add does not
+// have to re-allocate (which would race with a concurrent Get observing the
+// nil map swap).
+func (c *Counters) Reset() { c.vals = make(map[string]float64) }
 
 // Names returns the counter names in sorted order.
 func (c *Counters) Names() []string {

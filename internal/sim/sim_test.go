@@ -185,3 +185,24 @@ func BenchmarkEngineScheduleRun(b *testing.B) {
 		e.Run()
 	}
 }
+
+// TestCountersResetReinitializes pins the regression where Reset left the
+// map nil: a reset Counters must behave exactly like a fresh value —
+// Snapshot/Names see an initialized (empty) state and subsequent Adds work
+// without the lazy re-allocation a fresh zero value needs.
+func TestCountersResetReinitializes(t *testing.T) {
+	var c Counters
+	c.Add("hops", 7)
+	c.Reset()
+	if got := c.Snapshot(); len(got) != 0 {
+		t.Errorf("Snapshot after Reset = %v, want empty", got)
+	}
+	if got := c.Names(); len(got) != 0 {
+		t.Errorf("Names after Reset = %v, want empty", got)
+	}
+	c.Add("hops", 2)
+	c.Add("bytes", 1)
+	if c.Get("hops") != 2 || c.Get("bytes") != 1 {
+		t.Errorf("post-Reset adds: hops=%v bytes=%v", c.Get("hops"), c.Get("bytes"))
+	}
+}

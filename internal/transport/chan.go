@@ -98,7 +98,7 @@ func (t *ChanTransport) Call(ctx context.Context, addr string, req Request) (Res
 	select {
 	case o := <-done:
 		if o.err != nil {
-			return Response{}, &RemoteError{Msg: o.err.Error()}
+			return Response{}, &RemoteError{Msg: o.err.Error(), Detail: ErrorDetail(o.err)}
 		}
 		return o.resp, nil
 	case <-ctx.Done():

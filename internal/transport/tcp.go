@@ -15,16 +15,21 @@ import (
 //
 //	frame    := u32_be(len(payload)) payload          (len <= maxFrame)
 //	request  := u8(len(method)) method body
-//	response := u8(status) rest                       (status 0: rest = body,
-//	                                                   status 1: rest = error message)
+//	response := u8(status) rest
+//	            status 0: rest = body
+//	            status 1: rest = error message
+//	            status 2: rest = u8(len(detail)) detail error-message
 //
-// One frame carries exactly one request or response; a connection carries a
-// strict request/response sequence (no interleaving), and concurrency comes
-// from the per-address connection pool.
+// Status 2 is a remote error carrying a machine-readable detail token (see
+// WithDetail) ahead of the human-readable message. One frame carries exactly
+// one request or response; a connection carries a strict request/response
+// sequence (no interleaving), and concurrency comes from the per-address
+// connection pool.
 const (
-	maxFrame     = 64 << 20
-	statusOK     = 0
-	statusRemote = 1
+	maxFrame           = 64 << 20
+	statusOK           = 0
+	statusRemote       = 1
+	statusRemoteDetail = 2
 )
 
 func writeFrame(w io.Writer, payload []byte) error {
@@ -194,7 +199,12 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 			}
 		}
 		if err != nil {
-			out = append([]byte{statusRemote}, err.Error()...)
+			if detail := ErrorDetail(err); detail != "" && len(detail) <= 255 {
+				out = append([]byte{statusRemoteDetail, byte(len(detail))}, detail...)
+				out = append(out, err.Error()...)
+			} else {
+				out = append([]byte{statusRemote}, err.Error()...)
+			}
 		}
 		if err := writeFrame(conn, out); err != nil {
 			return
@@ -239,6 +249,12 @@ func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Resp
 		return Response{Body: reply[1:]}, nil
 	case statusRemote:
 		return Response{}, &RemoteError{Msg: string(reply[1:])}
+	case statusRemoteDetail:
+		if len(reply) < 2 || len(reply) < 2+int(reply[1]) {
+			return Response{}, fmt.Errorf("transport: truncated detail frame from %s: %w", addr, ErrUnavailable)
+		}
+		n := int(reply[1])
+		return Response{}, &RemoteError{Detail: string(reply[2 : 2+n]), Msg: string(reply[2+n:])}
 	default:
 		return Response{}, fmt.Errorf("transport: bad response status %d from %s: %w", reply[0], addr, ErrUnavailable)
 	}

@@ -81,9 +81,51 @@ var ErrClosed = errors.New("transport: closed")
 
 // RemoteError is a handler-returned error delivered across the transport.
 // It is not retryable: the request was received and deliberately refused.
-type RemoteError struct{ Msg string }
+// Detail, when non-empty, is a short machine-readable classification token
+// the handler attached with WithDetail (e.g. route.DetailLoopLimit) — the
+// only structured part of a remote error that crosses the wire, letting
+// clients count failure classes without parsing messages.
+type RemoteError struct {
+	Msg    string
+	Detail string
+}
 
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// detailError carries a detail token alongside a handler error until the
+// transport boundary extracts it with ErrorDetail.
+type detailError struct {
+	err    error
+	detail string
+}
+
+func (e *detailError) Error() string { return e.err.Error() }
+func (e *detailError) Unwrap() error { return e.err }
+
+// WithDetail annotates a handler error with a machine-readable detail token.
+// Transports deliver the token in the resulting *RemoteError's Detail field;
+// errors.Is/As still see the original error on the server side.
+func WithDetail(err error, detail string) error {
+	if err == nil {
+		return nil
+	}
+	return &detailError{err: err, detail: detail}
+}
+
+// ErrorDetail returns the detail token attached to err: the WithDetail
+// annotation on the server side, or the Detail field of a received
+// *RemoteError on the client side. Empty when unclassified.
+func ErrorDetail(err error) string {
+	var de *detailError
+	if errors.As(err, &de) {
+		return de.detail
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Detail
+	}
+	return ""
+}
 
 // Retryable reports whether err is worth retrying: true exactly for
 // transport-level faults (ErrUnavailable). Remote application errors,

@@ -316,3 +316,71 @@ func TestClientBackoff(t *testing.T) {
 		}
 	}
 }
+
+// TestRemoteErrorDetail verifies the machine-readable detail token round-trip
+// on both transports: a WithDetail-annotated handler error arrives as a
+// *RemoteError carrying the token in Detail, readable via ErrorDetail;
+// unannotated errors arrive with an empty Detail.
+func TestRemoteErrorDetail(t *testing.T) {
+	for _, h := range harnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			tr := h.mk(t)
+			defer tr.Close()
+			srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+				switch req.Method {
+				case "classified":
+					return Response{}, WithDetail(errors.New("hop budget gone"), "route/loop-limit")
+				default:
+					return Response{}, errors.New("plain failure")
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			_, err = tr.Call(context.Background(), srv.Addr(), Request{Method: "classified"})
+			var re *RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("got %v, want *RemoteError", err)
+			}
+			if re.Detail != "route/loop-limit" {
+				t.Fatalf("Detail = %q, want %q", re.Detail, "route/loop-limit")
+			}
+			if got := ErrorDetail(err); got != "route/loop-limit" {
+				t.Fatalf("ErrorDetail = %q, want %q", got, "route/loop-limit")
+			}
+			if !strings.Contains(re.Msg, "hop budget gone") {
+				t.Fatalf("Msg = %q, want the handler message preserved", re.Msg)
+			}
+
+			_, err = tr.Call(context.Background(), srv.Addr(), Request{Method: "plain"})
+			if !errors.As(err, &re) {
+				t.Fatalf("got %v, want *RemoteError", err)
+			}
+			if re.Detail != "" || ErrorDetail(err) != "" {
+				t.Fatalf("unannotated error carried detail %q", re.Detail)
+			}
+		})
+	}
+}
+
+// TestWithDetailServerSide verifies the server-side annotation behaves as a
+// transparent wrapper: errors.Is still matches, nil stays nil.
+func TestWithDetailServerSide(t *testing.T) {
+	if WithDetail(nil, "x") != nil {
+		t.Fatal("WithDetail(nil) != nil")
+	}
+	base := errors.New("sentinel")
+	wrapped := WithDetail(base, "tok")
+	if !errors.Is(wrapped, base) {
+		t.Fatal("WithDetail broke errors.Is")
+	}
+	if ErrorDetail(wrapped) != "tok" {
+		t.Fatalf("ErrorDetail = %q, want tok", ErrorDetail(wrapped))
+	}
+	if ErrorDetail(base) != "" {
+		t.Fatal("unannotated error has detail")
+	}
+}
