@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-kernels bench-serve fuzz
+.PHONY: check fmt vet build test race bench bench-kernels bench-serve fuzz soak
 
 check: fmt vet build test
 
@@ -24,10 +24,18 @@ test:
 	$(GO) test ./...
 
 # The packages that use or implement the worker pool, plus the serving
-# runtime (concurrent RPC handlers over both transports) and the routing
-# core it drives, under -race.
+# runtime (concurrent RPC handlers over both transports), the membership
+# protocol (failure detector, takeovers), and the routing core, under -race.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/can ./internal/route
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/membership ./internal/can ./internal/route
+
+# The full churn soak: a 16-node TCP cluster absorbing scripted joins,
+# graceful leaves, and probe-detected crashes under live query load, checked
+# byte-identical against the simulator oracle afterwards. `go test ./...`
+# runs the reduced 8-node variant via -short in CI's tier-1 gate; this target
+# is the full-size run, with the membership protocol under -race for free.
+soak:
+	$(GO) test -race -run 'TestChurnSoak|TestProtocolMatchesOracle' -count=1 -v ./internal/node ./internal/membership
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -42,8 +50,10 @@ bench-kernels:
 bench-serve:
 	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 10000 -transport tcp -out BENCH_serve.json
 
-# Short fuzz sessions: the wavelet round-trip invariant, and the routing
-# core vs the frozen pre-extraction sphere-search reference.
+# Short fuzz sessions: the wavelet round-trip invariant, the routing core vs
+# the frozen pre-extraction sphere-search reference, and the zone
+# split/takeover tiling invariants under random churn schedules.
 fuzz:
 	$(GO) test -fuzz=FuzzDecomposeReconstruct -fuzztime=30s ./internal/wavelet
 	$(GO) test -fuzz=FuzzSearchSphere -fuzztime=30s ./internal/can
+	$(GO) test -fuzz=FuzzZoneSplitTakeover -fuzztime=30s ./internal/can

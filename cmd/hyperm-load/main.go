@@ -13,6 +13,13 @@
 // The mix is 10% publish, 45% range, 45% kNN, assigned deterministically by
 // request index. The process exits non-zero if any request fails — the
 // zero-errors contract of the serving runtime's acceptance check.
+//
+// With -churn the run doubles as an availability probe: a churn driver joins,
+// gracefully leaves, and crashes nodes at the given interval while the client
+// load keeps flowing (requests only target currently-alive nodes). Mid-churn
+// failures are then expected — a request can race a takeover — so the run
+// reports the availability fraction in an extra "availability" row instead of
+// failing on the first error.
 package main
 
 import (
@@ -29,8 +36,10 @@ import (
 	"time"
 
 	"hyperm/internal/benchio"
+	"hyperm/internal/can"
 	"hyperm/internal/core"
 	"hyperm/internal/experiments"
+	"hyperm/internal/membership"
 	"hyperm/internal/node"
 	"hyperm/internal/transport"
 	"hyperm/internal/vec"
@@ -63,6 +72,12 @@ type ServeBenchRow struct {
 	// remote errors ("remote") vs transport-level failures ("transport").
 	// Omitted when the run is clean.
 	ErrorClasses map[string]int `json:"error_classes,omitempty"`
+	// Availability is the fraction of requests that succeeded; set only on
+	// the "availability" row of churn runs (-churn > 0).
+	Availability float64 `json:"availability,omitempty"`
+	// ChurnEvents counts the membership events the churn driver executed
+	// ("join", "leave", "crash"); set only on the "availability" row.
+	ChurnEvents map[string]int `json:"churn_events,omitempty"`
 }
 
 // errorClass buckets one failed request. Routing stalls carry their
@@ -122,6 +137,7 @@ func run() int {
 	clustersPerPeer := flag.Int("clusters", 4, "published clusters per peer per level")
 	k := flag.Int("k", 5, "k for kNN requests")
 	seed := flag.Int64("seed", 1, "workload and traffic seed")
+	churnEvery := flag.Duration("churn", 0, "drive membership churn (joins, leaves, crashes) at this interval; 0 disables")
 	out := flag.String("out", "", "also write the rows to this path (e.g. BENCH_serve.json)")
 	flag.Parse()
 
@@ -153,13 +169,29 @@ func run() int {
 	defer tr.Close()
 
 	policy := transport.Policy{Timeout: 60 * time.Second, Seed: *seed}
-	cl, err := node.StartCluster(sys, tr, listen, policy)
+	var mopts membership.Options
+	if *churnEvery > 0 {
+		// Churn needs the failure detector: crashed nodes' zones must be
+		// taken over or availability collapses to the pre-crash topology.
+		mopts = membership.Options{ProbeInterval: 100 * time.Millisecond, ProbeTimeout: 500 * time.Millisecond, FailAfter: 3}
+	}
+	cl, err := node.StartClusterOpts(sys, tr, listen, policy, mopts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
 		return 1
 	}
 	defer cl.Stop()
 	fmt.Printf("hyperm-load: %d nodes up (%s transport)\n", len(cl.Nodes), *transportName)
+
+	// Clients target only currently-alive nodes; the churn driver is the sole
+	// writer of this list (and of cl itself) once the run starts.
+	var addrMu sync.RWMutex
+	aliveAddrs := append([]string(nil), cl.Addrs...)
+	pickAddr := func(rng *rand.Rand) string {
+		addrMu.RLock()
+		defer addrMu.RUnlock()
+		return aliveAddrs[rng.Intn(len(aliveAddrs))]
+	}
 
 	// Query pool: in-domain centers (stored items) with inter-item radii, so
 	// range and kNN requests do real multi-level, multi-peer work.
@@ -180,6 +212,117 @@ func run() int {
 
 	client := node.NewClient(tr, policy)
 	ctx := context.Background()
+
+	// The churn driver: every -churn interval, join a fresh node through
+	// founder 0 (never churned), gracefully leave one, or crash one —
+	// keeping the alive population between half and double the founding
+	// size. Runs until the request stream completes.
+	churnStop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	churnCounts := map[string]int{}
+	if *churnEvery > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			rng := rand.New(rand.NewSource(*seed + 101))
+			alive := map[int]bool{}
+			for id := range cl.Nodes {
+				alive[id] = true
+			}
+			publish := func() {
+				addrMu.Lock()
+				aliveAddrs = aliveAddrs[:0]
+				for id, up := range alive {
+					if up {
+						aliveAddrs = append(aliveAddrs, cl.Addrs[id])
+					}
+				}
+				addrMu.Unlock()
+			}
+			victims := func() []int {
+				var out []int
+				for id, up := range alive {
+					if up && id != 0 {
+						out = append(out, id)
+					}
+				}
+				sort.Ints(out)
+				return out
+			}
+			tick := time.NewTicker(*churnEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnStop:
+					return
+				case <-tick.C:
+				}
+				aliveN := 0
+				for _, up := range alive {
+					if up {
+						aliveN++
+					}
+				}
+				op := rng.Intn(4) // 0,1 join; 2 leave; 3 crash
+				if aliveN <= *nodes/2+1 {
+					op = 0
+				} else if aliveN >= 2**nodes {
+					op = 2 + rng.Intn(2)
+				}
+				switch {
+				case op < 2:
+					points := make([][]float64, sys.Config().Levels)
+					bad := false
+					for l := range points {
+						ov, ok := sys.Overlay(l).(*can.Overlay)
+						if !ok {
+							bad = true
+							break
+						}
+						pt := make([]float64, ov.Dim())
+						for d := range pt {
+							pt[d] = rng.Float64()
+						}
+						points[l] = pt
+					}
+					if bad {
+						continue
+					}
+					nd, err := cl.Join(ctx, sys, cl.Addrs[0], points)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "hyperm-load: churn join: %v\n", err)
+						continue
+					}
+					alive[nd.Peer()] = true
+					churnCounts["join"]++
+				case op == 2:
+					vs := victims()
+					if len(vs) == 0 {
+						continue
+					}
+					v := vs[rng.Intn(len(vs))]
+					alive[v] = false
+					publish() // stop targeting the leaver before it departs
+					if err := cl.Nodes[v].Leave(ctx); err != nil {
+						fmt.Fprintf(os.Stderr, "hyperm-load: churn leave %d: %v\n", v, err)
+					}
+					cl.Nodes[v].Stop()
+					churnCounts["leave"]++
+				default:
+					vs := victims()
+					if len(vs) == 0 {
+						continue
+					}
+					v := vs[rng.Intn(len(vs))]
+					alive[v] = false
+					cl.Nodes[v].Stop() // abrupt: detectors must notice
+					churnCounts["crash"]++
+				}
+				publish()
+			}
+		}()
+	}
+
 	var next int64
 	var nextID int64 = 1 << 20 // publish ids beyond the corpus range
 	results := make([][]sample, *clients)
@@ -197,7 +340,7 @@ func run() int {
 					return
 				}
 				op := opFor(i)
-				addr := cl.Addrs[rng.Intn(len(cl.Addrs))]
+				addr := pickAddr(rng)
 				qi := rng.Intn(len(centers))
 				var err error
 				t0 := time.Now()
@@ -214,7 +357,7 @@ func run() int {
 					_, err = client.KNN(ctx, addr, centers[qi], *k, core.KNNOptions{})
 				}
 				results[c] = append(results[c], sample{op: op, dur: time.Since(t0), err: err})
-				if err != nil {
+				if err != nil && *churnEvery == 0 {
 					fmt.Fprintf(os.Stderr, "hyperm-load: %s request %d: %v\n", opNames[op], i, err)
 				}
 			}
@@ -222,6 +365,8 @@ func run() int {
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
+	close(churnStop)
+	churnWG.Wait()
 
 	// Aggregate per op class plus the "all" row.
 	perOp := map[string][]time.Duration{}
@@ -261,11 +406,26 @@ func run() int {
 		}
 		rows = append(rows, row)
 	}
+	if *churnEvery > 0 {
+		total := len(perOp["all"]) + errs["all"]
+		row := ServeBenchRow{
+			Op: "availability", Transport: *transportName, Nodes: *nodes, Clients: *clients,
+			Requests: total, Errors: errs["all"], Seconds: elapsed,
+			ErrorClasses: classes["all"], ChurnEvents: churnCounts,
+		}
+		if total > 0 {
+			row.Availability = float64(total-errs["all"]) / float64(total)
+		}
+		rows = append(rows, row)
+	}
 
 	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport\n",
 		*requests, *clients, *nodes, *transportName)
 	fmt.Printf("%-8s %-9s %-7s %-10s %-9s %-9s %-9s\n", "op", "requests", "errors", "qps", "p50_ms", "p95_ms", "p99_ms")
 	for _, r := range rows {
+		if r.Op == "availability" {
+			continue // summarized separately below
+		}
 		fmt.Printf("%-8s %-9d %-7d %-10.1f %-9.3f %-9.3f %-9.3f\n",
 			r.Op, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms)
 	}
@@ -276,6 +436,19 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if *churnEvery > 0 {
+		last := rows[len(rows)-1]
+		fmt.Printf("\navailability under churn: %.4f (%d/%d ok; churn: join=%d leave=%d crash=%d)\n",
+			last.Availability, last.Requests-last.Errors, last.Requests,
+			churnCounts["join"], churnCounts["leave"], churnCounts["crash"])
+		// Churn runs tolerate mid-takeover failures; a run where nothing
+		// succeeded still means the cluster was down, not just churning.
+		if last.Requests > 0 && last.Requests == last.Errors {
+			fmt.Fprintln(os.Stderr, "hyperm-load: every request failed under churn")
+			return 1
+		}
+		return 0
 	}
 	if errs["all"] > 0 {
 		var parts []string

@@ -25,17 +25,36 @@
 // across the cluster. Query RPCs ("range", "knn") arriving at this node are
 // coordinated by it peer-to-peer via can_search/fetch RPCs to those
 // addresses.
+//
+// A process can instead join a running cluster as a brand-new peer:
+//
+//	hyperm-node -config joiner.json -join 127.0.0.1:7400
+//
+// with "peer" set to the next unused peer id (>= the workload's peer count).
+// The node starts empty — no snapshot state — and splices itself into the
+// live overlay through the bootstrap address: each level's zone owning the
+// join point is split and the joiner inherits its share of the index records.
+//
+// With -probe-interval > 0 the node runs the membership failure detector:
+// unresponsive neighbors are declared dead after -fail-after missed probes,
+// their zones taken over and their records republished from replicas. -leave
+// makes shutdown graceful: zones and records are handed to neighbors first.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"hyperm/internal/can"
 	"hyperm/internal/experiments"
+	"hyperm/internal/membership"
 	"hyperm/internal/node"
 	"hyperm/internal/transport"
 )
@@ -61,6 +80,11 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	configPath := flag.String("config", "", "path to the node's JSON config (required)")
+	joinAddr := flag.String("join", "", "bootstrap address of a running cluster to join as a new, empty peer")
+	probeInterval := flag.Duration("probe-interval", time.Second, "liveness probe interval (0 disables crash detection)")
+	probeTimeout := flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe response deadline")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a neighbor is declared dead")
+	graceful := flag.Bool("leave", false, "leave gracefully on shutdown: hand zones and records to neighbors")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "hyperm-node: -config is required")
@@ -78,12 +102,19 @@ func run() int {
 		return 1
 	}
 	w := cfg.Workload
-	if cfg.Peer < 0 || cfg.Peer >= w.Peers {
-		fmt.Fprintf(os.Stderr, "hyperm-node: peer %d outside workload of %d peers\n", cfg.Peer, w.Peers)
-		return 1
-	}
-	if len(cfg.Peers) != w.Peers {
-		fmt.Fprintf(os.Stderr, "hyperm-node: config lists %d peer addresses for %d peers\n", len(cfg.Peers), w.Peers)
+	if *joinAddr == "" {
+		if cfg.Peer < 0 || cfg.Peer >= w.Peers {
+			fmt.Fprintf(os.Stderr, "hyperm-node: peer %d outside workload of %d peers\n", cfg.Peer, w.Peers)
+			return 1
+		}
+		if len(cfg.Peers) != w.Peers {
+			fmt.Fprintf(os.Stderr, "hyperm-node: config lists %d peer addresses for %d peers\n", len(cfg.Peers), w.Peers)
+			return 1
+		}
+	} else if cfg.Peer < w.Peers {
+		// A joiner must take a fresh id: founder ids are owned by the
+		// snapshot-serving processes of the bootstrap deployment.
+		fmt.Fprintf(os.Stderr, "hyperm-node: joining peer id %d collides with the %d founders\n", cfg.Peer, w.Peers)
 		return 1
 	}
 
@@ -98,7 +129,12 @@ func run() int {
 		return 1
 	}
 	sys.PublishAll()
-	snap, err := node.ExtractSnapshot(sys, cfg.Peer)
+	var snap node.Snapshot
+	if *joinAddr == "" {
+		snap, err = node.ExtractSnapshot(sys, cfg.Peer)
+	} else {
+		snap, err = node.JoinSnapshot(sys, cfg.Peer)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
 		return 1
@@ -106,7 +142,16 @@ func run() int {
 
 	tr := transport.NewTCP()
 	defer tr.Close()
-	nd, err := node.New(node.Config{Snapshot: snap, Transport: tr, Listen: cfg.Listen})
+	nd, err := node.New(node.Config{
+		Snapshot:  snap,
+		Transport: tr,
+		Listen:    cfg.Listen,
+		Membership: membership.Options{
+			ProbeInterval: *probeInterval,
+			ProbeTimeout:  *probeTimeout,
+			FailAfter:     *failAfter,
+		},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
 		return 1
@@ -115,13 +160,47 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)
 		return 1
 	}
-	nd.SetPeers(cfg.Peers)
-	fmt.Printf("hyperm-node: peer %d serving %d items on %s\n", cfg.Peer, nd.ItemCount(), nd.Addr())
-
+	if len(cfg.Peers) > 0 {
+		nd.SetPeers(cfg.Peers)
+	}
+	if *joinAddr != "" {
+		// Join points are derived deterministically from the workload seed and
+		// the peer id, so a restarted joiner splits the same zones.
+		rng := rand.New(rand.NewSource(w.Seed*1000003 + int64(cfg.Peer)))
+		points := make([][]float64, w.Levels)
+		for l := range points {
+			ov, ok := sys.Overlay(l).(*can.Overlay)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hyperm-node: level %d overlay is %T, want *can.Overlay\n", l, sys.Overlay(l))
+				nd.Stop()
+				return 1
+			}
+			pt := make([]float64, ov.Dim())
+			for d := range pt {
+				pt[d] = rng.Float64()
+			}
+			points[l] = pt
+		}
+		if err := nd.Join(context.Background(), *joinAddr, points); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-node: join via %s: %v\n", *joinAddr, err)
+			nd.Stop()
+			return 1
+		}
+		fmt.Printf("hyperm-node: peer %d joined the cluster via %s on %s\n", cfg.Peer, *joinAddr, nd.Addr())
+	} else {
+		fmt.Printf("hyperm-node: peer %d serving %d items on %s\n", cfg.Peer, nd.ItemCount(), nd.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nhyperm-node: shutting down")
+	if *graceful {
+		if err := nd.Leave(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-node: graceful leave: %v\n", err)
+		} else {
+			fmt.Println("hyperm-node: zones handed over")
+		}
+	}
 	if err := nd.Stop(); err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-node: stop: %v\n", err)
 		return 1

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"hyperm/internal/overlay"
 	"hyperm/internal/route"
@@ -180,53 +181,15 @@ func (o *Overlay) split(owner, joiner *node, joinPoint []float64) {
 			break
 		}
 	}
-	z := owner.zones[zi]
-	// Longest side, lowest index on ties: keeps zones near-cubical, which is
-	// the standard refinement of CAN's round-robin split ordering.
-	splitDim, best := 0, -1.0
-	for i := range z.Lo {
-		if ext := z.Hi[i] - z.Lo[i]; ext > best {
-			splitDim, best = i, ext
-		}
-	}
-	mid := (z.Lo[splitDim] + z.Hi[splitDim]) / 2
-	lower := Zone{Lo: cloneVec(z.Lo), Hi: cloneVec(z.Hi)}
-	upper := Zone{Lo: cloneVec(z.Lo), Hi: cloneVec(z.Hi)}
-	lower.Hi[splitDim] = mid
-	upper.Lo[splitDim] = mid
-	if joinPoint[splitDim] < mid {
-		joiner.zones = []Zone{lower}
-		owner.zones[zi] = upper
-	} else {
-		joiner.zones = []Zone{upper}
-		owner.zones[zi] = lower
-	}
-
-	// Redistribute owned entries by centroid containment and re-derive
-	// replicas by sphere overlap against the two halves.
-	oldOwned, oldReplicas := owner.owned, owner.replicas
-	owner.owned, owner.replicas = nil, nil
-	for _, rec := range oldOwned {
-		target := owner
-		if joiner.containsPoint(rec.Entry.Key) {
-			target = joiner
-		}
-		target.owned = append(target.owned, rec)
-		other := owner
-		if target == owner {
-			other = joiner
-		}
-		if rec.Entry.Radius > 0 && other.intersectsSphere(rec.Entry.Key, rec.Entry.Radius) {
-			other.replicas = append(other.replicas, rec)
-		}
-	}
-	for _, rec := range oldReplicas {
-		for _, n := range []*node{owner, joiner} {
-			if n.intersectsSphere(rec.Entry.Key, rec.Entry.Radius) {
-				n.replicas = append(n.replicas, rec)
-			}
-		}
-	}
+	// The split geometry (longest side, lowest index on ties — keeps zones
+	// near-cubical) and the record redistribution are the shared maintenance
+	// helpers' — the live membership protocol splits through the exact same
+	// code, which is what keeps it byte-identical to this simulator.
+	kept, taken := route.SplitZone(owner.zones[zi], joinPoint)
+	owner.zones[zi] = kept
+	joiner.zones = []Zone{taken}
+	owner.owned, owner.replicas, joiner.owned, joiner.replicas =
+		route.SplitRecords(owner.owned, owner.replicas, owner.zones, joiner.zones)
 
 	// Rewire neighbor sets: the former neighbor set of the pre-split zone,
 	// plus the owner/joiner pair itself, covers every affected node.
@@ -273,16 +236,7 @@ func (o *Overlay) recomputeNeighbors(n *node) {
 
 // nodesAdjacent reports whether any zone of a is CAN-adjacent to any zone
 // of b.
-func nodesAdjacent(a, b *node) bool {
-	for _, za := range a.zones {
-		for _, zb := range b.zones {
-			if zonesAdjacent(za, zb) {
-				return true
-			}
-		}
-	}
-	return false
-}
+func nodesAdjacent(a, b *node) bool { return route.ZoneSetsAdjacent(a.zones, b.zones) }
 
 func contains(ids []int, id int) bool {
 	for _, v := range ids {
@@ -303,59 +257,9 @@ func removeID(ids []int, id int) []int {
 	return out
 }
 
-// zonesAdjacent reports CAN neighborship: the zones abut along exactly one
-// dimension (touching boundaries, torus-wrapped) and overlap along every
-// other dimension.
-func zonesAdjacent(a, b Zone) bool {
-	abut, overlap := 0, 0
-	d := len(a.Lo)
-	for i := 0; i < d; i++ {
-		switch spanRelation(a.Lo[i], a.Hi[i], b.Lo[i], b.Hi[i]) {
-		case spanOverlap:
-			overlap++
-		case spanAbut:
-			abut++
-		default:
-			return false
-		}
-	}
-	if d == 1 {
-		return abut == 1 || overlap == 1
-	}
-	// Zones that overlap in every dimension can only be the two halves of a
-	// not-yet-split axis pairing with a full-span axis; treat full overlap in
-	// all dims as adjacency too (happens transiently with <= 2 nodes).
-	return (abut == 1 && overlap == d-1) || overlap == d
-}
-
-type spanRel int
-
-const (
-	spanDisjoint spanRel = iota
-	spanAbut
-	spanOverlap
-)
-
-// spanRelation classifies two half-open intervals on the unit circle.
-func spanRelation(alo, ahi, blo, bhi float64) spanRel {
-	afull := ahi-alo >= 1
-	bfull := bhi-blo >= 1
-	if afull || bfull {
-		return spanOverlap
-	}
-	// Positive-measure intersection (no wrap: split intervals never wrap).
-	if alo < bhi && blo < ahi {
-		return spanOverlap
-	}
-	// Abutment, including across the torus seam at 0/1.
-	if ahi == blo || bhi == alo {
-		return spanAbut
-	}
-	if (ahi == 1 && blo == 0) || (bhi == 1 && alo == 0) {
-		return spanAbut
-	}
-	return spanDisjoint
-}
+// zonesAdjacent reports CAN neighborship; the geometry lives in the shared
+// routing core (route.ZonesAdjacent).
+func zonesAdjacent(a, b Zone) bool { return route.ZonesAdjacent(a, b) }
 
 // hopLimit is the routing-loop budget: generously above any greedy path
 // length on a consistent topology.
@@ -598,42 +502,18 @@ func (o *Overlay) Leave(id int) (int, error) {
 	// Hand each zone over, one at a time: prefer the sibling merge (an
 	// alive neighbor holding a zone whose union with this one is a box);
 	// otherwise the smallest-volume alive neighbor takes it as an extra
-	// zone (CAN's temporary multi-zone takeover state).
+	// zone (CAN's temporary multi-zone takeover state). The election is the
+	// shared route.ElectTakers — the same procedure every live node runs
+	// when it detects a departure, so simulator and cluster agree.
+	tks, ok := route.ElectTakers(leaving.zones, o.takerCandidates(leaving))
+	if !ok {
+		return 0, fmt.Errorf("can: node %d has no alive neighbor to hand zones to", id)
+	}
 	affected := map[int]bool{id: true}
 	takers := map[int]*node{}
-	for _, z := range leaving.zones {
-		var taker *node
-		merged := false
-		for _, nbID := range leaving.neighbors {
-			nb := o.nodes[nbID]
-			if !nb.alive {
-				continue
-			}
-			for zi, nz := range nb.zones {
-				if u, ok := unionBox(z, nz); ok {
-					nb.zones[zi] = u
-					taker, merged = nb, true
-					break
-				}
-			}
-			if merged {
-				break
-			}
-		}
-		if taker == nil {
-			best := math.Inf(1)
-			for _, nbID := range leaving.neighbors {
-				nb := o.nodes[nbID]
-				if nb.alive && nb.volume() < best {
-					best = nb.volume()
-					taker = nb
-				}
-			}
-			if taker == nil {
-				return 0, fmt.Errorf("can: node %d has no alive neighbor to hand zones to", id)
-			}
-			taker.zones = append(taker.zones, z)
-		}
+	for i, z := range leaving.zones {
+		taker := o.nodes[tks[i].Taker]
+		o.applyTakeover(taker, z, tks[i])
 		affected[taker.id] = true
 		takers[taker.id] = taker
 	}
@@ -685,33 +565,147 @@ func (n *node) holds(seq int) bool {
 	return false
 }
 
-// unionBox returns the union of two zones when it forms a valid box: the
-// zones must agree on every dimension except one, where they abut.
-func unionBox(a, b Zone) (Zone, bool) {
-	joinDim := -1
-	for i := range a.Lo {
-		if a.Lo[i] == b.Lo[i] && a.Hi[i] == b.Hi[i] {
-			continue
+// unionBox returns the union of two zones when it forms a valid box; the
+// geometry lives in the shared routing core (route.UnionBox).
+func unionBox(a, b Zone) (Zone, bool) { return route.UnionBox(a, b) }
+
+// takerCandidates lists n's alive neighbors, in neighbor-list (ascending
+// id) order, as takeover candidates for route.ElectTakers.
+func (o *Overlay) takerCandidates(n *node) []route.Candidate {
+	cands := make([]route.Candidate, 0, len(n.neighbors))
+	for _, nbID := range n.neighbors {
+		if nb := o.nodes[nbID]; nb.alive {
+			cands = append(cands, route.Candidate{ID: nbID, Zones: nb.zones})
 		}
-		if joinDim >= 0 {
-			return Zone{}, false // differ in more than one dimension
-		}
-		if a.Hi[i] == b.Lo[i] || b.Hi[i] == a.Lo[i] {
-			joinDim = i
-			continue
-		}
-		return Zone{}, false // differ but do not abut
 	}
-	if joinDim < 0 {
-		return Zone{}, false // identical zones (impossible between nodes)
-	}
-	out := Zone{Lo: cloneVec(a.Lo), Hi: cloneVec(a.Hi)}
-	if a.Hi[joinDim] == b.Lo[joinDim] {
-		out.Hi[joinDim] = b.Hi[joinDim]
+	return cands
+}
+
+// applyTakeover executes one elected zone assignment on the live taker.
+func (o *Overlay) applyTakeover(taker *node, z Zone, tk route.Takeover) {
+	if tk.Merge >= 0 {
+		u, ok := route.UnionBox(z, taker.zones[tk.Merge])
+		if !ok {
+			panic(fmt.Sprintf("can: elected merge of %v into %v is not a box", z, taker.zones[tk.Merge]))
+		}
+		taker.zones[tk.Merge] = u
 	} else {
-		out.Lo[joinDim] = b.Lo[joinDim]
+		taker.zones = append(taker.zones, z)
 	}
-	return out, true
+}
+
+// JoinNode admits one node at a caller-chosen join point: the point's
+// current owner splits its zone and hands records over, exactly as Build's
+// random joins do. Returns the new node's id. This is the simulator twin of
+// the live membership join (the point is what a live joiner drew), and
+// implements overlay.Joiner.
+func (o *Overlay) JoinNode(point []float64) (int, error) {
+	if len(point) != o.dim {
+		return 0, fmt.Errorf("can: join point dimension %d, overlay dimension %d", len(point), o.dim)
+	}
+	for _, v := range point {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return 0, fmt.Errorf("can: join point %v outside the unit torus", point)
+		}
+	}
+	owner := o.ownerScan(point)
+	n := &node{id: len(o.nodes), alive: true}
+	o.nodes = append(o.nodes, n)
+	o.split(owner, n, point)
+	return n.id, nil
+}
+
+// Crash removes node id abruptly: no handover, its stored records die with
+// the device. Each of its zones goes to the neighbor the shared takeover
+// election picks (the same decision every live detector reaches), and each
+// taker then recovers the records its new zone needs from the replicas
+// surviving elsewhere — seq-sorted, owned when the centroid now lies in the
+// taker's zones, replica otherwise. This is the simulator twin of the live
+// protocol's probe-detected takeover plus republish; it implements
+// overlay.Crasher and returns the number of recovered records.
+func (o *Overlay) Crash(id int) (int, error) {
+	crashed := o.nodes[id]
+	if !crashed.alive {
+		return 0, fmt.Errorf("can: node %d is not alive", id)
+	}
+	alive := 0
+	for _, n := range o.nodes {
+		if n.alive {
+			alive++
+		}
+	}
+	if alive <= 1 {
+		return 0, fmt.Errorf("can: node %d is the last member and cannot crash away", id)
+	}
+	tks, ok := route.ElectTakers(crashed.zones, o.takerCandidates(crashed))
+	if !ok {
+		return 0, fmt.Errorf("can: node %d has no alive neighbor to take its zones", id)
+	}
+
+	crashed.owned, crashed.replicas = nil, nil
+	type claim struct {
+		zone  Zone
+		taker *node
+	}
+	claims := make([]claim, 0, len(crashed.zones))
+	affected := map[int]bool{id: true}
+	for i, z := range crashed.zones {
+		taker := o.nodes[tks[i].Taker]
+		o.applyTakeover(taker, z, tks[i])
+		claims = append(claims, claim{zone: z, taker: taker})
+		affected[taker.id] = true
+	}
+	crashed.zones = nil
+	crashed.alive = false
+	for _, nbID := range crashed.neighbors {
+		affected[nbID] = true
+	}
+	for aid := range affected {
+		o.recomputeNeighbors(o.nodes[aid])
+	}
+
+	// Republish: each taker pulls the records its new zone needs from the
+	// replicas that survived in overlapping zones. Records held only by the
+	// crashed node are gone — consistently so in the live cluster, whose
+	// recovery search can only reach the same survivors.
+	recovered := 0
+	for _, c := range claims {
+		center, radius := c.zone.Circumsphere()
+		found := o.scanRecords(center, radius)
+		var n int
+		c.taker.owned, c.taker.replicas, n =
+			route.ApplyRecovery(c.taker.zones, c.zone, c.taker.owned, c.taker.replicas, found)
+		recovered += n
+	}
+	return recovered, nil
+}
+
+// scanRecords collects every stored record (alive nodes in ascending id
+// order, owned before replicas) whose sphere intersects the query sphere,
+// deduplicated and then sorted by seq — the global-scan equivalent of what
+// a live node's recovery sphere search collects.
+func (o *Overlay) scanRecords(key []float64, radius float64) []RecordView {
+	seen := map[int]bool{}
+	var out []RecordView
+	add := func(recs []RecordView) {
+		for _, rec := range recs {
+			if seen[rec.Seq] {
+				continue
+			}
+			if TorusDist(rec.Entry.Key, key) <= rec.Entry.Radius+radius {
+				seen[rec.Seq] = true
+				out = append(out, rec)
+			}
+		}
+	}
+	for _, n := range o.nodes {
+		if n.alive {
+			add(n.owned)
+			add(n.replicas)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // OwnedEntries returns copies of the entries whose centroid lies in node

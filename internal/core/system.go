@@ -390,6 +390,63 @@ func (s *System) LeavePeer(p int) (msgs int, err error) {
 	return msgs, nil
 }
 
+// JoinPeer admits one new, empty peer into a running system: every level's
+// overlay splits the zone owning that level's join point and hands the new
+// node its share of the index records. points carries one join point per
+// level (in that level's key space). The peer starts with no items and no
+// published summaries — it serves the index it inherited, exactly like a
+// fresh device walking into the MANET. Returns the new peer's id.
+//
+// All overlays must support post-construction joins (overlay.Joiner).
+func (s *System) JoinPeer(points [][]float64) (int, error) {
+	if len(points) != s.cfg.Levels {
+		return 0, fmt.Errorf("core: %d join points for %d levels", len(points), s.cfg.Levels)
+	}
+	id := len(s.peers)
+	for l, ov := range s.overlays {
+		joiner, ok := ov.(overlay.Joiner)
+		if !ok {
+			return 0, fmt.Errorf("core: level %d overlay does not support joins", l)
+		}
+		nid, err := joiner.JoinNode(points[l])
+		if err != nil {
+			return 0, fmt.Errorf("core: level %d: %w", l, err)
+		}
+		if nid != id {
+			return 0, fmt.Errorf("core: level %d assigned node id %d, want peer id %d", l, nid, id)
+		}
+	}
+	s.peers = append(s.peers, &peerState{id: id})
+	s.cfg.Peers++
+	return id, nil
+}
+
+// CrashPeer models device p dying abruptly mid-operation: its items and
+// stored index records are gone, and on every level a surviving neighbor
+// takes over its zone and republishes what the surviving replicas can
+// restore — the simulator twin of the live membership protocol's
+// probe-detected takeover. Requires overlay.Crasher support; returns the
+// total number of recovered index records across levels.
+func (s *System) CrashPeer(p int) (recovered int, err error) {
+	ps := s.peers[p]
+	if ps.dead {
+		return 0, fmt.Errorf("core: peer %d already left or failed", p)
+	}
+	for l, ov := range s.overlays {
+		crasher, ok := ov.(overlay.Crasher)
+		if !ok {
+			return recovered, fmt.Errorf("core: level %d overlay does not support crashes", l)
+		}
+		n, err := crasher.Crash(p)
+		if err != nil {
+			return recovered, fmt.Errorf("core: level %d: %w", l, err)
+		}
+		recovered += n
+	}
+	ps.dead = true
+	return recovered, nil
+}
+
 // PeerAlive reports whether peer p has neither failed nor left.
 func (s *System) PeerAlive(p int) bool { return !s.peers[p].dead }
 

@@ -8,6 +8,7 @@ import (
 
 	"hyperm/internal/can"
 	"hyperm/internal/core"
+	"hyperm/internal/membership"
 	"hyperm/internal/route"
 	"hyperm/internal/sim"
 	"hyperm/internal/transport"
@@ -26,20 +27,26 @@ type Config struct {
 	Listen string
 	// Retry is the policy for node→node calls. Zero value = defaults.
 	Retry transport.Policy
+	// Membership tunes the live membership protocol. The zero value serves
+	// join/leave/handoff RPCs but runs no liveness probes (static clusters).
+	Membership membership.Options
 }
 
 // Node hosts one peer: its items, published summaries, and per-level CAN
 // slice. After Start it serves the node RPCs; after SetPeers it can answer
 // queries (which require contacting other nodes). Safe for concurrent use.
+//
+// The per-level overlay state — zones, neighbor tables, stored records — is
+// owned by the node's membership.Manager, which mutates it as peers join,
+// leave, and crash around this node; queries read consistent copies from it.
 type Node struct {
-	peer        int
-	clusterSize int
-	cfg         core.Config
-	levels      []can.NodeView
-	engine      *core.Engine
-	tr          transport.Transport
-	client      *transport.Client
-	listen      string
+	peer   int
+	cfg    core.Config
+	mgr    *membership.Manager
+	engine *core.Engine
+	tr     transport.Transport
+	client *transport.Client
+	listen string
 
 	mu      sync.RWMutex // guards itemIDs, items, published (publish vs fetch)
 	itemIDs []int
@@ -49,14 +56,25 @@ type Node struct {
 	// the simulator's PostInsert.
 	published [][]core.ClusterRef
 
-	peersMu   sync.RWMutex
-	peerAddrs []string
-
 	srvMu sync.Mutex
 	srv   transport.Server
 
 	ctrMu    sync.Mutex
 	counters sim.Counters
+}
+
+// levelFromView converts a snapshot level into membership state. Neighbor
+// addresses are unknown at snapshot time; SetPeers fills them in.
+func levelFromView(v can.NodeView) membership.LevelState {
+	ls := membership.LevelState{
+		Zones:    append([]route.Zone(nil), v.Zones...),
+		Owned:    append([]route.RecordView(nil), v.Owned...),
+		Replicas: append([]route.RecordView(nil), v.Replicas...),
+	}
+	for _, nb := range v.Neighbors {
+		ls.Neighbors = append(ls.Neighbors, membership.Neighbor{ID: nb.ID, Zones: nb.Zones})
+	}
+	return ls
 }
 
 // New builds a node from its snapshot. The node is inert until Start.
@@ -72,17 +90,20 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("node: snapshot has %d ids for %d items", len(snap.ItemIDs), len(snap.Items))
 	}
 	n := &Node{
-		peer:        snap.Peer,
-		clusterSize: snap.ClusterSize,
-		cfg:         snap.Config,
-		levels:      snap.Levels,
-		tr:          cfg.Transport,
-		client:      transport.NewClient(cfg.Transport, cfg.Retry),
-		listen:      cfg.Listen,
-		itemIDs:     snap.ItemIDs,
-		items:       snap.Items,
-		published:   snap.Published,
+		peer:      snap.Peer,
+		cfg:       snap.Config,
+		tr:        cfg.Transport,
+		client:    transport.NewClient(cfg.Transport, cfg.Retry),
+		listen:    cfg.Listen,
+		itemIDs:   snap.ItemIDs,
+		items:     snap.Items,
+		published: snap.Published,
 	}
+	levels := make([]membership.LevelState, len(snap.Levels))
+	for l, v := range snap.Levels {
+		levels[l] = levelFromView(v)
+	}
+	n.mgr = membership.NewManager(snap.Peer, snap.ClusterSize, levels, n, cfg.Membership)
 	engine, err := core.NewEngine(snap.Config, snap.Bounds, &netBackend{n: n})
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
@@ -94,7 +115,12 @@ func New(cfg Config) (*Node, error) {
 // Peer returns the node's peer id.
 func (n *Node) Peer() int { return n.peer }
 
-// Start begins serving the node's RPC endpoint.
+// Membership exposes the node's membership manager (overlay state reads,
+// quiescence checks).
+func (n *Node) Membership() *membership.Manager { return n.mgr }
+
+// Start begins serving the node's RPC endpoint and, when a probe interval is
+// configured, the liveness probe loop.
 func (n *Node) Start() error {
 	n.srvMu.Lock()
 	defer n.srvMu.Unlock()
@@ -106,6 +132,8 @@ func (n *Node) Start() error {
 		return fmt.Errorf("node: peer %d: %w", n.peer, err)
 	}
 	n.srv = srv
+	n.mgr.SetSelfAddr(srv.Addr())
+	n.mgr.StartProbing()
 	return nil
 }
 
@@ -121,25 +149,34 @@ func (n *Node) Addr() string {
 
 // SetPeers installs the cluster address book: addrs[p] is peer p's serving
 // address. Must be called (on every node) after all nodes have started and
-// before any query traffic.
+// before any query traffic. Nodes joining later are learned dynamically —
+// from join grants, zone updates, and the views crossing can_search RPCs.
 func (n *Node) SetPeers(addrs []string) {
-	n.peersMu.Lock()
-	n.peerAddrs = append([]string(nil), addrs...)
-	n.peersMu.Unlock()
+	n.mgr.SeedBook(addrs)
 }
 
 func (n *Node) peerAddr(p int) (string, error) {
-	n.peersMu.RLock()
-	defer n.peersMu.RUnlock()
-	if p < 0 || p >= len(n.peerAddrs) {
-		return "", fmt.Errorf("node: peer %d has no known address (SetPeers installed %d)", p, len(n.peerAddrs))
-	}
-	return n.peerAddrs[p], nil
+	return n.mgr.Addr(p)
 }
 
-// Stop tears down the RPC endpoint. In-flight requests are abandoned (their
-// callers see a retryable transport fault). Idempotent.
+// Join brings this (empty) node into the running cluster reachable at the
+// bootstrap address, splitting the zone owning points[l] at each level l.
+// The node must be started first (the grant references our address).
+func (n *Node) Join(ctx context.Context, bootstrap string, points [][]float64) error {
+	return n.mgr.Join(ctx, bootstrap, points)
+}
+
+// Leave removes this node gracefully: its zones and records are handed to
+// elected neighbors on every level. The endpoint keeps serving until Stop so
+// in-flight protocol traffic can drain.
+func (n *Node) Leave(ctx context.Context) error {
+	return n.mgr.Leave(ctx)
+}
+
+// Stop tears down the probe loop and the RPC endpoint. In-flight requests
+// are abandoned (their callers see a retryable transport fault). Idempotent.
 func (n *Node) Stop() error {
+	n.mgr.StopProbing()
 	n.srvMu.Lock()
 	srv := n.srv
 	n.srv = nil
@@ -266,7 +303,7 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		if err != nil {
 			return transport.Response{}, err
 		}
-		if level < 0 || level >= len(n.levels) {
+		if level < 0 || level >= n.mgr.NumLevels() {
 			return transport.Response{}, fmt.Errorf("node: no level %d", level)
 		}
 		body, err := encodeSearchResp(n.localView(level, key, radius))
@@ -296,6 +333,13 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		return transport.Response{Body: encodeFetchKNNResp(items)}, nil
 
 	default:
+		if membership.IsMethod(req.Method) {
+			body, err := n.mgr.HandleRPC(ctx, req.Method, req.Body)
+			if err != nil {
+				return transport.Response{}, err
+			}
+			return transport.Response{Body: body}, nil
+		}
 		return transport.Response{}, fmt.Errorf("node: unknown method %q", req.Method)
 	}
 }
@@ -305,9 +349,9 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 // storage order (owned first, then replicas) — the same order and match test
 // (can.TorusDist(key, center) <= recRadius+radius) as can.Overlay's collect.
 func (n *Node) localView(level int, key []float64, radius float64) searchView {
-	lv := n.levels[level]
-	v := searchView{ID: lv.ID, Zones: lv.Zones, Neighbors: lv.Neighbors}
-	for _, recs := range [][]can.RecordView{lv.Owned, lv.Replicas} {
+	ls := n.mgr.View(level)
+	v := searchView{ID: n.peer, Zones: ls.Zones, Neighbors: ls.Neighbors}
+	for _, recs := range [][]can.RecordView{ls.Owned, ls.Replicas} {
 		for _, rec := range recs {
 			if can.TorusDist(rec.Entry.Key, key) <= rec.Entry.Radius+radius {
 				v.Records = append(v.Records, rec)

@@ -49,7 +49,19 @@ func (s rpcViews) View(id int) (route.NodeView, error) {
 	if err != nil {
 		return route.NodeView{}, err
 	}
-	return route.NodeView{ID: v.ID, Zones: v.Zones, Neighbors: v.Neighbors, Owned: v.Records}, nil
+	return s.n.toNodeView(v), nil
+}
+
+// toNodeView shapes a wire view for the routing machines, learning the
+// neighbor addresses it carries (how a node hears about peers that joined
+// after its address book was seeded).
+func (n *Node) toNodeView(v searchView) route.NodeView {
+	nbs := make([]route.NeighborView, len(v.Neighbors))
+	for i, nb := range v.Neighbors {
+		n.mgr.LearnAddr(nb.ID, nb.Addr)
+		nbs[i] = route.NeighborView{ID: nb.ID, Zones: nb.Zones}
+	}
+	return route.NodeView{ID: v.ID, Zones: v.Zones, Neighbors: nbs, Owned: v.Records}
 }
 
 // fetchView obtains one node's view of the query sphere: locally for this
@@ -72,6 +84,10 @@ func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radi
 	return decodeSearchResp(resp.Body)
 }
 
+// hopLimit mirrors the simulator's routing bound (8*nodes+16) using the
+// cluster size as this node currently knows it (grown by joins it hears of).
+func (n *Node) hopLimit() int { return 8*n.mgr.Size() + 16 }
+
 // searchSphere runs the full lookup for one level by driving the shared
 // route.Search machine over RPC-fetched views.
 func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
@@ -80,7 +96,7 @@ func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radiu
 	if err != nil {
 		return nil, 0, err
 	}
-	s := route.NewSearch(start, key, radius, 8*n.clusterSize+16)
+	s := route.NewSearch(start, key, radius, n.hopLimit())
 	entries, hops, err := route.Run(s, src)
 	if err != nil {
 		return nil, hops, fmt.Errorf("node: level %d search at %v: %w", level, key, err)

@@ -94,6 +94,35 @@ func ExtractSnapshot(sys *core.System, peer int) (Snapshot, error) {
 	return snap, nil
 }
 
+// JoinSnapshot builds the snapshot of a peer that is about to join a running
+// cluster: the shared deployment configuration and bounds (which every node
+// must agree on), but no items, no published summaries, and empty overlay
+// state at every level — the node acquires its zones and records through the
+// live join protocol (Node.Join), not from the simulator. peer is the id the
+// joiner will take; in lockstep with the oracle that is core.System.JoinPeer's
+// assignment, len(peers) at join time.
+func JoinSnapshot(sys *core.System, peer int) (Snapshot, error) {
+	cfg := sys.Config()
+	bounds := sys.Bounds()
+	if bounds == nil {
+		return Snapshot{}, fmt.Errorf("node: system has no bounds installed; call DeriveBounds or SetBounds first")
+	}
+	snap := Snapshot{
+		Peer:        peer,
+		Alive:       true,
+		ClusterSize: cfg.Peers,
+		Config:      cfg,
+		Bounds:      bounds,
+		Levels:      make([]can.NodeView, cfg.Levels),
+	}
+	snap.Config.Factory = nil
+	snap.Config.Rng = nil
+	for l := range snap.Levels {
+		snap.Levels[l] = can.NodeView{ID: peer}
+	}
+	return snap, nil
+}
+
 // ExtractAll snapshots every peer of the system (the single-process cluster
 // bootstrap path).
 func ExtractAll(sys *core.System) ([]Snapshot, error) {

@@ -5,7 +5,7 @@ import (
 
 	"hyperm/internal/can"
 	"hyperm/internal/core"
-	"hyperm/internal/overlay"
+	"hyperm/internal/membership"
 	"hyperm/internal/transport"
 )
 
@@ -155,75 +155,25 @@ func decodeSearchReq(b []byte) (level int, key []float64, radius float64, err er
 
 // searchView is one node's answer to a can_search hop: its identity and
 // zones (routing), its neighbor table (the coordinator's next-hop and flood
-// decisions), and its stored records matching the query sphere, in storage
-// order (owned first, then replicas) with their overlay sequence numbers so
-// the coordinator deduplicates replicas exactly like the in-process flood.
+// decisions; addresses included so coordinators learn how to reach peers that
+// joined after their address book was seeded), and its stored records
+// matching the query sphere, in storage order (owned first, then replicas)
+// with their overlay sequence numbers so the coordinator deduplicates
+// replicas exactly like the in-process flood.
 type searchView struct {
 	ID        int
 	Zones     []can.Zone
-	Neighbors []can.NeighborView
+	Neighbors []membership.Neighbor
 	Records   []can.RecordView
-}
-
-func encodeZones(e *transport.Encoder, zs []can.Zone) {
-	e.U32(uint32(len(zs)))
-	for _, z := range zs {
-		e.Floats(z.Lo)
-		e.Floats(z.Hi)
-	}
-}
-
-func decodeZones(d *transport.Decoder) []can.Zone {
-	n := int(d.U32())
-	if d.Err() != nil || n == 0 {
-		return nil
-	}
-	out := make([]can.Zone, n)
-	for i := range out {
-		out[i] = can.Zone{Lo: d.Floats(), Hi: d.Floats()}
-	}
-	return out
-}
-
-func encodeRef(e *transport.Encoder, ref core.ClusterRef) {
-	e.Int(ref.Peer)
-	e.Int(ref.Level)
-	e.Int(ref.Index)
-	e.Floats(ref.Center)
-	e.F64(ref.Radius)
-	e.Int(ref.Items)
-}
-
-func decodeRef(d *transport.Decoder) core.ClusterRef {
-	return core.ClusterRef{
-		Peer:   d.Int(),
-		Level:  d.Int(),
-		Index:  d.Int(),
-		Center: d.Floats(),
-		Radius: d.F64(),
-		Items:  d.Int(),
-	}
 }
 
 func encodeSearchResp(v searchView) ([]byte, error) {
 	var e transport.Encoder
 	e.Int(v.ID)
-	encodeZones(&e, v.Zones)
-	e.U32(uint32(len(v.Neighbors)))
-	for _, nb := range v.Neighbors {
-		e.Int(nb.ID)
-		encodeZones(&e, nb.Zones)
-	}
-	e.U32(uint32(len(v.Records)))
-	for _, rec := range v.Records {
-		ref, ok := rec.Entry.Payload.(core.ClusterRef)
-		if !ok {
-			return nil, fmt.Errorf("node: record payload is %T, want core.ClusterRef", rec.Entry.Payload)
-		}
-		e.Int(rec.Seq)
-		e.Floats(rec.Entry.Key)
-		e.F64(rec.Entry.Radius)
-		encodeRef(&e, ref)
+	membership.EncodeZones(&e, v.Zones)
+	membership.EncodeNeighbors(&e, v.Neighbors)
+	if err := membership.EncodeRecords(&e, v.Records); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
 	}
 	return e.Bytes(), nil
 }
@@ -232,21 +182,9 @@ func decodeSearchResp(b []byte) (searchView, error) {
 	d := transport.NewDecoder(b)
 	var v searchView
 	v.ID = d.Int()
-	v.Zones = decodeZones(d)
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
-		v.Neighbors = make([]can.NeighborView, n)
-		for i := range v.Neighbors {
-			v.Neighbors[i] = can.NeighborView{ID: d.Int(), Zones: decodeZones(d)}
-		}
-	}
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
-		v.Records = make([]can.RecordView, n)
-		for i := range v.Records {
-			v.Records[i].Seq = d.Int()
-			v.Records[i].Entry = overlay.Entry{Key: d.Floats(), Radius: d.F64()}
-			v.Records[i].Entry.Payload = decodeRef(d)
-		}
-	}
+	v.Zones = membership.DecodeZones(d)
+	v.Neighbors = membership.DecodeNeighbors(d)
+	v.Records = membership.DecodeRecords(d)
 	return v, d.Finish()
 }
 

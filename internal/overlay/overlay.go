@@ -64,3 +64,23 @@ type Leaver interface {
 	// Leave removes node id, returning the handover message count.
 	Leave(id int) (msgs int, err error)
 }
+
+// Joiner is implemented by overlays that can admit a node after
+// construction, at a caller-chosen key-space point — the deterministic twin
+// of a live node joining a running cluster with that point as its draw.
+type Joiner interface {
+	// JoinNode splits the point's current owner region and returns the new
+	// node's id (always Size() before the call).
+	JoinNode(point []float64) (id int, err error)
+}
+
+// Crasher is implemented by overlays modeling abrupt node failure with
+// takeover: the node's stored records die with the device, a surviving
+// neighbor takes over its key-space region, and the records the region
+// needs are recovered from replicas surviving elsewhere. Unlike
+// StorageFailer (which only wipes storage and leaves the region routable),
+// a crash removes the node from the overlay entirely.
+type Crasher interface {
+	// Crash removes node id, returning the number of recovered records.
+	Crash(id int) (recovered int, err error)
+}

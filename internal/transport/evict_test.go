@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression for stale-socket reuse against crashed peers: when a call to
+// an address fails at the transport level, every idle pooled connection to
+// that address must be evicted, so the next attempt reaches a
+// restarted/replaced node through a fresh dial instead of burning the retry
+// budget on dead sockets one by one.
+
+// poolConns drives n concurrent calls through tr so that n connections to
+// addr end up in the idle pool at once (a serial caller would reuse one).
+func poolConns(t *testing.T, tr Transport, addr string, n int, release chan struct{}) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := tr.Call(ctx, addr, Request{Method: "hold"}); err != nil {
+				t.Errorf("pooling call: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		release <- struct{}{}
+	}
+	wg.Wait()
+}
+
+func TestEvictStaleConnsOnRestart(t *testing.T) {
+	// TCP: pool several connections to a server, kill it, restart a new
+	// process at the same address, and require a retrying client with a
+	// budget smaller than the old pool to get through. Without eviction,
+	// every attempt would consume one stale socket and the call would fail.
+	t.Run("tcp", func(t *testing.T) {
+		tr := NewTCP()
+		defer tr.Close()
+
+		release := make(chan struct{})
+		barrier := func(ctx context.Context, req Request) (Response, error) {
+			<-release
+			return Response{Body: []byte("one")}, nil
+		}
+		srv, err := tr.Serve("127.0.0.1:0", barrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.Addr()
+		const pooled = 3
+		poolConns(t, tr, addr, pooled, release)
+		tr.mu.Lock()
+		if got := len(tr.idle[addr]); got != pooled {
+			tr.mu.Unlock()
+			t.Fatalf("idle pool holds %d conns, want %d", got, pooled)
+		}
+		tr.mu.Unlock()
+
+		srv.Close()
+		srv2, err := tr.Serve(addr, func(ctx context.Context, req Request) (Response, error) {
+			return Response{Body: []byte("two")}, nil
+		})
+		if err != nil {
+			t.Fatalf("restart at %s: %v", addr, err)
+		}
+		defer srv2.Close()
+
+		// Two attempts must suffice: the first burns one stale socket and
+		// evicts the rest; the second dials the restarted server.
+		client := NewClient(tr, Policy{MaxAttempts: 2, Timeout: 5 * time.Second})
+		resp, err := client.Call(context.Background(), addr, Request{Method: "probe"})
+		if err != nil {
+			t.Fatalf("call after restart: %v", err)
+		}
+		if string(resp.Body) != "two" {
+			t.Fatalf("answer %q from stale connection, want %q from restarted server", resp.Body, "two")
+		}
+		tr.mu.Lock()
+		left := len(tr.idle[addr])
+		tr.mu.Unlock()
+		if left > 1 {
+			t.Fatalf("%d idle conns survived eviction, want <= 1 (the fresh one)", left)
+		}
+	})
+
+	// Chan: no pool to poison, but the same scenario — endpoint dies, a
+	// replacement registers under the same name — must make the replacement
+	// reachable on retry.
+	t.Run("chan", func(t *testing.T) {
+		tr := NewChan()
+		defer tr.Close()
+		srv, err := tr.Serve("node-0", func(ctx context.Context, req Request) (Response, error) {
+			return Response{Body: []byte("one")}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Close()
+		srv2, err := tr.Serve("node-0", func(ctx context.Context, req Request) (Response, error) {
+			return Response{Body: []byte("two")}, nil
+		})
+		if err != nil {
+			t.Fatalf("re-register: %v", err)
+		}
+		defer srv2.Close()
+		client := NewClient(tr, Policy{MaxAttempts: 2, Timeout: 5 * time.Second})
+		resp, err := client.Call(context.Background(), "node-0", Request{Method: "probe"})
+		if err != nil {
+			t.Fatalf("call after replacement: %v", err)
+		}
+		if string(resp.Body) != "two" {
+			t.Fatalf("answer %q, want %q from the replacement", resp.Body, "two")
+		}
+	})
+}

@@ -216,9 +216,16 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 // reads the response frame, honoring ctx's deadline via socket deadlines.
 // Any socket failure poisons the connection (it is dropped, not pooled) and
 // comes back wrapped in ErrUnavailable; deadline expiry surfaces ctx.Err().
+// An ErrUnavailable outcome additionally evicts every idle pooled
+// connection to addr: they were dialed to the same (now gone) process, so a
+// retry must reach a restarted or replaced node through a fresh dial, not
+// through the next stale socket in the pool.
 func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Response, error) {
 	conn, err := t.checkout(ctx, addr)
 	if err != nil {
+		if errors.Is(err, ErrUnavailable) {
+			t.evictIdle(addr)
+		}
 		return Response{}, err
 	}
 	if dl, ok := ctx.Deadline(); ok {
@@ -233,12 +240,20 @@ func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Resp
 	}
 	if err := writeFrame(conn, payload); err != nil {
 		t.release(addr, conn, false)
-		return Response{}, t.classify(ctx, "write", addr, err)
+		err = t.classify(ctx, "write", addr, err)
+		if errors.Is(err, ErrUnavailable) {
+			t.evictIdle(addr)
+		}
+		return Response{}, err
 	}
 	reply, err := readFrame(conn)
 	if err != nil {
 		t.release(addr, conn, false)
-		return Response{}, t.classify(ctx, "read", addr, err)
+		err = t.classify(ctx, "read", addr, err)
+		if errors.Is(err, ErrUnavailable) {
+			t.evictIdle(addr)
+		}
+		return Response{}, err
 	}
 	t.release(addr, conn, true)
 	if len(reply) < 1 {
@@ -293,6 +308,22 @@ func (t *TCPTransport) checkout(ctx context.Context, addr string) (net.Conn, err
 		return nil, t.classify(ctx, "dial", addr, err)
 	}
 	return conn, nil
+}
+
+// evictIdle closes and forgets every idle pooled connection to addr. Called
+// after a call to addr failed at the transport level: the peer process the
+// pool dialed is dead, and keeping its sockets would make every retry burn
+// one stale connection each before reaching a restarted node.
+func (t *TCPTransport) evictIdle(addr string) {
+	t.mu.Lock()
+	conns := t.idle[addr]
+	if t.idle != nil {
+		delete(t.idle, addr)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 }
 
 // release returns a healthy connection to the pool and closes broken or
