@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-kernels bench-serve fuzz soak
+.PHONY: check fmt vet build test race bench bench-kernels bench-serve bench-serve-smoke fuzz soak
 
 check: fmt vet build test
 
@@ -25,9 +25,10 @@ test:
 
 # The packages that use or implement the worker pool, plus the serving
 # runtime (concurrent RPC handlers over both transports), the membership
-# protocol (failure detector, takeovers), and the routing core, under -race.
+# protocol (failure detector, takeovers), the routing core, and the
+# now-concurrent simulator counters, under -race.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/membership ./internal/can ./internal/route
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/membership ./internal/can ./internal/route ./internal/sim
 
 # The full churn soak: a 16-node TCP cluster absorbing scripted joins,
 # graceful leaves, and probe-detected crashes under live query load, checked
@@ -45,10 +46,16 @@ bench:
 bench-kernels:
 	$(GO) test -run=^$$ -bench='^(BenchmarkKMeans|BenchmarkSolveEps)$$' -benchmem -count=5 ./internal/cluster ./internal/geometry
 
-# Serving-runtime load benchmark: 8 TCP nodes, 10k mixed requests, writes
+# Serving-runtime load benchmark: 64 TCP nodes, 8k mixed closed-loop
+# requests plus an open-loop latency-under-load sweep, writes
 # BENCH_serve.json (fails on any request error).
 bench-serve:
-	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 10000 -transport tcp -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 8000 -clients 32 -transport tcp -sweep 40,80,120,160,200 -sweep-seconds 5s -out BENCH_serve.json
+
+# Quick serving smoke for CI: a small 8-node TCP run that fails on any
+# request error — catches transport or coordinator regressions in seconds.
+bench-serve-smoke:
+	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp
 
 # Short fuzz sessions: the wavelet round-trip invariant, the routing core vs
 # the frozen pre-extraction sphere-search reference, and the zone

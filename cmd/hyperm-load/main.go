@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -78,6 +79,11 @@ type ServeBenchRow struct {
 	// ChurnEvents counts the membership events the churn driver executed
 	// ("join", "leave", "crash"); set only on the "availability" row.
 	ChurnEvents map[string]int `json:"churn_events,omitempty"`
+	// Alpha is the lookup coordinator's α (concurrent can_search probes).
+	Alpha int `json:"alpha,omitempty"`
+	// OfferedQPS is the open-loop arrival rate; set on "sweep" rows (and on
+	// the main rows of a -rate run), 0 for closed-loop rows.
+	OfferedQPS float64 `json:"offered_qps,omitempty"`
 }
 
 // errorClass buckets one failed request. Routing stalls carry their
@@ -138,8 +144,19 @@ func run() int {
 	k := flag.Int("k", 5, "k for kNN requests")
 	seed := flag.Int64("seed", 1, "workload and traffic seed")
 	churnEvery := flag.Duration("churn", 0, "drive membership churn (joins, leaves, crashes) at this interval; 0 disables")
+	alpha := flag.Int("alpha", 0, "concurrent can_search probes per lookup step (0 = node default, 1 = serial)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s for the main run (0 = closed loop)")
+	sweep := flag.String("sweep", "", "latency-under-load sweep: comma-separated open-loop rates in req/s (e.g. 200,400,800)")
+	sweepDur := flag.Duration("sweep-seconds", 5*time.Second, "duration of each sweep phase")
 	out := flag.String("out", "", "also write the rows to this path (e.g. BENCH_serve.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this path")
 	flag.Parse()
+
+	sweepRates, err := parseRates(*sweep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperm-load: -sweep: %v\n", err)
+		return 2
+	}
 
 	fmt.Printf("hyperm-load: building %d-node workload (items/peer=%d dim=%d levels=%d seed=%d)\n",
 		*nodes, *itemsPerPeer, *dim, *levels, *seed)
@@ -175,13 +192,18 @@ func run() int {
 		// taken over or availability collapses to the pre-crash topology.
 		mopts = membership.Options{ProbeInterval: 100 * time.Millisecond, ProbeTimeout: 500 * time.Millisecond, FailAfter: 3}
 	}
-	cl, err := node.StartClusterOpts(sys, tr, listen, policy, mopts)
+	tuning := node.Tuning{Alpha: *alpha}
+	cl, err := node.StartClusterTuned(sys, tr, listen, policy, mopts, tuning)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
 		return 1
 	}
 	defer cl.Stop()
-	fmt.Printf("hyperm-load: %d nodes up (%s transport)\n", len(cl.Nodes), *transportName)
+	effAlpha := *alpha
+	if effAlpha == 0 {
+		effAlpha = node.DefaultAlpha
+	}
+	fmt.Printf("hyperm-load: %d nodes up (%s transport, alpha=%d)\n", len(cl.Nodes), *transportName, effAlpha)
 
 	// Clients target only currently-alive nodes; the churn driver is the sole
 	// writer of this list (and of cl itself) once the run starts.
@@ -327,44 +349,104 @@ func run() int {
 	var nextID int64 = 1 << 20 // publish ids beyond the corpus range
 	results := make([][]sample, *clients)
 
+	// issueOne executes request i of the deterministic mix against a random
+	// alive node and times it. Shared by the closed-loop clients, the
+	// open-loop dispatcher, and the sweep phases.
+	issueOne := func(rng *rand.Rand, i int64) sample {
+		op := opFor(i)
+		addr := pickAddr(rng)
+		qi := rng.Intn(len(centers))
+		var err error
+		t0 := time.Now()
+		switch op {
+		case 0:
+			item := append([]float64(nil), centers[qi]...)
+			for d := range item {
+				item[d] += 0.01 * rng.Float64()
+			}
+			err = client.Publish(ctx, addr, int(atomic.AddInt64(&nextID, 1)), item)
+		case 1:
+			_, err = client.Range(ctx, addr, centers[qi], radii[qi], core.RangeOptions{})
+		case 2:
+			_, err = client.KNN(ctx, addr, centers[qi], *k, core.KNNOptions{})
+		}
+		return sample{op: op, dur: time.Since(t0), err: err}
+	}
+
+	// runOpen offers total requests at the given arrival rate regardless of
+	// completion (open loop — queueing delay shows up in the latencies, which
+	// is the point of the sweep). Falling behind is repaid immediately, so
+	// the average offered rate holds even when a sleep overshoots.
+	runOpen := func(rateQPS float64, total int64, seedBase int64) ([]sample, float64) {
+		samples := make([]sample, total)
+		var wg sync.WaitGroup
+		startT := time.Now()
+		for i := int64(0); i < total; i++ {
+			target := startT.Add(time.Duration(float64(i) / rateQPS * float64(time.Second)))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+			wg.Add(1)
+			go func(i int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seedBase + i))
+				samples[i] = issueOne(rng, i)
+			}(i)
+		}
+		wg.Wait()
+		return samples, time.Since(startT).Seconds()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed*1000 + int64(c)))
-			for {
-				i := atomic.AddInt64(&next, 1) - 1
-				if i >= int64(*requests) {
-					return
-				}
-				op := opFor(i)
-				addr := pickAddr(rng)
-				qi := rng.Intn(len(centers))
-				var err error
-				t0 := time.Now()
-				switch op {
-				case 0:
-					item := append([]float64(nil), centers[qi]...)
-					for d := range item {
-						item[d] += 0.01 * rng.Float64()
-					}
-					err = client.Publish(ctx, addr, int(atomic.AddInt64(&nextID, 1)), item)
-				case 1:
-					_, err = client.Range(ctx, addr, centers[qi], radii[qi], core.RangeOptions{})
-				case 2:
-					_, err = client.KNN(ctx, addr, centers[qi], *k, core.KNNOptions{})
-				}
-				results[c] = append(results[c], sample{op: op, dur: time.Since(t0), err: err})
-				if err != nil && *churnEvery == 0 {
-					fmt.Fprintf(os.Stderr, "hyperm-load: %s request %d: %v\n", opNames[op], i, err)
+	var elapsed float64
+	if *rate > 0 {
+		samples, secs := runOpen(*rate, int64(*requests), *seed*1000)
+		elapsed = secs
+		results = [][]sample{samples}
+		if *churnEvery == 0 {
+			for i, s := range samples {
+				if s.err != nil {
+					fmt.Fprintf(os.Stderr, "hyperm-load: %s request %d: %v\n", opNames[s.op], i, s.err)
 				}
 			}
-		}(c)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed*1000 + int64(c)))
+				for {
+					i := atomic.AddInt64(&next, 1) - 1
+					if i >= int64(*requests) {
+						return
+					}
+					s := issueOne(rng, i)
+					results[c] = append(results[c], s)
+					if s.err != nil && *churnEvery == 0 {
+						fmt.Fprintf(os.Stderr, "hyperm-load: %s request %d: %v\n", opNames[s.op], i, s.err)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed = time.Since(start).Seconds()
 	}
-	wg.Wait()
-	elapsed := time.Since(start).Seconds()
 	close(churnStop)
 	churnWG.Wait()
 
@@ -399,7 +481,7 @@ func run() int {
 			Op: op, Transport: *transportName, Nodes: *nodes, Clients: *clients,
 			Requests: len(durs) + errs[op], Errors: errs[op], Seconds: elapsed,
 			P50Ms: percentile(durs, 0.50), P95Ms: percentile(durs, 0.95), P99Ms: percentile(durs, 0.99),
-			ErrorClasses: classes[op],
+			ErrorClasses: classes[op], Alpha: effAlpha, OfferedQPS: *rate,
 		}
 		if elapsed > 0 {
 			row.QPS = float64(row.Requests) / elapsed
@@ -419,15 +501,59 @@ func run() int {
 		rows = append(rows, row)
 	}
 
-	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport\n",
-		*requests, *clients, *nodes, *transportName)
-	fmt.Printf("%-8s %-9s %-7s %-10s %-9s %-9s %-9s\n", "op", "requests", "errors", "qps", "p50_ms", "p95_ms", "p99_ms")
+	// Latency-under-load sweep: offer each requested rate open-loop on the
+	// warm cluster and report one qps→latency curve point per rate. Queueing
+	// delay beyond the service capacity shows up in the percentiles — the
+	// saturation knee the closed-loop aggregate row cannot show.
+	sweepErrs := 0
+	for si, r := range sweepRates {
+		total := int64(r * sweepDur.Seconds())
+		if total < 1 {
+			total = 1
+		}
+		fmt.Printf("hyperm-load: sweep %.0f req/s for %s (%d requests)\n", r, *sweepDur, total)
+		samples, secs := runOpen(r, total, *seed*1000000+int64(si)*1000000)
+		var durs []time.Duration
+		nerr := 0
+		sweepClasses := map[string]int{}
+		for _, s := range samples {
+			if s.err != nil {
+				nerr++
+				sweepClasses[errorClass(s.err)]++
+				continue
+			}
+			durs = append(durs, s.dur)
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		if nerr == 0 {
+			sweepClasses = nil
+		}
+		sweepErrs += nerr
+		row := ServeBenchRow{
+			Op: "sweep", Transport: *transportName, Nodes: *nodes, Clients: *clients,
+			Requests: len(samples), Errors: nerr, Seconds: secs,
+			P50Ms: percentile(durs, 0.50), P95Ms: percentile(durs, 0.95), P99Ms: percentile(durs, 0.99),
+			ErrorClasses: sweepClasses, Alpha: effAlpha, OfferedQPS: r,
+		}
+		if secs > 0 {
+			row.QPS = float64(len(samples)) / secs
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport, alpha=%d\n",
+		*requests, *clients, *nodes, *transportName, effAlpha)
+	fmt.Printf("%-8s %-9s %-9s %-7s %-10s %-9s %-9s %-9s\n", "op", "offered", "requests", "errors", "qps", "p50_ms", "p95_ms", "p99_ms")
 	for _, r := range rows {
 		if r.Op == "availability" {
 			continue // summarized separately below
 		}
-		fmt.Printf("%-8s %-9d %-7d %-10.1f %-9.3f %-9.3f %-9.3f\n",
-			r.Op, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms)
+		offered := "-"
+		if r.OfferedQPS > 0 {
+			offered = fmt.Sprintf("%.0f", r.OfferedQPS)
+		}
+		fmt.Printf("%-8s %-9s %-9d %-7d %-10.1f %-9.3f %-9.3f %-9.3f\n",
+			r.Op, offered, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms)
 	}
 
 	if *out != "" {
@@ -460,5 +586,26 @@ func run() int {
 			errs["all"], strings.Join(parts, " "))
 		return 1
 	}
+	if sweepErrs > 0 {
+		fmt.Fprintf(os.Stderr, "hyperm-load: %d sweep requests failed\n", sweepErrs)
+		return 1
+	}
 	return 0
+}
+
+// parseRates parses the -sweep flag: a comma-separated list of positive
+// open-loop rates in requests/second.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		var r float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%g", &r); err != nil || r <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, r)
+	}
+	return out, nil
 }

@@ -47,6 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only when -pprof-addr is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -85,6 +88,8 @@ func run() int {
 	probeTimeout := flag.Duration("probe-timeout", 250*time.Millisecond, "per-probe response deadline")
 	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a neighbor is declared dead")
 	graceful := flag.Bool("leave", false, "leave gracefully on shutdown: hand zones and records to neighbors")
+	alpha := flag.Int("alpha", 0, "concurrent can_search probes per lookup step (0 = default, 1 = serial)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "hyperm-node: -config is required")
@@ -140,6 +145,22 @@ func run() int {
 		return 1
 	}
 
+	if *pprofAddr != "" {
+		// Opt-in debug listener: the pprof mux only, never the default mux of
+		// the serving path, so live profiles can be captured under load.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-node: pprof listen %s: %v\n", *pprofAddr, err)
+			return 1
+		}
+		fmt.Printf("hyperm-node: pprof on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "hyperm-node: pprof server: %v\n", err)
+			}
+		}()
+	}
+
 	tr := transport.NewTCP()
 	defer tr.Close()
 	nd, err := node.New(node.Config{
@@ -151,6 +172,7 @@ func run() int {
 			ProbeTimeout:  *probeTimeout,
 			FailAfter:     *failAfter,
 		},
+		Tuning: node.Tuning{Alpha: *alpha},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)

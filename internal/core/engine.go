@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"hyperm/internal/geometry"
 	"hyperm/internal/overlay"
@@ -53,6 +54,13 @@ type Engine struct {
 	cfg     Config
 	mappers []keyMapper
 	backend Backend
+
+	// levelFanout and fetchFanout bound the coordinator's concurrency: how
+	// many per-level overlay searches and how many phase-two fetches run at
+	// once. <= 1 means strictly serial (the default — the simulator backend
+	// is not safe for concurrent calls). See SetParallelism.
+	levelFanout int
+	fetchFanout int
 }
 
 // NewEngine builds an engine from a (possibly partial) Config, the per-level
@@ -77,6 +85,63 @@ func NewEngine(cfg Config, bounds []Bounds, b Backend) (*Engine, error) {
 	return &Engine{cfg: cfg, mappers: buildMappers(bounds), backend: b}, nil
 }
 
+// SetParallelism turns on the pipelined coordinator: up to levelFanout
+// per-level overlay searches and up to fetchFanout phase-two fetches in
+// flight at once (<= 1 for serial). The backend must be safe for concurrent
+// calls — the RPC backend is, the in-process simulator backend is not.
+// Results are byte-identical to the serial coordinator: per-level score
+// lanes, hop totals, and fetched items are merged in level/score order after
+// the concurrent calls return, so no scheduling order reaches the answer.
+func (e *Engine) SetParallelism(levelFanout, fetchFanout int) {
+	e.levelFanout = levelFanout
+	e.fetchFanout = fetchFanout
+}
+
+// eachLevel runs f for every level, concurrently when levelFanout allows.
+// f(l) must only touch slot l of its outputs.
+func (e *Engine) eachLevel(f func(l int)) {
+	if e.levelFanout <= 1 || e.cfg.Levels == 1 {
+		for l := 0; l < e.cfg.Levels; l++ {
+			f(l)
+		}
+		return
+	}
+	sem := make(chan struct{}, e.levelFanout)
+	var wg sync.WaitGroup
+	for l := 0; l < e.cfg.Levels; l++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(l int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(l)
+		}(l)
+	}
+	wg.Wait()
+}
+
+// eachIndex runs f for i in [0, n), concurrently when fetchFanout allows.
+func (e *Engine) eachIndex(n int, f func(i int)) {
+	if e.fetchFanout <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	sem := make(chan struct{}, e.fetchFanout)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // RangeQuery runs the §4.1 protocol against the backend. See
 // System.RangeQuery for semantics; the error reports a backend failure
 // (impossible in-process, a transport fault when serving).
@@ -92,16 +157,32 @@ func (e *Engine) RangeQuery(from int, q []float64, eps float64, opts RangeOption
 	scores := make(map[int][]float64)
 	var res RangeResult
 
-	for l := 0; l < e.cfg.Levels; l++ {
+	// Scoring phase: the L per-level sphere searches are independent floods,
+	// so they run with up to levelFanout in flight; the merge below walks the
+	// slots in level order, which keeps hop totals and per-level score lanes
+	// byte-identical to the serial walk regardless of completion order.
+	type levelOut struct {
+		entries []overlay.Entry
+		hops    int
+		err     error
+	}
+	outs := make([]levelOut, e.cfg.Levels)
+	e.eachLevel(func(l int) {
 		qc := dec.Subspace(l)
 		m := wavelet.SubspaceDim(l)
 		epsL := eps * wavelet.RadiusScale(e.cfg.Convention, e.cfg.Dim, m)
 		entries, hops, err := e.backend.Search(from, l, e.mappers[l].mapPoint(qc), slacken(e.mappers[l].mapRadius(epsL)))
-		if err != nil {
+		outs[l] = levelOut{entries: entries, hops: hops, err: err}
+	})
+	for l := 0; l < e.cfg.Levels; l++ {
+		if err := outs[l].err; err != nil {
 			return res, fmt.Errorf("core: level %d search: %w", l, err)
 		}
-		res.OverlayHops += hops
-		for _, en := range entries {
+		qc := dec.Subspace(l)
+		m := wavelet.SubspaceDim(l)
+		epsL := eps * wavelet.RadiusScale(e.cfg.Convention, e.cfg.Dim, m)
+		res.OverlayHops += outs[l].hops
+		for _, en := range outs[l].entries {
 			ref := en.Payload.(ClusterRef)
 			frac := clusterFraction(m, ref, qc, epsL)
 			if frac <= 0 {
@@ -121,13 +202,21 @@ func (e *Engine) RangeQuery(from int, q []float64, eps float64, opts RangeOption
 	if opts.MaxPeers > 0 && opts.MaxPeers < limit {
 		limit = opts.MaxPeers
 	}
-	for _, ps := range res.Scores[:limit] {
+	// Retrieval phase: one fetch per selected peer, up to fetchFanout in
+	// flight, results appended in score order. On a fetch failure the serial
+	// coordinator stops after the failing peer — reproduced here by counting
+	// contacts and items only up to the first (lowest-ranked) failure.
+	fetchedIDs := make([][]int, limit)
+	fetchErrs := make([]error, limit)
+	e.eachIndex(limit, func(i int) {
+		fetchedIDs[i], fetchErrs[i] = e.backend.FetchRange(from, res.Scores[i].Peer, q, eps)
+	})
+	for i := 0; i < limit; i++ {
 		res.PeersContacted++
-		ids, err := e.backend.FetchRange(from, ps.Peer, q, eps)
-		if err != nil {
-			return res, fmt.Errorf("core: fetch from peer %d: %w", ps.Peer, err)
+		if err := fetchErrs[i]; err != nil {
+			return res, fmt.Errorf("core: fetch from peer %d: %w", res.Scores[i].Peer, err)
 		}
-		res.Items = append(res.Items, ids...)
+		res.Items = append(res.Items, fetchedIDs[i]...)
 	}
 	sort.Ints(res.Items)
 	return res, nil
@@ -151,19 +240,34 @@ func (e *Engine) KNNQuery(from int, q []float64, k int, opts KNNOptions) (KNNRes
 	scores := make(map[int][]float64)
 	res := KNNResult{EpsPerLevel: make([]float64, e.cfg.Levels)}
 
-	// Steps 1–3: per-level radius estimation and range queries.
-	for l := 0; l < e.cfg.Levels; l++ {
+	// Steps 1–3: per-level radius estimation and range queries. Each level's
+	// geometric widening loop is independent of the others, so the levels run
+	// with up to levelFanout in flight and merge in level order (see
+	// RangeQuery for the determinism argument).
+	type levelOut struct {
+		epsL float64
+		refs []ClusterRef
+		hops int
+		err  error
+	}
+	outs := make([]levelOut, e.cfg.Levels)
+	e.eachLevel(func(l int) {
 		qc := dec.Subspace(l)
 		m := wavelet.SubspaceDim(l)
 		span := e.mappers[l].hi - e.mappers[l].lo
 		epsL, refs, hops, err := e.levelEps(from, l, m, qc, float64(k), span)
-		if err != nil {
+		outs[l] = levelOut{epsL: epsL, refs: refs, hops: hops, err: err}
+	})
+	for l := 0; l < e.cfg.Levels; l++ {
+		if err := outs[l].err; err != nil {
 			return res, fmt.Errorf("core: level %d radius estimation: %w", l, err)
 		}
-		res.OverlayHops += hops
-		res.EpsPerLevel[l] = epsL
-		for _, ref := range refs {
-			frac := clusterFraction(m, ref, qc, epsL)
+		qc := dec.Subspace(l)
+		m := wavelet.SubspaceDim(l)
+		res.OverlayHops += outs[l].hops
+		res.EpsPerLevel[l] = outs[l].epsL
+		for _, ref := range outs[l].refs {
+			frac := clusterFraction(m, ref, qc, outs[l].epsL)
 			if frac <= 0 {
 				continue
 			}
@@ -201,19 +305,25 @@ func (e *Engine) KNNQuery(from int, q []float64, k int, opts KNNOptions) (KNNRes
 		return res, nil
 	}
 
-	// Steps 7–9: fetch a proportional share from each selected peer.
-	var fetched []ItemDist
-	for _, ps := range res.Scores[:p] {
-		res.PeersContacted++
+	// Steps 7–9: fetch a proportional share from each selected peer, up to
+	// fetchFanout in flight, merged in score order.
+	fetchedPer := make([][]ItemDist, p)
+	fetchErrs := make([]error, p)
+	e.eachIndex(p, func(i int) {
+		ps := res.Scores[i]
 		want := int(math.Ceil(c * float64(k) * ps.Score / sum))
 		if want < 1 {
 			want = 1
 		}
-		items, err := e.backend.FetchKNN(from, ps.Peer, q, want)
-		if err != nil {
-			return res, fmt.Errorf("core: fetch from peer %d: %w", ps.Peer, err)
+		fetchedPer[i], fetchErrs[i] = e.backend.FetchKNN(from, ps.Peer, q, want)
+	})
+	var fetched []ItemDist
+	for i := 0; i < p; i++ {
+		res.PeersContacted++
+		if err := fetchErrs[i]; err != nil {
+			return res, fmt.Errorf("core: fetch from peer %d: %w", res.Scores[i].Peer, err)
 		}
-		fetched = append(fetched, items...)
+		fetched = append(fetched, fetchedPer[i]...)
 	}
 
 	// Step 10: sort the merged result by true distance to the query.

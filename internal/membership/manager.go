@@ -228,6 +228,33 @@ func (m *Manager) View(level int) LevelState {
 	return m.levels[level].Clone()
 }
 
+// SearchView answers a can_search hop without cloning the full level state:
+// zones and neighbors are shallow-copied and records are filtered under the
+// read lock, visiting owned then replicas in storage order — the hot serving
+// path allocates one record slice sized to the matches instead of copying
+// every stored record per hop. match must not retain or mutate its argument's
+// slices beyond the protocol's shared-read contract (see Clone).
+func (m *Manager) SearchView(level int, match func(route.RecordView) bool) (zones []route.Zone, nbs []Neighbor, recs []route.RecordView) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	ls := &m.levels[level]
+	zones = cloneZones(ls.Zones)
+	nbs = cloneNeighbors(ls.Neighbors)
+	for _, rs := range [2][]route.RecordView{ls.Owned, ls.Replicas} {
+		for _, r := range rs {
+			if match(r) {
+				if recs == nil {
+					// One allocation bounded by the store size, deferred until
+					// a record actually matches (routing-phase hops match none).
+					recs = make([]route.RecordView, 0, len(ls.Owned)+len(ls.Replicas))
+				}
+				recs = append(recs, r)
+			}
+		}
+	}
+	return zones, nbs, recs
+}
+
 // Snapshot returns read-safe copies of every level.
 func (m *Manager) Snapshot() []LevelState {
 	m.mu.RLock()

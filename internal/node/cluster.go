@@ -23,6 +23,7 @@ type Cluster struct {
 	listen func(peer int) string
 	retry  transport.Policy
 	mopts  membership.Options
+	tuning Tuning
 }
 
 // StartCluster snapshots every peer of sys, starts one node per peer on the
@@ -39,6 +40,14 @@ func StartCluster(sys *core.System, tr transport.Transport, listen func(peer int
 // positive ProbeInterval turns every node into a live failure detector that
 // takes over crashed neighbors' zones and republishes their records.
 func StartClusterOpts(sys *core.System, tr transport.Transport, listen func(peer int) string, retry transport.Policy, mopts membership.Options) (*Cluster, error) {
+	return StartClusterTuned(sys, tr, listen, retry, mopts, Tuning{})
+}
+
+// StartClusterTuned is StartClusterOpts with the lookup coordinator tuned
+// (α, level fanout, fetch fanout — see Tuning). The zero Tuning means the
+// defaults; Tuning{Alpha: 1, LevelFanout: 1, FetchFanout: 1} is the fully
+// serial coordinator.
+func StartClusterTuned(sys *core.System, tr transport.Transport, listen func(peer int) string, retry transport.Policy, mopts membership.Options, tuning Tuning) (*Cluster, error) {
 	snaps, err := ExtractAll(sys)
 	if err != nil {
 		return nil, err
@@ -46,9 +55,9 @@ func StartClusterOpts(sys *core.System, tr transport.Transport, listen func(peer
 	if listen == nil {
 		listen = func(int) string { return "" }
 	}
-	c := &Cluster{tr: tr, listen: listen, retry: retry, mopts: mopts}
+	c := &Cluster{tr: tr, listen: listen, retry: retry, mopts: mopts, tuning: tuning}
 	for p, snap := range snaps {
-		nd, err := New(Config{Snapshot: snap, Transport: tr, Listen: listen(p), Retry: retry, Membership: mopts})
+		nd, err := New(Config{Snapshot: snap, Transport: tr, Listen: listen(p), Retry: retry, Membership: mopts, Tuning: tuning})
 		if err != nil {
 			c.Stop()
 			return nil, err
@@ -78,7 +87,7 @@ func (c *Cluster) Join(ctx context.Context, sys *core.System, bootstrap string, 
 	if err != nil {
 		return nil, err
 	}
-	nd, err := New(Config{Snapshot: snap, Transport: c.tr, Listen: c.listen(peer), Retry: c.retry, Membership: c.mopts})
+	nd, err := New(Config{Snapshot: snap, Transport: c.tr, Listen: c.listen(peer), Retry: c.retry, Membership: c.mopts, Tuning: c.tuning})
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"hyperm/internal/core"
 	"hyperm/internal/experiments"
+	"hyperm/internal/membership"
 	"hyperm/internal/node"
 	"hyperm/internal/transport"
 	"hyperm/internal/vec"
@@ -73,136 +74,158 @@ func normalizeKNN(r core.KNNResult) core.KNNResult {
 	return r
 }
 
-// clusterTransports enumerates the two substrates the oracle test runs on.
-func clusterTransports() []struct {
+// clusterTransport names one substrate the oracle test runs on.
+type clusterTransport struct {
 	name   string
 	mk     func() transport.Transport
 	listen func(int) string
+}
+
+// clusterTransports enumerates the two substrates the oracle test runs on.
+func clusterTransports() []clusterTransport {
+	return []clusterTransport{
+		{name: "chan", mk: func() transport.Transport { return transport.NewChan() }, listen: func(int) string { return "" }},
+		{name: "tcp", mk: func() transport.Transport { return transport.NewTCP() }, listen: func(int) string { return "127.0.0.1:0" }},
+	}
+}
+
+// oracleTunings enumerates the coordinator configurations the oracle must
+// hold under: strictly serial (α=1, no fanout — the frozen reference
+// behavior) and the parallel default (α=3, pipelined levels and fetches).
+// Answers must be byte-identical in both.
+func oracleTunings() []struct {
+	name   string
+	tuning node.Tuning
 } {
 	return []struct {
 		name   string
-		mk     func() transport.Transport
-		listen func(int) string
+		tuning node.Tuning
 	}{
-		{name: "chan", mk: func() transport.Transport { return transport.NewChan() }, listen: func(int) string { return "" }},
-		{name: "tcp", mk: func() transport.Transport { return transport.NewTCP() }, listen: func(int) string { return "127.0.0.1:0" }},
+		{name: "alpha=1", tuning: node.Tuning{Alpha: 1, LevelFanout: 1, FetchFanout: 1}},
+		{name: "alpha=3", tuning: node.Tuning{Alpha: 3}},
 	}
 }
 
 // TestClusterMatchesOracle is the determinism oracle: a cluster of nodes
 // built from system snapshots must answer every range and k-nn query
 // byte-identically to the in-process System — items, scores, per-level
-// radii, peer contacts, and overlay hop counts — over both transports, and
-// must stay identical after post-creation inserts applied through Publish
-// RPCs (vs the oracle's PostInsert).
+// radii, peer contacts, and overlay hop counts — over both transports and
+// at both α=1 and α=3, and must stay identical after post-creation inserts
+// applied through Publish RPCs (vs the oracle's PostInsert).
 func TestClusterMatchesOracle(t *testing.T) {
 	for _, tc := range clusterTransports() {
-		t.Run(tc.name, func(t *testing.T) {
-			sys := buildPublishedSystem(t)
-			tr := tc.mk()
-			defer tr.Close()
-			cl, err := node.StartCluster(sys, tr, tc.listen, transport.Policy{Timeout: 30e9})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer cl.Stop()
-
-			client := node.NewClient(tr, transport.Policy{Timeout: 30e9})
-			ctx := context.Background()
-			p := testParams()
-			qs, radii := testQueries(t, sys, 6)
-
-			check := func(tag string, addrs []string, froms []int) {
-				t.Helper()
-				for i, q := range qs {
-					from := froms[i%len(froms)]
-					eps := radii[i]
-
-					wantR := sys.RangeQuery(from, q, eps, core.RangeOptions{})
-					gotR, err := client.Range(ctx, addrs[from], q, eps, core.RangeOptions{})
-					if err != nil {
-						t.Fatalf("%s: range query %d: %v", tag, i, err)
-					}
-					if !reflect.DeepEqual(normalizeRange(wantR), normalizeRange(gotR)) {
-						t.Errorf("%s: range query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
-							tag, i, from, wantR, gotR)
-					}
-
-					wantK := sys.KNNQuery(from, q, 5, core.KNNOptions{})
-					gotK, err := client.KNN(ctx, addrs[from], q, 5, core.KNNOptions{})
-					if err != nil {
-						t.Fatalf("%s: knn query %d: %v", tag, i, err)
-					}
-					if !reflect.DeepEqual(normalizeKNN(wantK), normalizeKNN(gotK)) {
-						t.Errorf("%s: knn query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
-							tag, i, from, wantK, gotK)
-					}
-				}
-			}
-
-			allPeers := make([]int, p.Peers)
-			for i := range allPeers {
-				allPeers[i] = i
-			}
-			check("initial", cl.Addrs, allPeers)
-
-			// Post-creation inserts: the same items enter the oracle via
-			// PostInsert and the cluster via Publish RPCs; answers (now served
-			// from stale summaries, Fig 10c) must keep matching.
-			rng := rand.New(rand.NewSource(99))
-			for i := 0; i < 6; i++ {
-				peer := i % p.Peers
-				_, items := sys.PeerData(peer)
-				item := append([]float64(nil), items[i%len(items)]...)
-				for d := range item {
-					item[d] += 0.01 * rng.Float64()
-				}
-				id := 100000 + i
-				sys.PostInsert(peer, id, item)
-				if err := client.Publish(ctx, cl.Addrs[peer], id, item); err != nil {
-					t.Fatalf("publish %d: %v", i, err)
-				}
-			}
-			check("after inserts", cl.Addrs, allPeers)
-
-			// The lookups really ran peer-to-peer: nodes answered can_search
-			// hops for each other.
-			var canSearches float64
-			for _, nd := range cl.Nodes {
-				canSearches += nd.Counters()["rpc.can_search"]
-			}
-			if canSearches == 0 {
-				t.Error("no can_search RPCs recorded — lookups did not run peer-to-peer")
-			}
-
-			// Post-churn: one peer leaves gracefully (zones and records handed
-			// to neighbors, device gone), another crashes (storage wiped, zone
-			// still routable). A cluster snapshotted from this degraded
-			// topology — multi-zone takeover nodes included — must keep
-			// matching the oracle. The replica this test used to exercise
-			// never handled these shapes; the shared routing core does.
-			cl.Stop()
-			if _, err := sys.LeavePeer(7); err != nil {
-				t.Fatalf("LeavePeer: %v", err)
-			}
-			sys.FailPeer(2)
-			cl2, err := node.StartCluster(sys, tr, tc.listen, transport.Policy{Timeout: 30e9})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer cl2.Stop()
-			// The departed device is off the network: fetches aimed at its
-			// surviving summaries must come back empty, like the oracle's
-			// dead-peer backend, not as errors.
-			cl2.Nodes[7].Stop()
-			if cl2.Nodes[7].ItemCount() != 0 || cl2.Nodes[2].ItemCount() != 0 {
-				t.Fatalf("dead peers still hold items: left=%d failed=%d",
-					cl2.Nodes[7].ItemCount(), cl2.Nodes[2].ItemCount())
-			}
-			alive := []int{0, 1, 3, 4, 5, 6}
-			check("post-churn", cl2.Addrs, alive)
-		})
+		for _, tn := range oracleTunings() {
+			t.Run(tc.name+"/"+tn.name, func(t *testing.T) {
+				testClusterMatchesOracle(t, tc, tn.tuning)
+			})
+		}
 	}
+}
+
+func testClusterMatchesOracle(t *testing.T, tc clusterTransport, tuning node.Tuning) {
+	sys := buildPublishedSystem(t)
+	tr := tc.mk()
+	defer tr.Close()
+	cl, err := node.StartClusterTuned(sys, tr, tc.listen, transport.Policy{Timeout: 30e9}, membership.Options{}, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	client := node.NewClient(tr, transport.Policy{Timeout: 30e9})
+	ctx := context.Background()
+	p := testParams()
+	qs, radii := testQueries(t, sys, 6)
+
+	check := func(tag string, addrs []string, froms []int) {
+		t.Helper()
+		for i, q := range qs {
+			from := froms[i%len(froms)]
+			eps := radii[i]
+
+			wantR := sys.RangeQuery(from, q, eps, core.RangeOptions{})
+			gotR, err := client.Range(ctx, addrs[from], q, eps, core.RangeOptions{})
+			if err != nil {
+				t.Fatalf("%s: range query %d: %v", tag, i, err)
+			}
+			if !reflect.DeepEqual(normalizeRange(wantR), normalizeRange(gotR)) {
+				t.Errorf("%s: range query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
+					tag, i, from, wantR, gotR)
+			}
+
+			wantK := sys.KNNQuery(from, q, 5, core.KNNOptions{})
+			gotK, err := client.KNN(ctx, addrs[from], q, 5, core.KNNOptions{})
+			if err != nil {
+				t.Fatalf("%s: knn query %d: %v", tag, i, err)
+			}
+			if !reflect.DeepEqual(normalizeKNN(wantK), normalizeKNN(gotK)) {
+				t.Errorf("%s: knn query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
+					tag, i, from, wantK, gotK)
+			}
+		}
+	}
+
+	allPeers := make([]int, p.Peers)
+	for i := range allPeers {
+		allPeers[i] = i
+	}
+	check("initial", cl.Addrs, allPeers)
+
+	// Post-creation inserts: the same items enter the oracle via
+	// PostInsert and the cluster via Publish RPCs; answers (now served
+	// from stale summaries, Fig 10c) must keep matching.
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 6; i++ {
+		peer := i % p.Peers
+		_, items := sys.PeerData(peer)
+		item := append([]float64(nil), items[i%len(items)]...)
+		for d := range item {
+			item[d] += 0.01 * rng.Float64()
+		}
+		id := 100000 + i
+		sys.PostInsert(peer, id, item)
+		if err := client.Publish(ctx, cl.Addrs[peer], id, item); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	check("after inserts", cl.Addrs, allPeers)
+
+	// The lookups really ran peer-to-peer: nodes answered can_search
+	// hops for each other.
+	var canSearches float64
+	for _, nd := range cl.Nodes {
+		canSearches += nd.Counters()["rpc.can_search"]
+	}
+	if canSearches == 0 {
+		t.Error("no can_search RPCs recorded — lookups did not run peer-to-peer")
+	}
+
+	// Post-churn: one peer leaves gracefully (zones and records handed
+	// to neighbors, device gone), another crashes (storage wiped, zone
+	// still routable). A cluster snapshotted from this degraded
+	// topology — multi-zone takeover nodes included — must keep
+	// matching the oracle. The replica this test used to exercise
+	// never handled these shapes; the shared routing core does.
+	cl.Stop()
+	if _, err := sys.LeavePeer(7); err != nil {
+		t.Fatalf("LeavePeer: %v", err)
+	}
+	sys.FailPeer(2)
+	cl2, err := node.StartClusterTuned(sys, tr, tc.listen, transport.Policy{Timeout: 30e9}, membership.Options{}, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Stop()
+	// The departed device is off the network: fetches aimed at its
+	// surviving summaries must come back empty, like the oracle's
+	// dead-peer backend, not as errors.
+	cl2.Nodes[7].Stop()
+	if cl2.Nodes[7].ItemCount() != 0 || cl2.Nodes[2].ItemCount() != 0 {
+		t.Fatalf("dead peers still hold items: left=%d failed=%d",
+			cl2.Nodes[7].ItemCount(), cl2.Nodes[2].ItemCount())
+	}
+	alive := []int{0, 1, 3, 4, 5, 6}
+	check("post-churn", cl2.Addrs, alive)
 }
 
 // TestSnapshotRequiresCAN pins the extraction contract: serving replicates

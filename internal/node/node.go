@@ -30,6 +30,43 @@ type Config struct {
 	// Membership tunes the live membership protocol. The zero value serves
 	// join/leave/handoff RPCs but runs no liveness probes (static clusters).
 	Membership membership.Options
+	// Tuning configures the parallel lookup coordinator. The zero value
+	// enables the defaults (α=3, all levels pipelined); see Tuning.
+	Tuning Tuning
+}
+
+// DefaultAlpha is the number of concurrent can_search probes a lookup keeps
+// in flight per flood step (Kademlia's α).
+const DefaultAlpha = 3
+
+// Tuning bounds the coordinator's parallelism. Every knob preserves
+// byte-identical answers (the concurrency never reaches the result — see
+// route.RunAlpha and core.Engine.SetParallelism); they only trade memory and
+// in-flight RPCs for latency. Zero values mean defaults; use a negative or 1
+// value for strictly serial behavior.
+type Tuning struct {
+	// Alpha is the number of concurrent can_search probes per flood step.
+	// 0 → DefaultAlpha; <= 1 → serial.
+	Alpha int
+	// LevelFanout is how many per-level overlay searches run at once.
+	// 0 → 8 (effectively all levels); <= 1 → serial.
+	LevelFanout int
+	// FetchFanout is how many phase-two fetches run at once.
+	// 0 → 8; <= 1 → serial.
+	FetchFanout int
+}
+
+func (t Tuning) withDefaults() Tuning {
+	if t.Alpha == 0 {
+		t.Alpha = DefaultAlpha
+	}
+	if t.LevelFanout == 0 {
+		t.LevelFanout = 8
+	}
+	if t.FetchFanout == 0 {
+		t.FetchFanout = 8
+	}
+	return t
 }
 
 // Node hosts one peer: its items, published summaries, and per-level CAN
@@ -59,7 +96,7 @@ type Node struct {
 	srvMu sync.Mutex
 	srv   transport.Server
 
-	ctrMu    sync.Mutex
+	tuning   Tuning
 	counters sim.Counters
 }
 
@@ -98,6 +135,7 @@ func New(cfg Config) (*Node, error) {
 		itemIDs:   snap.ItemIDs,
 		items:     snap.Items,
 		published: snap.Published,
+		tuning:    cfg.Tuning.withDefaults(),
 	}
 	levels := make([]membership.LevelState, len(snap.Levels))
 	for l, v := range snap.Levels {
@@ -108,6 +146,9 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
+	// The RPC backend is safe for concurrent calls, so the coordinator can
+	// pipeline the per-level searches and the phase-two fetches.
+	engine.SetParallelism(n.tuning.LevelFanout, n.tuning.FetchFanout)
 	n.engine = engine
 	return n, nil
 }
@@ -190,17 +231,12 @@ func (n *Node) Stop() error {
 // Counters returns a snapshot of the node's per-RPC counters ("rpc.range",
 // "rpc.can_search", …).
 func (n *Node) Counters() map[string]float64 {
-	n.ctrMu.Lock()
-	defer n.ctrMu.Unlock()
 	return n.counters.Snapshot()
 }
 
-func (n *Node) count(name string) {
-	// sim.Counters is not thread-safe; the node serves RPCs concurrently.
-	n.ctrMu.Lock()
-	n.counters.Add(name, 1)
-	n.ctrMu.Unlock()
-}
+// count tallies one RPC; sim.Counters is safe under the node's concurrent
+// handlers and lookup workers.
+func (n *Node) count(name string) { n.counters.Add(name, 1) }
 
 // RangeQuery answers a range query with this node as the querying peer,
 // driving the overlay lookups peer-to-peer. Byte-identical to the source
@@ -349,16 +385,10 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 // storage order (owned first, then replicas) — the same order and match test
 // (can.TorusDist(key, center) <= recRadius+radius) as can.Overlay's collect.
 func (n *Node) localView(level int, key []float64, radius float64) searchView {
-	ls := n.mgr.View(level)
-	v := searchView{ID: n.peer, Zones: ls.Zones, Neighbors: ls.Neighbors}
-	for _, recs := range [][]can.RecordView{ls.Owned, ls.Replicas} {
-		for _, rec := range recs {
-			if can.TorusDist(rec.Entry.Key, key) <= rec.Entry.Radius+radius {
-				v.Records = append(v.Records, rec)
-			}
-		}
-	}
-	return v
+	zones, nbs, recs := n.mgr.SearchView(level, func(rec can.RecordView) bool {
+		return can.TorusDist(rec.Entry.Key, key) <= rec.Entry.Radius+radius
+	})
+	return searchView{ID: n.peer, Zones: zones, Neighbors: nbs, Records: recs}
 }
 
 // netBackend implements core.Backend with peer-to-peer RPCs: the overlay

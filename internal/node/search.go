@@ -89,7 +89,9 @@ func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radi
 func (n *Node) hopLimit() int { return 8*n.mgr.Size() + 16 }
 
 // searchSphere runs the full lookup for one level by driving the shared
-// route.Search machine over RPC-fetched views.
+// route.Search machine over RPC-fetched views, with up to α can_search
+// probes in flight per flood step (rpcViews is safe for the concurrent View
+// calls RunAlpha makes; answers stay byte-identical to the serial drive).
 func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
 	src := rpcViews{n: n, ctx: ctx, level: level, key: key, radius: radius}
 	start, err := src.View(n.peer)
@@ -97,7 +99,7 @@ func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radiu
 		return nil, 0, err
 	}
 	s := route.NewSearch(start, key, radius, n.hopLimit())
-	entries, hops, err := route.Run(s, src)
+	entries, hops, err := route.RunAlpha(s, src, n.tuning.Alpha)
 	if err != nil {
 		return nil, hops, fmt.Errorf("node: level %d search at %v: %w", level, key, err)
 	}

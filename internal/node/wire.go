@@ -167,8 +167,31 @@ type searchView struct {
 	Records   []can.RecordView
 }
 
+// searchRespSize is the exact wire size of encodeSearchResp's output, so the
+// hot can_search reply path allocates its buffer once (records' cluster-ref
+// centers share the key's dimensionality).
+func searchRespSize(v searchView) int {
+	zones := func(zs []can.Zone) int {
+		n := 4
+		for _, z := range zs {
+			n += 8 + 8*(len(z.Lo)+len(z.Hi))
+		}
+		return n
+	}
+	n := 8 + zones(v.Zones) + 4
+	for _, nb := range v.Neighbors {
+		n += 8 + 4 + len(nb.Addr) + zones(nb.Zones)
+	}
+	n += 4
+	for _, rec := range v.Records {
+		n += 8 + 4 + 8*len(rec.Entry.Key) + 8 + 24 + 4 + 8*len(rec.Entry.Key) + 8 + 8
+	}
+	return n
+}
+
 func encodeSearchResp(v searchView) ([]byte, error) {
 	var e transport.Encoder
+	e.Grow(searchRespSize(v))
 	e.Int(v.ID)
 	membership.EncodeZones(&e, v.Zones)
 	membership.EncodeNeighbors(&e, v.Neighbors)

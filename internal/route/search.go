@@ -1,6 +1,10 @@
 package route
 
-import "hyperm/internal/overlay"
+import (
+	"sync"
+
+	"hyperm/internal/overlay"
+)
 
 // Flood expands breadth-first from a root node over every node whose zones
 // intersect a sphere — the visit pattern shared by sphere replication
@@ -16,7 +20,7 @@ type Flood struct {
 	frontier []NodeView
 	next     []NodeView
 	fi, ni   int
-	pending  bool
+	pending  int
 }
 
 // NewFlood starts a flood of the sphere (key, radius) rooted at root. The
@@ -30,31 +34,42 @@ func NewFlood(root NodeView, key []float64, radius float64) *Flood {
 	}
 }
 
+// claimOne claims the next unvisited, sphere-intersecting neighbor of the
+// CURRENT frontier in frontier order, without advancing to the next
+// frontier. Non-intersecting neighbors are marked visited and passed over,
+// exactly as in the serial walk.
+func (f *Flood) claimOne() (Step, bool) {
+	for f.fi < len(f.frontier) {
+		v := &f.frontier[f.fi]
+		for f.ni < len(v.Neighbors) {
+			nb := v.Neighbors[f.ni]
+			f.ni++
+			if f.visited[nb.ID] {
+				continue
+			}
+			f.visited[nb.ID] = true
+			if !ZonesIntersect(nb.Zones, f.key, f.radius) {
+				continue
+			}
+			return Step{Kind: StepFloodVisit, From: v.ID, To: nb.ID}, true
+		}
+		f.fi++
+		f.ni = 0
+	}
+	return Step{}, false
+}
+
 // Next emits the next flood decision: a StepFloodVisit for the first
 // unvisited, sphere-intersecting neighbor in frontier order, or StepDone
 // when the flood is exhausted.
 func (f *Flood) Next() Step {
-	if f.pending {
+	if f.pending != 0 {
 		panic("route: Next before Feed/Skip of the pending visit")
 	}
 	for {
-		for f.fi < len(f.frontier) {
-			v := &f.frontier[f.fi]
-			for f.ni < len(v.Neighbors) {
-				nb := v.Neighbors[f.ni]
-				f.ni++
-				if f.visited[nb.ID] {
-					continue
-				}
-				f.visited[nb.ID] = true
-				if !ZonesIntersect(nb.Zones, f.key, f.radius) {
-					continue
-				}
-				f.pending = true
-				return Step{Kind: StepFloodVisit, From: v.ID, To: nb.ID}
-			}
-			f.fi++
-			f.ni = 0
+		if step, ok := f.claimOne(); ok {
+			f.pending++
+			return step
 		}
 		if len(f.next) == 0 {
 			return Step{Kind: StepDone}
@@ -64,22 +79,52 @@ func (f *Flood) Next() Step {
 	}
 }
 
-// Feed delivers the visited node's view; it joins the next frontier.
+// NextBatch claims up to max flood visits at once, for drivers that fetch
+// views concurrently (α-parallel lookups). A batch never spans a frontier
+// boundary: claims within one frontier are independent of each other's
+// feeds (a Feed only extends the NEXT frontier), so claiming them together
+// and feeding the answers back in claim order is byte-identical to the
+// serial walk — same visited set, same frontier order, same results. An
+// empty batch with outstanding claims means "answer them first"; an empty
+// batch with none means the flood is exhausted.
+func (f *Flood) NextBatch(max int) []Step {
+	var steps []Step
+	for len(steps) < max {
+		if step, ok := f.claimOne(); ok {
+			f.pending++
+			steps = append(steps, step)
+			continue
+		}
+		if f.pending > 0 {
+			break // next frontier is still being fed; stop at the boundary
+		}
+		if len(f.next) == 0 {
+			break // exhausted
+		}
+		f.frontier, f.next = f.next, nil
+		f.fi, f.ni = 0, 0
+	}
+	return steps
+}
+
+// Feed delivers a claimed node's view; it joins the next frontier. With a
+// batch of claims outstanding, feeds must arrive in claim order to preserve
+// the deterministic frontier order.
 func (f *Flood) Feed(v NodeView) {
-	if !f.pending {
+	if f.pending == 0 {
 		panic("route: Feed without a pending visit")
 	}
-	f.pending = false
+	f.pending--
 	f.next = append(f.next, v)
 }
 
-// Skip abandons the pending visit: the message was lost, the node is not
+// Skip abandons one claimed visit: the message was lost, the node is not
 // expanded. It stays claimed — the flood never retries a neighbor.
 func (f *Flood) Skip() {
-	if !f.pending {
+	if f.pending == 0 {
 		panic("route: Skip without a pending visit")
 	}
-	f.pending = false
+	f.pending--
 }
 
 // Search is the full CAN sphere lookup: greedy-route to the owner of the
@@ -115,16 +160,46 @@ func NewSearch(start NodeView, key []float64, radius float64, hopLimit int) *Sea
 // are collected at the phase transition.
 func (s *Search) Next() (Step, error) {
 	if s.flood == nil {
-		step, err := s.router.Next()
-		if err != nil || step.Kind == StepRouteHop {
+		if step, routing, err := s.advanceRouting(); routing || err != nil {
 			return step, err
 		}
-		// Routing complete: the owner roots the flood and contributes first.
-		owner := s.router.Owner()
-		s.collect(owner)
-		s.flood = NewFlood(owner, s.key, s.radius)
 	}
 	return s.flood.Next(), nil
+}
+
+// advanceRouting pumps the routing phase one step. It reports routing=true
+// while the owner is still being located (the step is the hop to make, or a
+// stall error); once the owner is reached it collects the owner's records,
+// roots the flood, and reports routing=false.
+func (s *Search) advanceRouting() (step Step, routing bool, err error) {
+	step, err = s.router.Next()
+	if err != nil || step.Kind == StepRouteHop {
+		return step, true, err
+	}
+	// Routing complete: the owner roots the flood and contributes first.
+	owner := s.router.Owner()
+	s.collect(owner)
+	s.flood = NewFlood(owner, s.key, s.radius)
+	return Step{}, false, nil
+}
+
+// NextBatch emits up to max decisions at once. The routing phase is
+// inherently serial (each hop depends on the previous view), so it yields
+// single-step batches; once the flood phase begins, batches carry up to max
+// claims from the current frontier (see Flood.NextBatch for why that is
+// deterministic). A nil batch means the search is complete. Feeds for a
+// batch must be delivered in claim order.
+func (s *Search) NextBatch(max int) ([]Step, error) {
+	if s.flood == nil {
+		step, routing, err := s.advanceRouting()
+		if err != nil {
+			return nil, err
+		}
+		if routing {
+			return []Step{step}, nil
+		}
+	}
+	return s.flood.NextBatch(max), nil
 }
 
 // Feed delivers the view requested by the last step, with the hops the
@@ -199,5 +274,54 @@ func Run(s *Search, src ViewSource) ([]overlay.Entry, int, error) {
 			return nil, s.Hops(), err
 		}
 		s.Feed(v, 1)
+	}
+}
+
+// RunAlpha drives a Search to completion over src with up to alpha view
+// fetches in flight at once (Kademlia's α, applied to the flood frontier).
+// src.View must be safe for concurrent calls. The returned entries, hops,
+// and error are byte-identical to Run's: batches never cross a frontier
+// boundary and views are fed back in claim order, so the machine walks the
+// exact serial visit sequence — only the fetch latency overlaps. On a source
+// failure the preceding views of the batch are still fed (and charged),
+// matching the serial driver's abort point; the surplus fetches the serial
+// driver would not have issued change no returned state.
+func RunAlpha(s *Search, src ViewSource, alpha int) ([]overlay.Entry, int, error) {
+	if alpha <= 1 {
+		return Run(s, src)
+	}
+	views := make([]NodeView, alpha)
+	errs := make([]error, alpha)
+	for {
+		steps, err := s.NextBatch(alpha)
+		if err != nil {
+			return nil, s.Hops(), err
+		}
+		if len(steps) == 0 {
+			return s.Results(), s.Hops(), nil
+		}
+		if len(steps) == 1 {
+			v, err := src.View(steps[0].To)
+			if err != nil {
+				return nil, s.Hops(), err
+			}
+			s.Feed(v, 1)
+			continue
+		}
+		var wg sync.WaitGroup
+		for i := range steps {
+			wg.Add(1)
+			go func(i, to int) {
+				defer wg.Done()
+				views[i], errs[i] = src.View(to)
+			}(i, steps[i].To)
+		}
+		wg.Wait()
+		for i := range steps {
+			if errs[i] != nil {
+				return nil, s.Hops(), errs[i]
+			}
+			s.Feed(views[i], 1)
+		}
 	}
 }

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCountersConcurrentHammer drives Counters from many goroutines at once
+// — the access pattern of a serving node counting RPCs from concurrent
+// handlers and α-parallel lookup workers. Run under -race (make race covers
+// this package) it proves the accounting is data-race free; the totals check
+// proves no increments are lost.
+func TestCountersConcurrentHammer(t *testing.T) {
+	var c Counters
+	const workers = 8
+	const perWorker = 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := fmt.Sprintf("worker.%d", w)
+			for i := 0; i < perWorker; i++ {
+				c.Add("shared", 1)
+				c.Add(mine, 1)
+				// Concurrent readers race the writers on every code path.
+				if i%64 == 0 {
+					c.Get("shared")
+					c.Snapshot()
+					c.Names()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := c.Get("shared"), float64(workers*perWorker); got != want {
+		t.Fatalf("shared counter = %v, want %v (lost increments)", got, want)
+	}
+	for w := 0; w < workers; w++ {
+		name := fmt.Sprintf("worker.%d", w)
+		if got := c.Get(name); got != perWorker {
+			t.Fatalf("%s = %v, want %d", name, got, perWorker)
+		}
+	}
+	if got := len(c.Snapshot()); got != workers+1 {
+		t.Fatalf("snapshot has %d counters, want %d", got, workers+1)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Engine is a deterministic discrete-event scheduler.
@@ -106,41 +107,56 @@ func (e *Engine) RunUntil(t float64) int {
 }
 
 // Counters is a set of named monotonically accumulating metrics
-// (hops, messages, bytes, joules, …) shared by the simulation layers.
-// The zero value is ready to use.
+// (hops, messages, bytes, joules, …) shared by the simulation layers and the
+// serving runtime's RPC accounting. The zero value is ready to use, and all
+// methods are safe for concurrent use — a serving node counts RPCs from many
+// handler goroutines and α-parallel lookup workers at once. Counters must
+// not be copied after first use.
 type Counters struct {
+	mu   sync.Mutex
 	vals map[string]float64
 }
 
 // Add accumulates delta into the named counter.
 func (c *Counters) Add(name string, delta float64) {
+	c.mu.Lock()
 	if c.vals == nil {
 		c.vals = make(map[string]float64)
 	}
 	c.vals[name] += delta
+	c.mu.Unlock()
 }
 
 // Get returns the current value of the named counter (zero if never added).
-func (c *Counters) Get(name string) float64 { return c.vals[name] }
+func (c *Counters) Get(name string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}
 
-// Reset clears every counter. The map is reinitialized, not nilled: a reset
-// Counters behaves exactly like a fresh value, and the next Add does not
-// have to re-allocate (which would race with a concurrent Get observing the
-// nil map swap).
-func (c *Counters) Reset() { c.vals = make(map[string]float64) }
+// Reset clears every counter.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	c.vals = make(map[string]float64)
+	c.mu.Unlock()
+}
 
 // Names returns the counter names in sorted order.
 func (c *Counters) Names() []string {
+	c.mu.Lock()
 	names := make([]string, 0, len(c.vals))
 	for n := range c.vals {
 		names = append(names, n)
 	}
+	c.mu.Unlock()
 	sort.Strings(names)
 	return names
 }
 
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]float64, len(c.vals))
 	for k, v := range c.vals {
 		out[k] = v

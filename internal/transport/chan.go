@@ -17,6 +17,7 @@ type ChanTransport struct {
 	servers map[string]*chanServer
 	closed  bool
 	nextID  int
+	calls   sync.WaitGroup // in-flight Calls, drained by Close
 }
 
 // NewChan builds an empty in-process transport.
@@ -73,6 +74,10 @@ func (t *ChanTransport) Call(ctx context.Context, addr string, req Request) (Res
 	t.mu.RLock()
 	srv := t.servers[addr]
 	closed := t.closed
+	if !closed {
+		t.calls.Add(1)
+		defer t.calls.Done()
+	}
 	t.mu.RUnlock()
 	if closed {
 		return Response{}, ErrClosed
@@ -110,7 +115,9 @@ func (t *ChanTransport) Call(ctx context.Context, addr string, req Request) (Res
 	}
 }
 
-// Close tears down the transport and every registered server.
+// Close drains and tears down the transport: new calls fail with ErrClosed,
+// in-flight calls run to completion (each bounded by its own deadline), then
+// every registered server is closed.
 func (t *ChanTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -118,6 +125,11 @@ func (t *ChanTransport) Close() error {
 		return nil
 	}
 	t.closed = true
+	t.mu.Unlock()
+
+	t.calls.Wait()
+
+	t.mu.Lock()
 	servers := make([]*chanServer, 0, len(t.servers))
 	for _, s := range t.servers {
 		servers = append(servers, s)

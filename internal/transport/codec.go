@@ -18,6 +18,16 @@ type Encoder struct{ b []byte }
 // Bytes returns the encoded message.
 func (e *Encoder) Bytes() []byte { return e.b }
 
+// Grow ensures capacity for n more bytes, so encoders that can size their
+// message up front pay one allocation instead of a doubling chain.
+func (e *Encoder) Grow(n int) {
+	if cap(e.b)-len(e.b) < n {
+		nb := make([]byte, len(e.b), len(e.b)+n)
+		copy(nb, e.b)
+		e.b = nb
+	}
+}
+
 // U8 appends one byte.
 func (e *Encoder) U8(v uint8) { e.b = append(e.b, v) }
 

@@ -7,15 +7,16 @@ import (
 	"time"
 )
 
-// Regression for stale-socket reuse against crashed peers: when a call to
-// an address fails at the transport level, every idle pooled connection to
-// that address must be evicted, so the next attempt reaches a
-// restarted/replaced node through a fresh dial instead of burning the retry
-// budget on dead sockets one by one.
+// Regression for stale-socket reuse against crashed peers: when the shared
+// multiplexed connection to an address dies, it must be torn down and
+// unregistered, so the next attempt reaches a restarted/replaced node
+// through a fresh dial instead of burning the retry budget on the dead
+// socket.
 
-// poolConns drives n concurrent calls through tr so that n connections to
-// addr end up in the idle pool at once (a serial caller would reuse one).
-func poolConns(t *testing.T, tr Transport, addr string, n int, release chan struct{}) {
+// warmConn drives n concurrent calls through tr so the multiplexed
+// connection to addr is established and has carried traffic before the test
+// kills the server behind it.
+func warmConn(t *testing.T, tr Transport, addr string, n int, release chan struct{}) {
 	t.Helper()
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
@@ -25,7 +26,7 @@ func poolConns(t *testing.T, tr Transport, addr string, n int, release chan stru
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
 			if _, err := tr.Call(ctx, addr, Request{Method: "hold"}); err != nil {
-				t.Errorf("pooling call: %v", err)
+				t.Errorf("warm call: %v", err)
 			}
 		}()
 	}
@@ -36,10 +37,10 @@ func poolConns(t *testing.T, tr Transport, addr string, n int, release chan stru
 }
 
 func TestEvictStaleConnsOnRestart(t *testing.T) {
-	// TCP: pool several connections to a server, kill it, restart a new
-	// process at the same address, and require a retrying client with a
-	// budget smaller than the old pool to get through. Without eviction,
-	// every attempt would consume one stale socket and the call would fail.
+	// TCP: establish the shared connection to a server, kill it, restart a
+	// new process at the same address, and require a retrying client with a
+	// two-attempt budget to get through. Without teardown-and-unregister,
+	// every attempt would be multiplexed onto the dead socket and fail.
 	t.Run("tcp", func(t *testing.T) {
 		tr := NewTCP()
 		defer tr.Close()
@@ -54,12 +55,11 @@ func TestEvictStaleConnsOnRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 		addr := srv.Addr()
-		const pooled = 3
-		poolConns(t, tr, addr, pooled, release)
+		warmConn(t, tr, addr, 3, release)
 		tr.mu.Lock()
-		if got := len(tr.idle[addr]); got != pooled {
+		if got := len(tr.conns); got != 1 {
 			tr.mu.Unlock()
-			t.Fatalf("idle pool holds %d conns, want %d", got, pooled)
+			t.Fatalf("transport holds %d connections, want 1 multiplexed conn", got)
 		}
 		tr.mu.Unlock()
 
@@ -72,8 +72,9 @@ func TestEvictStaleConnsOnRestart(t *testing.T) {
 		}
 		defer srv2.Close()
 
-		// Two attempts must suffice: the first burns one stale socket and
-		// evicts the rest; the second dials the restarted server.
+		// Two attempts must suffice: the first either rides the dead conn
+		// (failing with ErrUnavailable and tearing it down) or already finds
+		// it gone and dials fresh; the second reaches the restarted server.
 		client := NewClient(tr, Policy{MaxAttempts: 2, Timeout: 5 * time.Second})
 		resp, err := client.Call(context.Background(), addr, Request{Method: "probe"})
 		if err != nil {
@@ -82,15 +83,9 @@ func TestEvictStaleConnsOnRestart(t *testing.T) {
 		if string(resp.Body) != "two" {
 			t.Fatalf("answer %q from stale connection, want %q from restarted server", resp.Body, "two")
 		}
-		tr.mu.Lock()
-		left := len(tr.idle[addr])
-		tr.mu.Unlock()
-		if left > 1 {
-			t.Fatalf("%d idle conns survived eviction, want <= 1 (the fresh one)", left)
-		}
 	})
 
-	// Chan: no pool to poison, but the same scenario — endpoint dies, a
+	// Chan: no socket to poison, but the same scenario — endpoint dies, a
 	// replacement registers under the same name — must make the replacement
 	// reachable on retry.
 	t.Run("chan", func(t *testing.T) {

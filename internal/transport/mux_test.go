@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Behavioral tests for the multiplexed substrate. Where a scenario is
+// meaningful on both implementations (no head-of-line blocking, drain on
+// Close) it runs against both via harnesses(); the mid-request connection
+// drop is TCP-only because the chan transport has no shared socket to kill.
+
+// TestNoHeadOfLineBlocking multiplexes a slow request and a fast request
+// over the same transport (same connection on TCP) and requires the fast
+// response to arrive while the slow handler is still blocked.
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			tr := h.mk(t)
+			defer tr.Close()
+			release := make(chan struct{})
+			srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+				if req.Method == "slow" {
+					select {
+					case <-release:
+					case <-ctx.Done():
+						return Response{}, ctx.Err()
+					}
+				}
+				return Response{Body: []byte(req.Method)}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			slowDone := make(chan error, 1)
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_, err := tr.Call(ctx, srv.Addr(), Request{Method: "slow"})
+				slowDone <- err
+			}()
+
+			// The fast call must complete while "slow" is parked in its
+			// handler. Generous bound: anything near it means the fast
+			// response waited behind the slow one.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			start := time.Now()
+			resp, err := tr.Call(ctx, srv.Addr(), Request{Method: "fast"})
+			if err != nil {
+				t.Fatalf("fast call blocked behind slow one: %v", err)
+			}
+			if string(resp.Body) != "fast" {
+				t.Fatalf("fast call got %q", resp.Body)
+			}
+			if d := time.Since(start); d > 2*time.Second {
+				t.Fatalf("fast call took %v — head-of-line blocked", d)
+			}
+			close(release)
+			if err := <-slowDone; err != nil {
+				t.Fatalf("slow call: %v", err)
+			}
+		})
+	}
+}
+
+// TestMidRequestDropFailsOnlyAffected kills the server while several
+// requests are multiplexed in flight on one connection. Every in-flight
+// request must fail retryably (its response is lost with the socket), and —
+// the eviction property — a restarted server at the same address must be
+// reachable on the very next dial, with fresh requests unaffected by the
+// dead connection's fate.
+func TestMidRequestDropFailsOnlyAffected(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+
+	entered := make(chan struct{}, 16)
+	block := make(chan struct{})
+	srv, err := tr.Serve("127.0.0.1:0", func(ctx context.Context, req Request) (Response, error) {
+		entered <- struct{}{}
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return Response{Body: []byte("old")}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	const inflight = 4
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, err := tr.Call(ctx, addr, Request{Method: "stuck"})
+			errs <- err
+		}()
+	}
+	for i := 0; i < inflight; i++ {
+		<-entered // all four are inside handlers, responses pending
+	}
+	srv.Close() // drops the connection with all four msgids unanswered
+
+	for i := 0; i < inflight; i++ {
+		err := <-errs
+		if err == nil {
+			t.Fatalf("in-flight request %d survived the connection drop", i)
+		}
+		if !Retryable(err) {
+			t.Fatalf("in-flight request %d failed non-retryably: %v", i, err)
+		}
+	}
+
+	// The dead connection must be unregistered: a fresh call dials the
+	// restarted server directly, no retry budget spent on the old socket.
+	srv2, err := tr.Serve(addr, func(ctx context.Context, req Request) (Response, error) {
+		return Response{Body: []byte("new")}, nil
+	})
+	if err != nil {
+		t.Fatalf("restart at %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := tr.Call(ctx, addr, Request{Method: "probe"})
+	if err != nil {
+		t.Fatalf("first call after restart: %v (dead conn not evicted)", err)
+	}
+	if string(resp.Body) != "new" {
+		t.Fatalf("got %q, want %q", resp.Body, "new")
+	}
+}
+
+// TestDeadlineAbandonsOnlyItsRequest expires one request's deadline while a
+// second request shares the connection; the second must complete normally
+// and the connection must remain usable (the late response for the
+// abandoned msgid is dropped, not misdelivered).
+func TestDeadlineAbandonsOnlyItsRequest(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			tr := h.mk(t)
+			defer tr.Close()
+			var hits atomic.Int64
+			release := make(chan struct{})
+			srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+				if req.Method == "stall" {
+					<-release
+					return Response{Body: []byte("late")}, nil
+				}
+				return Response{Body: []byte(fmt.Sprintf("n%d", hits.Add(1)))}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+			_, err = tr.Call(ctx, srv.Addr(), Request{Method: "stall"})
+			cancel()
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("stalled call: got %v, want DeadlineExceeded", err)
+			}
+			// Let the abandoned handler finish and its response frame land;
+			// it must be dropped, not delivered to the next msgid.
+			close(release)
+			for i := 0; i < 3; i++ {
+				resp, err := tr.Call(context.Background(), srv.Addr(), Request{Method: "count"})
+				if err != nil {
+					t.Fatalf("call %d after abandoned request: %v", i, err)
+				}
+				if want := fmt.Sprintf("n%d", i+1); string(resp.Body) != want {
+					t.Fatalf("call %d: got %q, want %q — stale frame misdelivered", i, resp.Body, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCloseDrainsInflight starts requests, calls Transport.Close
+// concurrently, and requires (a) the in-flight requests to complete with
+// their real answers, (b) Close to return only after they have, and (c) new
+// calls after Close to fail with ErrClosed.
+func TestCloseDrainsInflight(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			tr := h.mk(t)
+			release := make(chan struct{})
+			srv, err := tr.Serve(serveAddr(h), func(ctx context.Context, req Request) (Response, error) {
+				<-release
+				return Response{Body: []byte("drained")}, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			const n = 3
+			var wg sync.WaitGroup
+			results := make(chan error, n)
+			started := make(chan struct{}, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					started <- struct{}{}
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					resp, err := tr.Call(ctx, srv.Addr(), Request{Method: "hold"})
+					if err == nil && string(resp.Body) != "drained" {
+						err = fmt.Errorf("bad body %q", resp.Body)
+					}
+					results <- err
+				}()
+			}
+			for i := 0; i < n; i++ {
+				<-started
+			}
+			time.Sleep(20 * time.Millisecond) // let the calls reach the wire
+
+			closed := make(chan struct{})
+			go func() {
+				tr.Close()
+				close(closed)
+			}()
+			select {
+			case <-closed:
+				t.Fatal("Close returned while requests were still in flight")
+			case <-time.After(50 * time.Millisecond):
+			}
+			close(release)
+			<-closed
+			wg.Wait()
+			for i := 0; i < n; i++ {
+				if err := <-results; err != nil {
+					t.Fatalf("drained request %d: %v", i, err)
+				}
+			}
+			if _, err := tr.Call(context.Background(), srv.Addr(), Request{Method: "post"}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("call after Close: got %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestSharedConnUnderConcurrency hammers one address from many goroutines
+// and checks every response is correlated to its own request — the msgid
+// plumbing under real interleaving. On TCP all traffic rides one connection.
+func TestSharedConnUnderConcurrency(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			tr := h.mk(t)
+			defer tr.Close()
+			srv, err := tr.Serve(serveAddr(h), echoHandler)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			const workers, per = 8, 50
+			var wg sync.WaitGroup
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						body := fmt.Sprintf("w%d-%d", w, i)
+						ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+						resp, err := tr.Call(ctx, srv.Addr(), Request{Method: "echo", Body: []byte(body)})
+						cancel()
+						if err != nil {
+							errc <- fmt.Errorf("w%d call %d: %v", w, i, err)
+							return
+						}
+						if got, want := string(resp.Body), "echo:"+body; got != want {
+							errc <- fmt.Errorf("w%d call %d: got %q, want %q (cross-wired response)", w, i, got, want)
+							return
+						}
+					}
+					errc <- nil
+				}(w)
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				if err := <-errc; err != nil {
+					t.Fatal(err)
+				}
+			}
+			if h.name == "tcp" {
+				ttr := tr.(*TCPTransport)
+				ttr.mu.Lock()
+				n := len(ttr.conns)
+				ttr.mu.Unlock()
+				if n != 1 {
+					t.Fatalf("%d connections for one address, want 1 (multiplexing)", n)
+				}
+			}
+		})
+	}
+}

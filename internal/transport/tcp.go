@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -11,20 +12,33 @@ import (
 	"time"
 )
 
-// Wire format of the TCP transport (documented in DESIGN.md §8):
+// Wire format of the TCP transport, v2 — multiplexed (documented in
+// DESIGN.md §11):
 //
-//	frame    := u32_be(len(payload)) payload          (len <= maxFrame)
-//	request  := u8(len(method)) method body
-//	response := u8(status) rest
-//	            status 0: rest = body
-//	            status 1: rest = error message
-//	            status 2: rest = u8(len(detail)) detail error-message
+//	frame    := u32_be(len(rest)) rest                (len <= maxFrame)
+//	rest     := u64_be(msgid) payload
+//	request  := u8(len(method)) method body           (client → server)
+//	response := u8(status) tail                       (server → client)
+//	           status 0: tail = body
+//	           status 1: tail = error message
+//	           status 2: tail = u8(len(detail)) detail error-message
 //
-// Status 2 is a remote error carrying a machine-readable detail token (see
-// WithDetail) ahead of the human-readable message. One frame carries exactly
-// one request or response; a connection carries a strict request/response
-// sequence (no interleaving), and concurrency comes from the per-address
-// connection pool.
+// One connection per peer pair carries many concurrent RPCs: requests are
+// correlated to responses by the connection-scoped msgid, so a slow response
+// never head-of-line-blocks a fast one (the Kademlia read-loop idiom). Each
+// side runs a read loop dispatching frames by msgid and a write loop that
+// coalesces every frame queued since its last syscall into a single writev —
+// under concurrent load (α-parallel lookups, pipelined levels) most frames
+// share their syscall with neighbors, which is where the throughput of the
+// serving hot path comes from on loopback.
+//
+// Per-request deadlines are enforced by the caller's context, not by socket
+// deadlines (the socket is shared): an expired request abandons its msgid
+// and its eventual response frame is dropped on arrival. Transport-level
+// failures keep the three-way taxonomy: a broken connection fails exactly
+// the requests in flight on it with ErrUnavailable (retryable — the next
+// call re-dials), handler refusals cross as *RemoteError, and deadline
+// expiry surfaces the context error.
 const (
 	maxFrame           = 64 << 20
 	statusOK           = 0
@@ -32,16 +46,14 @@ const (
 	statusRemoteDetail = 2
 )
 
-func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+// appendFrame appends one length-prefixed msgid-tagged frame to buf.
+func appendFrame(buf []byte, msgid uint64, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(8+len(payload)))
+	buf = binary.BigEndian.AppendUint64(buf, msgid)
+	return append(buf, payload...)
 }
 
+// readFrame reads one frame and returns its rest (msgid + payload).
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -51,11 +63,11 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	rest := make([]byte, n)
+	if _, err := io.ReadFull(r, rest); err != nil {
 		return nil, err
 	}
-	return payload, nil
+	return rest, nil
 }
 
 func encodeRequest(req Request) ([]byte, error) {
@@ -79,24 +91,404 @@ func decodeRequest(payload []byte) (Request, error) {
 	return Request{Method: string(payload[1 : 1+n]), Body: payload[1+n:]}, nil
 }
 
-// TCPTransport carries frames over real sockets with per-address connection
-// reuse. Implements Transport.
+// encodeStatus builds a response payload from a handler outcome.
+func encodeStatus(resp Response, err error) []byte {
+	if err == nil {
+		out := make([]byte, 1+len(resp.Body))
+		out[0] = statusOK
+		copy(out[1:], resp.Body)
+		return out
+	}
+	if detail := ErrorDetail(err); detail != "" && len(detail) <= 255 {
+		out := append([]byte{statusRemoteDetail, byte(len(detail))}, detail...)
+		return append(out, err.Error()...)
+	}
+	return append([]byte{statusRemote}, err.Error()...)
+}
+
+// decodeStatus maps a response payload back to the Call result.
+func decodeStatus(payload []byte, addr string) (Response, error) {
+	if len(payload) < 1 {
+		return Response{}, fmt.Errorf("transport: empty response frame from %s: %w", addr, ErrUnavailable)
+	}
+	switch payload[0] {
+	case statusOK:
+		return Response{Body: payload[1:]}, nil
+	case statusRemote:
+		return Response{}, &RemoteError{Msg: string(payload[1:])}
+	case statusRemoteDetail:
+		if len(payload) < 2 || len(payload) < 2+int(payload[1]) {
+			return Response{}, fmt.Errorf("transport: truncated detail frame from %s: %w", addr, ErrUnavailable)
+		}
+		n := int(payload[1])
+		return Response{}, &RemoteError{Detail: string(payload[2 : 2+n]), Msg: string(payload[2+n:])}
+	default:
+		return Response{}, fmt.Errorf("transport: bad response status %d from %s: %w", payload[0], addr, ErrUnavailable)
+	}
+}
+
+// frameWriter serializes frame writes onto one connection, coalescing every
+// frame queued since the last syscall into a single write. Both sides of a
+// multiplexed connection use one: concurrent requests (client) and
+// out-of-order responses (server) each append a frame and return; the writer
+// goroutine drains the whole queue per wakeup.
+type frameWriter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	buf  []byte
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	err  error
+}
+
+func newFrameWriter(conn net.Conn) *frameWriter {
+	w := &frameWriter{conn: conn, wake: make(chan struct{}, 1), stop: make(chan struct{}), done: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// enqueue appends one frame for writing. Returns false if the writer has
+// failed or stopped (the frame is dropped — the connection is dead anyway).
+func (w *frameWriter) enqueue(msgid uint64, payload []byte) bool {
+	w.mu.Lock()
+	if w.err != nil {
+		w.mu.Unlock()
+		return false
+	}
+	w.buf = appendFrame(w.buf, msgid, payload)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (w *frameWriter) loop() {
+	defer close(w.done)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.wake:
+		}
+		for {
+			w.mu.Lock()
+			buf := w.buf
+			w.buf = nil
+			w.mu.Unlock()
+			if len(buf) == 0 {
+				break
+			}
+			if _, err := w.conn.Write(buf); err != nil {
+				w.mu.Lock()
+				w.err = err
+				w.buf = nil
+				w.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// close stops the writer goroutine. Pending unwritten frames are dropped.
+func (w *frameWriter) close() {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = net.ErrClosed
+	}
+	w.mu.Unlock()
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+// TCPTransport multiplexes frames over one connection per remote address.
+// Implements Transport.
 type TCPTransport struct {
 	mu     sync.Mutex
-	idle   map[string][]net.Conn
+	conns  map[string]*connSlot
 	closed bool
+	calls  sync.WaitGroup // in-flight Calls, drained by Close
 
-	// maxIdle bounds pooled connections per address; extras are closed on
-	// release.
-	maxIdle int
 	// dialTimeout bounds connection establishment when the context allows
 	// more (or has no deadline).
 	dialTimeout time.Duration
 }
 
-// NewTCP builds a TCP transport with a small per-address connection pool.
+// connSlot is the per-address dial rendezvous: the first caller dials while
+// later callers wait on ready, so a burst of calls to a new peer produces one
+// connection, not one per call.
+type connSlot struct {
+	ready chan struct{}
+	mc    *muxConn
+	err   error
+}
+
+// NewTCP builds a multiplexed TCP transport.
 func NewTCP() *TCPTransport {
-	return &TCPTransport{idle: make(map[string][]net.Conn), maxIdle: 4, dialTimeout: time.Second}
+	return &TCPTransport{conns: make(map[string]*connSlot), dialTimeout: time.Second}
+}
+
+// muxConn is one multiplexed client connection: a write-coalescing sender, a
+// read loop dispatching response frames by msgid, and the inflight map
+// correlating the two.
+type muxConn struct {
+	t    *TCPTransport
+	addr string
+	conn net.Conn
+	w    *frameWriter
+
+	mu       sync.Mutex
+	inflight map[uint64]chan []byte
+	nextID   uint64
+	closed   bool
+	failErr  error // the classified teardown error inflight requests see
+}
+
+// errConnGone signals that a call raced the teardown of its pooled
+// connection before its frame was written; the caller retries on a fresh
+// dial without burning its retry budget.
+var errConnGone = errors.New("transport: connection closed before send")
+
+// Call multiplexes one request over the (possibly shared, possibly fresh)
+// connection to addr. See the package wire-format comment for semantics.
+func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Response, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	t.calls.Add(1)
+	t.mu.Unlock()
+	defer t.calls.Done()
+
+	payload, err := encodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	// One retry: a pooled connection may have died between lookup and send.
+	// Only errConnGone (frame never written) re-dials; a frame that may have
+	// reached the wire must fail the call so the caller's retry policy
+	// decides.
+	for attempt := 0; ; attempt++ {
+		mc, err := t.conn(ctx, addr)
+		if err != nil {
+			return Response{}, err
+		}
+		resp, err := mc.call(ctx, payload)
+		if errors.Is(err, errConnGone) && attempt == 0 {
+			continue
+		}
+		if errors.Is(err, errConnGone) {
+			return Response{}, fmt.Errorf("transport: %s: %v: %w", addr, err, ErrUnavailable)
+		}
+		return resp, err
+	}
+}
+
+// conn returns the live multiplexed connection to addr, dialing one if
+// needed. Concurrent callers share a single dial.
+func (t *TCPTransport) conn(ctx context.Context, addr string) (*muxConn, error) {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return nil, ErrClosed
+		}
+		slot := t.conns[addr]
+		if slot == nil {
+			slot = &connSlot{ready: make(chan struct{})}
+			t.conns[addr] = slot
+			t.mu.Unlock()
+			d := net.Dialer{Timeout: t.dialTimeout}
+			conn, err := d.DialContext(ctx, "tcp", addr)
+			if err != nil {
+				slot.err = t.classify(ctx, "dial", addr, err)
+				t.dropSlot(addr, slot)
+				close(slot.ready)
+				return nil, slot.err
+			}
+			mc := &muxConn{t: t, addr: addr, conn: conn, w: newFrameWriter(conn), inflight: make(map[uint64]chan []byte)}
+			slot.mc = mc
+			go mc.readLoop()
+			close(slot.ready)
+			return mc, nil
+		}
+		t.mu.Unlock()
+		select {
+		case <-slot.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if slot.err != nil {
+			return nil, slot.err
+		}
+		slot.mc.mu.Lock()
+		dead := slot.mc.closed
+		slot.mc.mu.Unlock()
+		if !dead {
+			return slot.mc, nil
+		}
+		// The shared connection died; make sure its slot is gone and loop to
+		// dial a fresh one.
+		t.dropSlot(addr, slot)
+	}
+}
+
+// dropSlot removes slot from the connection table if it is still current.
+func (t *TCPTransport) dropSlot(addr string, slot *connSlot) {
+	t.mu.Lock()
+	if t.conns != nil && t.conns[addr] == slot {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+}
+
+// call registers one msgid, queues the request frame, and waits for the
+// correlated response, the context, or the connection's death.
+func (c *muxConn) call(ctx context.Context, payload []byte) (Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Response{}, errConnGone
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan []byte, 1)
+	c.inflight[id] = ch
+	c.mu.Unlock()
+
+	if !c.w.enqueue(id, payload) {
+		// Writer already failed: the frame was never written.
+		c.forget(id)
+		return Response{}, errConnGone
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			// Connection torn down mid-request: this msgid's response is lost.
+			c.mu.Lock()
+			err := c.failErr
+			c.mu.Unlock()
+			return Response{}, err
+		}
+		return decodeStatus(reply, c.addr)
+	case <-ctx.Done():
+		c.forget(id)
+		return Response{}, ctx.Err()
+	}
+}
+
+// forget abandons one msgid; a late response frame is dropped on arrival.
+func (c *muxConn) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	c.mu.Unlock()
+}
+
+func (c *muxConn) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	for {
+		rest, err := readFrame(br)
+		if err != nil {
+			c.teardown(c.t.classify(context.Background(), "read", c.addr, err))
+			return
+		}
+		if len(rest) < 8 {
+			c.teardown(fmt.Errorf("transport: short frame from %s: %w", c.addr, ErrUnavailable))
+			return
+		}
+		id := binary.BigEndian.Uint64(rest)
+		c.mu.Lock()
+		ch := c.inflight[id]
+		delete(c.inflight, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rest[8:] // buffered; never blocks
+		}
+	}
+}
+
+// teardown fails every in-flight request with err, closes the socket, and
+// unregisters the connection so the next call dials fresh — the multiplexed
+// equivalent of the v1 pool's evict-idle-on-ErrUnavailable: no later call can
+// burn its retry budget on this dead connection.
+func (c *muxConn) teardown(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.failErr = err
+	waiters := c.inflight
+	c.inflight = make(map[uint64]chan []byte)
+	c.mu.Unlock()
+
+	t := c.t
+	t.mu.Lock()
+	if t.conns != nil {
+		if slot := t.conns[c.addr]; slot != nil && slot.mc == c {
+			delete(t.conns, c.addr)
+		}
+	}
+	t.mu.Unlock()
+
+	c.conn.Close()
+	c.w.close()
+	for _, ch := range waiters {
+		close(ch) // wakes call(); it reads failErr
+	}
+}
+
+// classify maps a socket error to the transport's failure taxonomy.
+func (t *TCPTransport) classify(ctx context.Context, op, addr string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return context.DeadlineExceeded
+	}
+	return fmt.Errorf("transport: %s %s: %v: %w", op, addr, err, ErrUnavailable)
+}
+
+// Close drains and tears down the transport: new calls fail with ErrClosed
+// immediately, in-flight calls run to completion (each bounded by its own
+// deadline), then every connection is closed. Servers created by Serve are
+// independent and must be closed by their owners.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+
+	t.calls.Wait()
+
+	t.mu.Lock()
+	slots := make([]*connSlot, 0, len(t.conns))
+	for _, s := range t.conns {
+		slots = append(slots, s)
+	}
+	t.conns = nil
+	t.mu.Unlock()
+	for _, s := range slots {
+		// Dials run inside Call, so calls.Wait() above guarantees every
+		// slot has resolved by now.
+		<-s.ready
+		if s.mc != nil {
+			s.mc.teardown(ErrClosed)
+		}
+	}
+	return nil
 }
 
 type tcpServer struct {
@@ -137,7 +529,9 @@ func (s *tcpServer) Close() error {
 }
 
 // Serve listens on addr ("host:0" picks a free port) and serves each
-// connection with a strict read-request/write-response loop.
+// connection with a multiplexed read loop: every request frame is handled on
+// its own goroutine and responses are written in completion order, so one
+// slow handler never delays the answers behind it.
 func (t *TCPTransport) Serve(addr string, h Handler) (Server, error) {
 	t.mu.Lock()
 	closed := t.closed
@@ -177,190 +571,35 @@ func (s *tcpServer) acceptLoop() {
 }
 
 func (s *tcpServer) serveConn(conn net.Conn) {
+	w := newFrameWriter(conn)
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		w.close()
 	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		payload, err := readFrame(conn)
+		rest, err := readFrame(br)
 		if err != nil {
 			return // client went away or server closing
 		}
-		req, err := decodeRequest(payload)
-		var out []byte
-		if err == nil {
-			var resp Response
-			resp, err = s.h(s.ctx, req)
-			if err == nil {
-				out = append([]byte{statusOK}, resp.Body...)
-			}
-		}
-		if err != nil {
-			if detail := ErrorDetail(err); detail != "" && len(detail) <= 255 {
-				out = append([]byte{statusRemoteDetail, byte(len(detail))}, detail...)
-				out = append(out, err.Error()...)
-			} else {
-				out = append([]byte{statusRemote}, err.Error()...)
-			}
-		}
-		if err := writeFrame(conn, out); err != nil {
+		if len(rest) < 8 {
 			return
 		}
-	}
-}
-
-// Call dials (or reuses) a connection to addr, writes the request frame and
-// reads the response frame, honoring ctx's deadline via socket deadlines.
-// Any socket failure poisons the connection (it is dropped, not pooled) and
-// comes back wrapped in ErrUnavailable; deadline expiry surfaces ctx.Err().
-// An ErrUnavailable outcome additionally evicts every idle pooled
-// connection to addr: they were dialed to the same (now gone) process, so a
-// retry must reach a restarted or replaced node through a fresh dial, not
-// through the next stale socket in the pool.
-func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Response, error) {
-	conn, err := t.checkout(ctx, addr)
-	if err != nil {
-		if errors.Is(err, ErrUnavailable) {
-			t.evictIdle(addr)
+		id := binary.BigEndian.Uint64(rest)
+		req, err := decodeRequest(rest[8:])
+		if err != nil {
+			w.enqueue(id, encodeStatus(Response{}, err))
+			continue
 		}
-		return Response{}, err
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			resp, err := s.h(s.ctx, req)
+			w.enqueue(id, encodeStatus(resp, err))
+		}()
 	}
-	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
-	} else {
-		conn.SetDeadline(time.Time{})
-	}
-	payload, err := encodeRequest(req)
-	if err != nil {
-		t.release(addr, conn, false)
-		return Response{}, err
-	}
-	if err := writeFrame(conn, payload); err != nil {
-		t.release(addr, conn, false)
-		err = t.classify(ctx, "write", addr, err)
-		if errors.Is(err, ErrUnavailable) {
-			t.evictIdle(addr)
-		}
-		return Response{}, err
-	}
-	reply, err := readFrame(conn)
-	if err != nil {
-		t.release(addr, conn, false)
-		err = t.classify(ctx, "read", addr, err)
-		if errors.Is(err, ErrUnavailable) {
-			t.evictIdle(addr)
-		}
-		return Response{}, err
-	}
-	t.release(addr, conn, true)
-	if len(reply) < 1 {
-		return Response{}, fmt.Errorf("transport: empty response frame from %s: %w", addr, ErrUnavailable)
-	}
-	switch reply[0] {
-	case statusOK:
-		return Response{Body: reply[1:]}, nil
-	case statusRemote:
-		return Response{}, &RemoteError{Msg: string(reply[1:])}
-	case statusRemoteDetail:
-		if len(reply) < 2 || len(reply) < 2+int(reply[1]) {
-			return Response{}, fmt.Errorf("transport: truncated detail frame from %s: %w", addr, ErrUnavailable)
-		}
-		n := int(reply[1])
-		return Response{}, &RemoteError{Detail: string(reply[2 : 2+n]), Msg: string(reply[2+n:])}
-	default:
-		return Response{}, fmt.Errorf("transport: bad response status %d from %s: %w", reply[0], addr, ErrUnavailable)
-	}
-}
-
-// classify maps a socket error to the transport's failure taxonomy.
-func (t *TCPTransport) classify(ctx context.Context, op, addr string, err error) error {
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return ctxErr
-	}
-	var nerr net.Error
-	if errors.As(err, &nerr) && nerr.Timeout() {
-		return context.DeadlineExceeded
-	}
-	return fmt.Errorf("transport: %s %s: %v: %w", op, addr, err, ErrUnavailable)
-}
-
-// checkout returns a pooled connection to addr or dials a fresh one.
-func (t *TCPTransport) checkout(ctx context.Context, addr string) (net.Conn, error) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if conns := t.idle[addr]; len(conns) > 0 {
-		conn := conns[len(conns)-1]
-		t.idle[addr] = conns[:len(conns)-1]
-		t.mu.Unlock()
-		return conn, nil
-	}
-	t.mu.Unlock()
-
-	d := net.Dialer{Timeout: t.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, t.classify(ctx, "dial", addr, err)
-	}
-	return conn, nil
-}
-
-// evictIdle closes and forgets every idle pooled connection to addr. Called
-// after a call to addr failed at the transport level: the peer process the
-// pool dialed is dead, and keeping its sockets would make every retry burn
-// one stale connection each before reaching a restarted node.
-func (t *TCPTransport) evictIdle(addr string) {
-	t.mu.Lock()
-	conns := t.idle[addr]
-	if t.idle != nil {
-		delete(t.idle, addr)
-	}
-	t.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
-	}
-}
-
-// release returns a healthy connection to the pool and closes broken or
-// surplus ones.
-func (t *TCPTransport) release(addr string, conn net.Conn, healthy bool) {
-	if !healthy {
-		conn.Close()
-		return
-	}
-	conn.SetDeadline(time.Time{})
-	t.mu.Lock()
-	if t.closed || len(t.idle[addr]) >= t.maxIdle {
-		t.mu.Unlock()
-		conn.Close()
-		return
-	}
-	t.idle[addr] = append(t.idle[addr], conn)
-	t.mu.Unlock()
-}
-
-// Close tears down the pool. Servers created by Serve are independent and
-// must be closed by their owners (the transport does not track them).
-func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil
-	}
-	t.closed = true
-	var conns []net.Conn
-	for _, list := range t.idle {
-		conns = append(conns, list...)
-	}
-	t.idle = nil
-	t.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
-	}
-	return nil
 }
