@@ -25,10 +25,11 @@ test:
 
 # The packages that use or implement the worker pool, plus the serving
 # runtime (concurrent RPC handlers over both transports), the membership
-# protocol (failure detector, takeovers), the routing core, and the
+# protocol (failure detector, takeovers), the routing core, the view cache
+# (shared by handler goroutines and α-parallel lookups), and the
 # now-concurrent simulator counters, under -race.
 race:
-	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/membership ./internal/can ./internal/route ./internal/sim
+	$(GO) test -race ./internal/parallel ./internal/core ./internal/experiments ./internal/transport ./internal/node ./internal/membership ./internal/can ./internal/route ./internal/sim ./internal/viewcache
 
 # The full churn soak: a 16-node TCP cluster absorbing scripted joins,
 # graceful leaves, and probe-detected crashes under live query load, checked
@@ -48,14 +49,23 @@ bench-kernels:
 
 # Serving-runtime load benchmark: 64 TCP nodes, 8k mixed closed-loop
 # requests plus an open-loop latency-under-load sweep, writes
-# BENCH_serve.json (fails on any request error).
+# BENCH_serve.json (fails on any request error). The second phase repeats the
+# run on a skewed (Zipf + repeat) stream with the view cache and hot
+# replication on, appending its rows to the same artifact — the before/after
+# pair the cache's speedup claim is measured from.
 bench-serve:
 	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 8000 -clients 32 -transport tcp -sweep 40,80,120,160,200 -sweep-seconds 5s -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -zipf 1.5 -repeat 0.5 -append -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -append -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity -append -out BENCH_serve.json
 
 # Quick serving smoke for CI: a small 8-node TCP run that fails on any
-# request error — catches transport or coordinator regressions in seconds.
+# request error — catches transport or coordinator regressions in seconds —
+# then the same run cache-on over a skewed stream (the cached-vs-uncached
+# differential smoke: both must come back clean).
 bench-serve-smoke:
 	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp
+	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity
 
 # Short fuzz sessions: the wavelet round-trip invariant, the routing core vs
 # the frozen pre-extraction sphere-search reference, and the zone

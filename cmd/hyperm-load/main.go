@@ -84,6 +84,56 @@ type ServeBenchRow struct {
 	// OfferedQPS is the open-loop arrival rate; set on "sweep" rows (and on
 	// the main rows of a -rate run), 0 for closed-loop rows.
 	OfferedQPS float64 `json:"offered_qps,omitempty"`
+	// ZipfS and RepeatFrac describe the query-popularity skew: the Zipf
+	// exponent of the per-request query draw (0 = uniform) and the fraction of
+	// requests that repeat the previous request's query.
+	ZipfS      float64 `json:"zipf_s,omitempty"`
+	RepeatFrac float64 `json:"repeat_frac,omitempty"`
+	// CacheViews/CacheSize/HotReplicate record the view-cache tuning the
+	// cluster ran with, so every row names its configuration. Affinity records
+	// the client routing policy: queries hashed to a coordinator (true) vs
+	// uniformly random coordinators (false).
+	CacheViews   bool `json:"cache_views,omitempty"`
+	CacheSize    int  `json:"cache_size,omitempty"`
+	HotReplicate bool `json:"hot_replicate,omitempty"`
+	Affinity     bool `json:"affinity,omitempty"`
+	// Cache telemetry, aggregated across all nodes for this row's phase
+	// (the main run or one sweep phase). Zero when caching is off.
+	CacheHits          float64 `json:"cache_hits,omitempty"`
+	CacheMisses        float64 `json:"cache_misses,omitempty"`
+	CacheRevalidations float64 `json:"cache_revalidations,omitempty"`
+	CacheEvictions     float64 `json:"cache_evictions,omitempty"`
+	CacheEpochStale    float64 `json:"cache_epoch_stale,omitempty"`
+	ReplicaHits        float64 `json:"replica_hits,omitempty"`
+	// CacheHitRate is the fraction of cache-mediated view probes served
+	// without a full can_search fetch: (hits + replica hits + revalidation
+	// reuses) over all probes.
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// PathHits/PathMisses count whole level searches served from the lookup
+	// memo (no machine run, no view probes at all) vs run live;
+	// LookupHitRate is their ratio — under query affinity this, not the
+	// per-view rate, is the cache's serving hit-rate, because a memo hit
+	// answers the entire search before a single view is probed.
+	PathHits      float64 `json:"path_hits,omitempty"`
+	PathMisses    float64 `json:"path_misses,omitempty"`
+	LookupHitRate float64 `json:"lookup_hit_rate,omitempty"`
+	// CanSearchPerQuery is the mean number of can_search RPCs per request in
+	// this row's phase — the directly observable work the cache removes.
+	CanSearchPerQuery float64 `json:"can_search_per_query,omitempty"`
+	// Fetch-cache telemetry: FetchLocalHits counts phase-two fetches the
+	// coordinator answered from its own memo (no RPC at all), FetchMemoHits
+	// counts fetch RPCs the holder answered from its encoded-response memo
+	// (no scan), and FetchInvalidations counts publish-driven invalidation
+	// notifications processed by subscribers.
+	FetchLocalHits     float64 `json:"fetch_local_hits,omitempty"`
+	FetchMemoHits      float64 `json:"fetch_memo_hits,omitempty"`
+	FetchInvalidations float64 `json:"fetch_invalidations,omitempty"`
+	// FetchHitRate is the fraction of phase-two fetches served without an
+	// RPC; FetchPerQuery is the mean number of fetch RPCs actually issued per
+	// request — with the coordinator memo warm, repeat queries drive this
+	// toward zero.
+	FetchHitRate  float64 `json:"fetch_hit_rate,omitempty"`
+	FetchPerQuery float64 `json:"fetch_per_query,omitempty"`
 }
 
 // errorClass buckets one failed request. Routing stalls carry their
@@ -148,14 +198,34 @@ func run() int {
 	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s for the main run (0 = closed loop)")
 	sweep := flag.String("sweep", "", "latency-under-load sweep: comma-separated open-loop rates in req/s (e.g. 200,400,800)")
 	sweepDur := flag.Duration("sweep-seconds", 5*time.Second, "duration of each sweep phase")
+	zipfS := flag.Float64("zipf", 0, "Zipf exponent s>1 for query-popularity skew (0 = uniform)")
+	repeatFrac := flag.Float64("repeat", 0, "fraction of requests repeating the previous request's query")
+	cacheViews := flag.Bool("cache-views", false, "enable the per-node view cache on the lookup path")
+	cacheSize := flag.Int("cache-size", 0, "view-cache capacity per level (0 = node default)")
+	hotReplicate := flag.Bool("hot-replicate", false, "pull and pin hot nodes' views on demand (implies -cache-views)")
+	affinity := flag.Bool("affinity", false, "route each query to a coordinator chosen by query hash so repeats land on warm caches (publishes stay random)")
+	appendOut := flag.Bool("append", false, "append rows to -out instead of overwriting it")
 	out := flag.String("out", "", "also write the rows to this path (e.g. BENCH_serve.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this path")
+	memprofile := flag.String("memprofile", "", "write an allocation profile at the end of the load run to this path")
+	dumpCounters := flag.Bool("dump-counters", false, "print every cluster counter after the main run (RPC mix debugging)")
 	flag.Parse()
 
 	sweepRates, err := parseRates(*sweep)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-load: -sweep: %v\n", err)
 		return 2
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		fmt.Fprintln(os.Stderr, "hyperm-load: -zipf must be > 1 (or 0 for uniform)")
+		return 2
+	}
+	if *repeatFrac < 0 || *repeatFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "hyperm-load: -repeat must be in [0,1)")
+		return 2
+	}
+	if *hotReplicate {
+		*cacheViews = true
 	}
 
 	fmt.Printf("hyperm-load: building %d-node workload (items/peer=%d dim=%d levels=%d seed=%d)\n",
@@ -192,7 +262,12 @@ func run() int {
 		// taken over or availability collapses to the pre-crash topology.
 		mopts = membership.Options{ProbeInterval: 100 * time.Millisecond, ProbeTimeout: 500 * time.Millisecond, FailAfter: 3}
 	}
-	tuning := node.Tuning{Alpha: *alpha}
+	tuning := node.Tuning{
+		Alpha:        *alpha,
+		CacheViews:   *cacheViews,
+		CacheSize:    *cacheSize,
+		HotReplicate: *hotReplicate,
+	}
 	cl, err := node.StartClusterTuned(sys, tr, listen, policy, mopts, tuning)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
@@ -214,6 +289,18 @@ func run() int {
 		defer addrMu.RUnlock()
 		return aliveAddrs[rng.Intn(len(aliveAddrs))]
 	}
+	// With -affinity, queries (not publishes) route to a coordinator chosen by
+	// hashing the query, so a repeated query lands on the node whose caches it
+	// warmed — the client-side policy that turns per-node memos into a
+	// cluster-wide one. Publishes stay random: they have no locality to exploit.
+	pickQueryAddr := func(rng *rand.Rand, qi int) string {
+		if !*affinity {
+			return pickAddr(rng)
+		}
+		addrMu.RLock()
+		defer addrMu.RUnlock()
+		return aliveAddrs[uint(qi)*2654435761%uint(len(aliveAddrs))]
+	}
 
 	// Query pool: in-domain centers (stored items) with inter-item radii, so
 	// range and kNN requests do real multi-level, multi-peer work.
@@ -232,8 +319,102 @@ func run() int {
 		radii = append(radii, vec.Dist(q, itemsB[poolRng.Intn(len(itemsB))]))
 	}
 
+	// Query sequence: request i's query index, drawn up front so the stream is
+	// deterministic regardless of which client issues which request. Zipf skew
+	// (rank 0 = hottest center) and repeat-previous model the popularity
+	// locality of real query streams — the demand signal the view cache and
+	// hot replication exploit.
+	const querySeqLen = 1 << 16
+	queryIdx := make([]int, querySeqLen)
+	qrng := rand.New(rand.NewSource(*seed + 13))
+	draw := func() int { return qrng.Intn(len(centers)) }
+	if *zipfS > 0 {
+		z := rand.NewZipf(qrng, *zipfS, 1, uint64(len(centers)-1))
+		draw = func() int { return int(z.Uint64()) }
+	}
+	queryIdx[0] = draw()
+	for i := 1; i < querySeqLen; i++ {
+		if qrng.Float64() < *repeatFrac {
+			queryIdx[i] = queryIdx[i-1]
+		} else {
+			queryIdx[i] = draw()
+		}
+	}
+
 	client := node.NewClient(tr, policy)
 	ctx := context.Background()
+
+	// Per-phase cache telemetry: cluster-wide counter deltas bracketing the
+	// main run and each sweep phase. The baseline is taken before the churn
+	// driver starts and deltas only after it stops, so cl.Nodes is never read
+	// while Join may grow it.
+	prevCC := map[string]float64{}
+	clusterCC := func() map[string]float64 {
+		agg := map[string]float64{}
+		for _, nd := range cl.Nodes {
+			for k, v := range nd.Counters() {
+				agg[k] += v
+			}
+		}
+		return agg
+	}
+	ccDelta := func() map[string]float64 {
+		cur := clusterCC()
+		delta := map[string]float64{}
+		for k, v := range cur {
+			delta[k] = v - prevCC[k]
+		}
+		prevCC = cur
+		return delta
+	}
+	prevCC = clusterCC()
+
+	effCacheSize := *cacheSize
+	if *cacheViews && effCacheSize == 0 {
+		effCacheSize = node.DefaultCacheSize
+	}
+	// decorate stamps a row with the workload/tuning configuration and, when
+	// phase counters are given, the cache telemetry of that row's phase.
+	decorate := func(row *ServeBenchRow, cc map[string]float64, queries int) {
+		row.ZipfS, row.RepeatFrac = *zipfS, *repeatFrac
+		row.CacheViews, row.CacheSize, row.HotReplicate = *cacheViews, effCacheSize, *hotReplicate
+		row.Affinity = *affinity
+		if !*cacheViews {
+			row.CacheSize = 0
+		}
+		if cc == nil {
+			return
+		}
+		row.CacheHits = cc["cache.hit"]
+		row.CacheMisses = cc["cache.miss"]
+		row.CacheRevalidations = cc["cache.revalidate"]
+		row.CacheEvictions = cc["cache.evict"]
+		row.CacheEpochStale = cc["cache.stale"]
+		row.ReplicaHits = cc["cache.replica_hit"]
+		probes := cc["cache.hit"] + cc["cache.replica_hit"] + cc["cache.revalidate_ok"] +
+			cc["cache.revalidate_stale"] + cc["cache.miss"]
+		if probes > 0 {
+			row.CacheHitRate = (cc["cache.hit"] + cc["cache.replica_hit"]) / probes
+		}
+		row.PathHits = cc["cache.path_hit"]
+		row.PathMisses = cc["cache.path_miss"]
+		if t := row.PathHits + row.PathMisses; t > 0 {
+			row.LookupHitRate = row.PathHits / t
+		}
+		if queries > 0 {
+			row.CanSearchPerQuery = cc["rpc.can_search"] / float64(queries)
+		}
+		row.FetchLocalHits = cc["cache.fetch_local_hit"]
+		row.FetchMemoHits = cc["cache.fetch_hit"]
+		row.FetchInvalidations = cc["cache.fetch_inval"]
+		fetchRPC := cc["rpc.fetch_range"] + cc["rpc.fetch_knn"]
+		if t := row.FetchLocalHits + fetchRPC; t > 0 {
+			row.FetchHitRate = row.FetchLocalHits / t
+		}
+		if queries > 0 {
+			row.FetchPerQuery = fetchRPC / float64(queries)
+		}
+	}
 
 	// The churn driver: every -churn interval, join a fresh node through
 	// founder 0 (never churned), gracefully leave one, or crash one —
@@ -354,8 +535,13 @@ func run() int {
 	// open-loop dispatcher, and the sweep phases.
 	issueOne := func(rng *rand.Rand, i int64) sample {
 		op := opFor(i)
-		addr := pickAddr(rng)
-		qi := rng.Intn(len(centers))
+		qi := queryIdx[int(i%querySeqLen)]
+		var addr string
+		if op == 0 {
+			addr = pickAddr(rng)
+		} else {
+			addr = pickQueryAddr(rng, qi)
+		}
 		var err error
 		t0 := time.Now()
 		switch op {
@@ -449,6 +635,20 @@ func run() int {
 	}
 	close(churnStop)
 	churnWG.Wait()
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+			return 1
+		}
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+	}
+	mainCC := ccDelta()
 
 	// Aggregate per op class plus the "all" row.
 	perOp := map[string][]time.Duration{}
@@ -486,6 +686,11 @@ func run() int {
 		if elapsed > 0 {
 			row.QPS = float64(row.Requests) / elapsed
 		}
+		var cc map[string]float64
+		if op == "all" {
+			cc = mainCC
+		}
+		decorate(&row, cc, len(perOp["all"])+errs["all"])
 		rows = append(rows, row)
 	}
 	if *churnEvery > 0 {
@@ -498,6 +703,7 @@ func run() int {
 		if total > 0 {
 			row.Availability = float64(total-errs["all"]) / float64(total)
 		}
+		decorate(&row, nil, 0)
 		rows = append(rows, row)
 	}
 
@@ -538,11 +744,29 @@ func run() int {
 		if secs > 0 {
 			row.QPS = float64(len(samples)) / secs
 		}
+		decorate(&row, ccDelta(), len(samples))
 		rows = append(rows, row)
 	}
 
-	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport, alpha=%d\n",
-		*requests, *clients, *nodes, *transportName, effAlpha)
+	workload := "uniform"
+	if *zipfS > 0 {
+		workload = fmt.Sprintf("zipf(s=%g)", *zipfS)
+	}
+	if *repeatFrac > 0 {
+		workload += fmt.Sprintf("+repeat(%g)", *repeatFrac)
+	}
+	cacheDesc := "off"
+	if *cacheViews {
+		cacheDesc = fmt.Sprintf("%d/level", effCacheSize)
+		if *hotReplicate {
+			cacheDesc += "+hot"
+		}
+	}
+	if *affinity {
+		workload += "+affinity"
+	}
+	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport, alpha=%d, queries=%s, cache=%s\n",
+		*requests, *clients, *nodes, *transportName, effAlpha, workload, cacheDesc)
 	fmt.Printf("%-8s %-9s %-9s %-7s %-10s %-9s %-9s %-9s\n", "op", "offered", "requests", "errors", "qps", "p50_ms", "p95_ms", "p99_ms")
 	for _, r := range rows {
 		if r.Op == "availability" {
@@ -556,8 +780,45 @@ func run() int {
 			r.Op, offered, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms)
 	}
 
+	if *cacheViews {
+		cc := mainCC
+		var allRow *ServeBenchRow
+		for i := range rows {
+			if rows[i].Op == "all" {
+				allRow = &rows[i]
+			}
+		}
+		fmt.Printf("\ncache: hits=%.0f replica_hits=%.0f misses=%.0f reval=%.0f (ok=%.0f ver_stale=%.0f) "+
+			"evict=%.0f neg_hits=%.0f pins=%.0f pulls=%.0f hit-rate=%.1f%% can_search/query=%.2f\n",
+			cc["cache.hit"], cc["cache.replica_hit"], cc["cache.miss"], cc["cache.revalidate"],
+			cc["cache.revalidate_ok"], cc["cache.revalidate_stale"], cc["cache.evict"], cc["cache.neg_hit"],
+			cc["cache.pin"], cc["cache.replicate_pull"], 100*allRow.CacheHitRate, allRow.CanSearchPerQuery)
+		fmt.Printf("lookup-memo: hits=%.0f misses=%.0f hit-rate=%.1f%%\n",
+			allRow.PathHits, allRow.PathMisses, 100*allRow.LookupHitRate)
+		fmt.Printf("fetch: local_hits=%.0f holder_memo_hits=%.0f invalidations=%.0f "+
+			"hit-rate=%.1f%% fetch-rpc/query=%.2f\n",
+			allRow.FetchLocalHits, allRow.FetchMemoHits, allRow.FetchInvalidations,
+			100*allRow.FetchHitRate, allRow.FetchPerQuery)
+	}
+
+	if *dumpCounters {
+		names := make([]string, 0, len(mainCC))
+		for name := range mainCC {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println("\ncluster counters (main run):")
+		for _, name := range names {
+			fmt.Printf("  %-24s %12.0f\n", name, mainCC[name])
+		}
+	}
+
 	if *out != "" {
-		if err := benchio.Write(*out, "serve", rows); err != nil {
+		write := benchio.Write
+		if *appendOut {
+			write = benchio.Append
+		}
+		if err := write(*out, "serve", rows); err != nil {
 			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
 			return 1
 		}

@@ -89,8 +89,14 @@ func run() int {
 	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a neighbor is declared dead")
 	graceful := flag.Bool("leave", false, "leave gracefully on shutdown: hand zones and records to neighbors")
 	alpha := flag.Int("alpha", 0, "concurrent can_search probes per lookup step (0 = default, 1 = serial)")
+	cacheViews := flag.Bool("cache-views", false, "cache peers' can_search views with churn-epoch invalidation")
+	cacheSize := flag.Int("cache-size", 0, "view-cache capacity per level (0 = default)")
+	hotReplicate := flag.Bool("hot-replicate", false, "pull and pin hot peers' views on demand (implies -cache-views)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
+	if *hotReplicate {
+		*cacheViews = true
+	}
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "hyperm-node: -config is required")
 		flag.Usage()
@@ -172,7 +178,12 @@ func run() int {
 			ProbeTimeout:  *probeTimeout,
 			FailAfter:     *failAfter,
 		},
-		Tuning: node.Tuning{Alpha: *alpha},
+		Tuning: node.Tuning{
+			Alpha:        *alpha,
+			CacheViews:   *cacheViews,
+			CacheSize:    *cacheSize,
+			HotReplicate: *hotReplicate,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperm-node: %v\n", err)

@@ -47,6 +47,27 @@ func Write(path, bench string, rows any) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// Append merges rows into the artifact at path: if a valid envelope for the
+// same bench already exists its rows are kept and the new ones appended after
+// them; otherwise the file is created fresh. Rows are merged as raw JSON, so
+// drivers can append rows measured under different configurations (a cached
+// run after a baseline run) without re-producing the earlier ones.
+func Append(path, bench string, rows any) error {
+	newData, err := json.Marshal(rows)
+	if err != nil {
+		return fmt.Errorf("benchio: encoding %s rows: %w", bench, err)
+	}
+	var newRows []json.RawMessage
+	if err := json.Unmarshal(newData, &newRows); err != nil {
+		return fmt.Errorf("benchio: %s rows are not an array: %w", bench, err)
+	}
+	var merged []json.RawMessage
+	if _, err := Read(path, bench, &merged); err != nil {
+		merged = nil // no prior artifact (or unreadable): start fresh
+	}
+	return Write(path, bench, append(merged, newRows...))
+}
+
 // Read loads the artifact at path, verifies the envelope names the expected
 // bench and a known schema, and unmarshals the rows into rowsOut (a pointer
 // to the driver's row slice).

@@ -44,6 +44,29 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestAppendMergesRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := Append(path, "x", []row{{Name: "a", Value: 1}}); err != nil {
+		t.Fatal(err) // no prior artifact: creates fresh
+	}
+	if err := Append(path, "x", []row{{Name: "b", Value: 2}, {Name: "c", Value: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	var back []row
+	if _, err := Read(path, "x", &back); err != nil {
+		t.Fatal(err)
+	}
+	want := []row{{Name: "a", Value: 1}, {Name: "b", Value: 2}, {Name: "c", Value: 3}}
+	if len(back) != len(want) {
+		t.Fatalf("rows %+v, want %+v", back, want)
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, back[i], want[i])
+		}
+	}
+}
+
 func TestReadRejectsMismatches(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_x.json")

@@ -211,6 +211,13 @@ func (e *Engine) RangeQuery(from int, q []float64, eps float64, opts RangeOption
 	e.eachIndex(limit, func(i int) {
 		fetchedIDs[i], fetchErrs[i] = e.backend.FetchRange(from, res.Scores[i].Peer, q, eps)
 	})
+	total := 0
+	for i := 0; i < limit; i++ {
+		total += len(fetchedIDs[i])
+	}
+	if total > 0 { // keep Items nil when nothing matched
+		res.Items = make([]int, 0, total)
+	}
 	for i := 0; i < limit; i++ {
 		res.PeersContacted++
 		if err := fetchErrs[i]; err != nil {
@@ -337,6 +344,15 @@ func (e *Engine) KNNQuery(from int, q []float64, k int, opts KNNOptions) (KNNRes
 // whole key space is swept); the Eq 8 inversion then runs on the discovered
 // cluster set, which is a superset of the clusters reachable at the solved
 // radius.
+// epsScratch holds the per-call working slices of levelEps, pooled because a
+// busy coordinator runs the geometric search once per level per query.
+type epsScratch struct {
+	refs    []ClusterRef
+	spheres []geometry.SphereAt
+}
+
+var epsScratchPool = sync.Pool{New: func() any { return new(epsScratch) }}
+
 func (e *Engine) levelEps(from, l, m int, qc []float64, k, span float64) (float64, []ClusterRef, int, error) {
 	key := e.mappers[l].mapPoint(qc)
 	// Start at 5% of the coefficient span; stop once the search sphere can
@@ -344,38 +360,37 @@ func (e *Engine) levelEps(from, l, m int, qc []float64, k, span float64) (float6
 	r := 0.05 * span
 	maxR := span * math.Sqrt(float64(m))
 	totalHops := 0
-	// Both scratch slices live across the widening iterations: each pass
-	// resets them to length zero and refills, so one allocation (grown to the
-	// largest discovery set) serves the whole geometric search instead of a
-	// fresh sphere slice per widening step.
-	var refs []ClusterRef
-	var spheres []geometry.SphereAt
+	// Both scratch slices live across the widening iterations (each pass
+	// resets them to length zero and refills) and across calls via the pool;
+	// only the returned refs copy escapes.
+	sc := epsScratchPool.Get().(*epsScratch)
+	defer epsScratchPool.Put(sc)
 	for {
 		entries, hops, err := e.backend.Search(from, l, key, slacken(e.mappers[l].mapRadius(r)))
 		if err != nil {
 			return 0, nil, totalHops, err
 		}
 		totalHops += hops
-		refs = refs[:0]
-		spheres = spheres[:0]
+		sc.refs = sc.refs[:0]
+		sc.spheres = sc.spheres[:0]
 		for _, en := range entries {
 			ref := en.Payload.(ClusterRef)
-			refs = append(refs, ref)
-			spheres = append(spheres, geometry.SphereAt{
+			sc.refs = append(sc.refs, ref)
+			sc.spheres = append(sc.spheres, geometry.SphereAt{
 				Dist:   vec.Dist(qc, ref.Center),
 				Radius: ref.Radius,
 				Items:  ref.Items,
 			})
 		}
-		if geometry.ExpectedCount(m, r, spheres) >= k || r >= maxR {
-			eps := geometry.SolveEpsForCount(m, k, spheres)
+		if geometry.ExpectedCount(m, r, sc.spheres) >= k || r >= maxR {
+			eps := geometry.SolveEpsForCount(m, k, sc.spheres)
 			if eps > r && r < maxR {
 				// Solver wants a bigger radius than we searched: widen once
 				// more so scoring sees every cluster the radius can touch.
 				r = eps
 				continue
 			}
-			return eps, append([]ClusterRef(nil), refs...), totalHops, nil
+			return eps, append([]ClusterRef(nil), sc.refs...), totalHops, nil
 		}
 		r *= 2
 	}

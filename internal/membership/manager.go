@@ -106,6 +106,13 @@ type Manager struct {
 	claims map[string]claim
 	// recovering counts in-flight post-takeover republishes (Busy).
 	recovering int
+	// versions[l] counts this node's own level-l state mutations — the
+	// revalidation token view caches compare (see internal/viewcache).
+	versions []uint64
+	// epochs[l] counts the level-l churn events this node has observed
+	// (its own mutations plus neighbor-table changes seen in probe
+	// responses); view caches trust entries only within their fetch epoch.
+	epochs []uint64
 
 	probeMu   sync.Mutex
 	probeStop chan struct{}
@@ -120,16 +127,18 @@ func NewManager(self, size int, levels []LevelState, fabric Fabric, opts Options
 		size = self + 1
 	}
 	m := &Manager{
-		self:   self,
-		fabric: fabric,
-		opts:   opts.withDefaults(),
-		levels: make([]LevelState, len(levels)),
-		book:   map[int]string{},
-		size:   size,
-		dead:   map[int]bool{},
-		fails:  map[int]int{},
-		tables: map[int][]LevelTable{},
-		claims: map[string]claim{},
+		self:     self,
+		fabric:   fabric,
+		opts:     opts.withDefaults(),
+		levels:   make([]LevelState, len(levels)),
+		book:     map[int]string{},
+		size:     size,
+		dead:     map[int]bool{},
+		fails:    map[int]int{},
+		tables:   map[int][]LevelTable{},
+		claims:   map[string]claim{},
+		versions: make([]uint64, len(levels)),
+		epochs:   make([]uint64, len(levels)),
 	}
 	if opts.ProbeInterval <= 0 {
 		m.opts.ProbeInterval = 0
@@ -230,29 +239,39 @@ func (m *Manager) View(level int) LevelState {
 
 // SearchView answers a can_search hop without cloning the full level state:
 // zones and neighbors are shallow-copied and records are filtered under the
-// read lock, visiting owned then replicas in storage order — the hot serving
-// path allocates one record slice sized to the matches instead of copying
-// every stored record per hop. match must not retain or mutate its argument's
-// slices beyond the protocol's shared-read contract (see Clone).
-func (m *Manager) SearchView(level int, match func(route.RecordView) bool) (zones []route.Zone, nbs []Neighbor, recs []route.RecordView) {
+// read lock, keeping owned and replicas separate and in storage order — the
+// hot serving path allocates record slices sized to the matches instead of
+// copying every stored record per hop. A nil match selects everything (the
+// full-view fetch a view cache stores, so the cached copy can answer *any*
+// later sphere: the searcher's own filter is idempotent). The returned
+// version is the level's state version at read time — the cache revalidation
+// token, read under the same lock as the state it stamps. match must not
+// retain or mutate its argument's slices beyond the protocol's shared-read
+// contract (see Clone).
+func (m *Manager) SearchView(level int, match func(route.RecordView) bool) (zones []route.Zone, nbs []Neighbor, owned, replicas []route.RecordView, version uint64) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	ls := &m.levels[level]
 	zones = cloneZones(ls.Zones)
 	nbs = cloneNeighbors(ls.Neighbors)
-	for _, rs := range [2][]route.RecordView{ls.Owned, ls.Replicas} {
+	if match == nil {
+		return zones, nbs, cloneRecords(ls.Owned), cloneRecords(ls.Replicas), m.versions[level]
+	}
+	filter := func(rs []route.RecordView) []route.RecordView {
+		var out []route.RecordView
 		for _, r := range rs {
 			if match(r) {
-				if recs == nil {
+				if out == nil {
 					// One allocation bounded by the store size, deferred until
 					// a record actually matches (routing-phase hops match none).
-					recs = make([]route.RecordView, 0, len(ls.Owned)+len(ls.Replicas))
+					out = make([]route.RecordView, 0, len(rs))
 				}
-				recs = append(recs, r)
+				out = append(out, r)
 			}
 		}
+		return out
 	}
-	return zones, nbs, recs
+	return zones, nbs, filter(ls.Owned), filter(ls.Replicas), m.versions[level]
 }
 
 // Snapshot returns read-safe copies of every level.
@@ -294,6 +313,39 @@ func (m *Manager) Busy() bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.recovering > 0
+}
+
+// Version returns this node's level-l state version: a counter bumped on
+// every mutation of its own zones, neighbor table, or records. It is the
+// token view_version exposes for cheap cache revalidation.
+func (m *Manager) Version(level int) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.versions[level]
+}
+
+// Epoch returns this node's level-l churn epoch: a counter bumped on every
+// membership event the node observes at that level — its own mutations and
+// neighbor-table changes heard in probe responses. A view cache trusts an
+// entry outright only while the epoch it was fetched at is still current.
+func (m *Manager) Epoch(level int) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epochs[level]
+}
+
+// bumpLocked records a mutation of this node's own level-l state: both the
+// revalidation version and the observed-churn epoch advance. Callers hold mu.
+func (m *Manager) bumpLocked(level int) {
+	m.versions[level]++
+	m.epochs[level]++
+}
+
+// observeLocked records a churn event at level l that did not change this
+// node's own state (news about others): only the epoch advances, so local
+// caches revalidate while remote caches of *this* node's view stay valid.
+func (m *Manager) observeLocked(level int) {
+	m.epochs[level]++
 }
 
 // ---- RPC dispatch ----
@@ -414,6 +466,7 @@ func (m *Manager) installGrant(level int, g JoinGrant) {
 	for _, nb := range ls.Neighbors {
 		m.learnLocked(nb.ID, nb.Addr)
 	}
+	m.bumpLocked(level)
 	m.mu.Unlock()
 }
 
@@ -476,6 +529,7 @@ func (m *Manager) handleJoin(req JoinReq) ([]byte, error) {
 
 	ls.Zones, ls.Neighbors, ls.Owned, ls.Replicas = newZones, onb, oo, or
 	m.learnLocked(req.Joiner, req.Addr)
+	m.bumpLocked(req.Level)
 
 	book := make([]BookEntry, 0, len(m.book))
 	for id, a := range m.book {
@@ -619,6 +673,7 @@ func (m *Manager) Leave(ctx context.Context) error {
 	m.mu.Lock()
 	for l := range m.levels {
 		m.levels[l] = LevelState{}
+		m.bumpLocked(l)
 	}
 	m.mu.Unlock()
 	return nil
@@ -705,6 +760,7 @@ func (m *Manager) handleHandoff(req HandoffReq) error {
 	}
 
 	outs := m.rebroadcastLocked(req.Level, []int{req.Leaver})
+	m.bumpLocked(req.Level)
 	m.mu.Unlock()
 	m.sendAll(outs)
 	return nil
@@ -758,6 +814,7 @@ func (m *Manager) handleZoneUpdate(upd ZoneUpdate) error {
 			ls.Neighbors = removeNeighbor(ls.Neighbors, u.ID)
 		}
 	}
+	m.bumpLocked(upd.Level)
 	m.mu.Unlock()
 	return nil
 }
@@ -866,6 +923,19 @@ func (m *Manager) noteProbe(id int, tables []LevelTable, err error) {
 	if alive {
 		m.fails[id] = 0
 		if err == nil {
+			// Probing doubles as churn observation: a neighbor whose
+			// self-report changed since the last round mutated (someone
+			// joined, left, or crashed near it), so any view cached from it
+			// — or from nodes it reported on — must revalidate. This extends
+			// epoch coverage beyond the protocol messages this node receives
+			// directly, to everything its probe horizon can see.
+			if prev, ok := m.tables[id]; ok {
+				for l := 0; l < len(m.levels); l++ {
+					if !levelTableEqual(tableAt(prev, l), tableAt(tables, l)) {
+						m.observeLocked(l)
+					}
+				}
+			}
 			m.tables[id] = tables
 		}
 		m.mu.Unlock()
@@ -901,6 +971,9 @@ func (m *Manager) declareDeadLocked(c int) ([]outMsg, []recoveryPlan) {
 		if idx < 0 {
 			continue
 		}
+		// Every branch below mutates this level (at minimum the crashed
+		// neighbor is dropped), so the takeover is one churn event here.
+		m.bumpLocked(l)
 		czones := ls.Neighbors[idx].Zones
 		var ctable []Neighbor
 		if l < len(table) {
@@ -1077,6 +1150,7 @@ func (m *Manager) handleTakeover(msg TakeoverMsg) error {
 			} else {
 				// Won: keep the zone; the sender relinquishes when our own
 				// announcement reaches it. Don't adopt its claimed zone set.
+				m.bumpLocked(msg.Level)
 				m.mu.Unlock()
 				m.sendAll(outs)
 				go m.runRecoveries(recoveries)
@@ -1089,6 +1163,7 @@ func (m *Manager) handleTakeover(msg TakeoverMsg) error {
 			ls.Neighbors = removeNeighbor(ls.Neighbors, msg.Taker)
 		}
 	}
+	m.bumpLocked(msg.Level)
 	m.mu.Unlock()
 	m.sendAll(outs)
 	go m.runRecoveries(recoveries)
@@ -1186,6 +1261,7 @@ func (m *Manager) recoverZone(p recoveryPlan) {
 	// Only merge if we still hold the zone (a conflict may have taken it).
 	if route.ZonesContain(ls.Zones, zoneCenter(p.zone)) {
 		ls.Owned, ls.Replicas, _ = route.ApplyRecovery(ls.Zones, p.zone, ls.Owned, ls.Replicas, dedup)
+		m.bumpLocked(p.level)
 	}
 	m.mu.Unlock()
 }

@@ -148,6 +148,42 @@ func replayElection(zones []route.Zone, cands []route.Candidate, tks []route.Tak
 	return assigns, local
 }
 
+// tableAt returns ts[l], or a zero LevelTable when the report is shorter —
+// probe responses always carry every level, but the comparison must not
+// assume it.
+func tableAt(ts []LevelTable, l int) LevelTable {
+	if l < len(ts) {
+		return ts[l]
+	}
+	return LevelTable{}
+}
+
+// levelTableEqual reports whether two probe self-reports describe the same
+// level state: equal zone sets and equal neighbor tables (id, address, and
+// zones — a changed entry in either means churn happened near the reporter).
+func levelTableEqual(a, b LevelTable) bool {
+	if len(a.Zones) != len(b.Zones) || len(a.Neighbors) != len(b.Neighbors) {
+		return false
+	}
+	for i := range a.Zones {
+		if !zoneEqual(a.Zones[i], b.Zones[i]) {
+			return false
+		}
+	}
+	for i := range a.Neighbors {
+		na, nb := a.Neighbors[i], b.Neighbors[i]
+		if na.ID != nb.ID || na.Addr != nb.Addr || len(na.Zones) != len(nb.Zones) {
+			return false
+		}
+		for j := range na.Zones {
+			if !zoneEqual(na.Zones[j], nb.Zones[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // zoneEqual reports exact box equality.
 func zoneEqual(a, b route.Zone) bool {
 	if len(a.Lo) != len(b.Lo) {

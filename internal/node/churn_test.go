@@ -109,62 +109,9 @@ func runChurnSoak(t *testing.T, tr transport.Transport, listen func(int) string)
 		alive[i] = true
 	}
 
-	// quiet reports whether the cluster looks settled right now: no recovery
-	// republish in flight, every level's alive zones tile the full torus, and
-	// no alive node still lists a dead peer as a neighbor.
-	quiet := func() bool {
-		for id, nd := range cl.Nodes {
-			if !alive[id] {
-				continue
-			}
-			if nd.Membership().Busy() {
-				return false
-			}
-		}
-		for l := 0; l < params.Levels; l++ {
-			var tiles [][]route.Zone
-			for id, nd := range cl.Nodes {
-				if !alive[id] {
-					continue
-				}
-				ls := nd.Membership().View(l)
-				for _, nb := range ls.Neighbors {
-					if nb.ID >= len(alive) || !alive[nb.ID] {
-						return false
-					}
-				}
-				tiles = append(tiles, ls.Zones)
-			}
-			if !route.VerifyTiling(tiles) {
-				return false
-			}
-		}
-		return true
-	}
-	// waitQuiesce polls until quiet holds continuously for a settle window
-	// spanning several probe rounds — long enough for every detector to have
-	// refreshed its cached self-reports from the new topology, so the next
-	// crash's elections run on fresh knowledge, like the oracle's.
 	waitQuiesce := func(tag string) {
 		t.Helper()
-		settle := 6 * mopts.ProbeInterval
-		deadline := time.Now().Add(30 * time.Second)
-		var okSince time.Time
-		for {
-			if quiet() {
-				if okSince.IsZero() {
-					okSince = time.Now()
-				} else if time.Since(okSince) >= settle {
-					return
-				}
-			} else {
-				okSince = time.Time{}
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("%s: cluster failed to quiesce within 30s", tag)
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
+		waitClusterQuiesce(t, tag, cl, alive, params.Levels, mopts.ProbeInterval)
 	}
 
 	// Background query load for the whole churn window. Queries go through
@@ -316,6 +263,65 @@ func runChurnSoak(t *testing.T, tr transport.Transport, listen func(int) string)
 				t.Errorf("knn query %d from peer %d diverged:\nsim:    %+v\nserved: %+v", i, id, wantK, gotK)
 			}
 		}
+	}
+}
+
+// clusterQuiet reports whether the cluster looks settled right now: no
+// recovery republish in flight, every level's alive zones tile the full
+// torus, and no alive node still lists a dead peer as a neighbor.
+func clusterQuiet(cl *node.Cluster, alive []bool, levels int) bool {
+	for id, nd := range cl.Nodes {
+		if !alive[id] {
+			continue
+		}
+		if nd.Membership().Busy() {
+			return false
+		}
+	}
+	for l := 0; l < levels; l++ {
+		var tiles [][]route.Zone
+		for id, nd := range cl.Nodes {
+			if !alive[id] {
+				continue
+			}
+			ls := nd.Membership().View(l)
+			for _, nb := range ls.Neighbors {
+				if nb.ID >= len(alive) || !alive[nb.ID] {
+					return false
+				}
+			}
+			tiles = append(tiles, ls.Zones)
+		}
+		if !route.VerifyTiling(tiles) {
+			return false
+		}
+	}
+	return true
+}
+
+// waitClusterQuiesce polls until clusterQuiet holds continuously for a settle
+// window spanning several probe rounds — long enough for every detector to
+// have refreshed its cached self-reports from the new topology, so the next
+// crash's elections run on fresh knowledge, like the oracle's.
+func waitClusterQuiesce(t *testing.T, tag string, cl *node.Cluster, alive []bool, levels int, probeInterval time.Duration) {
+	t.Helper()
+	settle := 6 * probeInterval
+	deadline := time.Now().Add(30 * time.Second)
+	var okSince time.Time
+	for {
+		if clusterQuiet(cl, alive, levels) {
+			if okSince.IsZero() {
+				okSince = time.Now()
+			} else if time.Since(okSince) >= settle {
+				return
+			}
+		} else {
+			okSince = time.Time{}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: cluster failed to quiesce within 30s", tag)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -32,7 +32,7 @@ func (n *Node) Call(ctx context.Context, addr, method string, body []byte) ([]by
 func (n *Node) fetchViewAddr(ctx context.Context, addr string, level int, key []float64, radius float64) (searchView, error) {
 	resp, err := n.client.Call(ctx, addr, transport.Request{
 		Method: methodCanSearch,
-		Body:   encodeSearchReq(level, key, radius),
+		Body:   encodeSearchReq(level, key, radius, false),
 	})
 	if err != nil {
 		return searchView{}, fmt.Errorf("node: can_search %s: %w", addr, err)

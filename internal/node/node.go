@@ -12,6 +12,7 @@ import (
 	"hyperm/internal/route"
 	"hyperm/internal/sim"
 	"hyperm/internal/transport"
+	"hyperm/internal/viewcache"
 )
 
 // Config parameterizes one serving node.
@@ -39,11 +40,21 @@ type Config struct {
 // in flight per flood step (Kademlia's α).
 const DefaultAlpha = 3
 
-// Tuning bounds the coordinator's parallelism. Every knob preserves
-// byte-identical answers (the concurrency never reaches the result — see
-// route.RunAlpha and core.Engine.SetParallelism); they only trade memory and
-// in-flight RPCs for latency. Zero values mean defaults; use a negative or 1
-// value for strictly serial behavior.
+// DefaultCacheSize is the per-level view-cache capacity when Tuning.CacheViews
+// is on and no size is given.
+const DefaultCacheSize = 1024
+
+// DefaultHotThreshold is the windowed fetch-hit count that marks a node hot
+// when Tuning.HotReplicate is on and no threshold is given.
+const DefaultHotThreshold = 16
+
+// Tuning bounds the coordinator's parallelism and caching. Every knob
+// preserves byte-identical answers (the concurrency never reaches the result
+// — see route.RunAlpha and core.Engine.SetParallelism — and cached views are
+// epoch-checked or revalidated before use, see internal/viewcache); they only
+// trade memory and in-flight RPCs for latency. Zero values mean defaults; use
+// a negative or 1 value for strictly serial behavior. Caching is off by
+// default — the zero Tuning is still the frozen uncached reference.
 type Tuning struct {
 	// Alpha is the number of concurrent can_search probes per flood step.
 	// 0 → DefaultAlpha; <= 1 → serial.
@@ -54,6 +65,21 @@ type Tuning struct {
 	// FetchFanout is how many phase-two fetches run at once.
 	// 0 → 8; <= 1 → serial.
 	FetchFanout int
+	// CacheViews enables the per-level LRU cache of can_search views with
+	// churn-epoch invalidation: cached hops skip the RPC entirely, stale
+	// entries are revalidated with a view_version check, never trusted.
+	CacheViews bool
+	// CacheSize bounds the unpinned entries cached per level.
+	// 0 → 1024. Only meaningful with CacheViews.
+	CacheSize int
+	// HotReplicate enables demand-driven replication: nodes whose records
+	// keep satisfying this coordinator's queries are pulled whole
+	// (replicate_refs) and pinned in the cache, so floods terminate at the
+	// replica. Requires CacheViews.
+	HotReplicate bool
+	// HotThreshold is the windowed fetch-hit count that marks a node hot.
+	// 0 → 16. Only meaningful with HotReplicate.
+	HotThreshold int
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -65,6 +91,12 @@ func (t Tuning) withDefaults() Tuning {
 	}
 	if t.FetchFanout == 0 {
 		t.FetchFanout = 8
+	}
+	if t.CacheViews && t.CacheSize == 0 {
+		t.CacheSize = DefaultCacheSize
+	}
+	if t.HotReplicate && t.HotThreshold == 0 {
+		t.HotThreshold = DefaultHotThreshold
 	}
 	return t
 }
@@ -98,6 +130,82 @@ type Node struct {
 
 	tuning   Tuning
 	counters sim.Counters
+	// cache is the per-level view cache (nil unless Tuning.CacheViews).
+	cache *viewcache.Cache
+
+	// fetchMemo caches encoded fetch_range/fetch_knn response bodies keyed by
+	// the raw request body (used only with Tuning.CacheViews; lazily built).
+	// Purely local coherence: the answers depend only on this node's item
+	// store, which mutates only in Publish — which clears the memo. Bounded
+	// by reset (see fetchMemoPut).
+	// fetchGen counts Publish invalidations: a response computed before a
+	// publish must not enter the memo after that publish filtered it, so
+	// handlers snapshot the generation before scanning the store and Put
+	// discards stale stores.
+	fetchMu   sync.Mutex
+	fetchMemo map[string][]byte
+	fetchGen  uint64
+
+	// Coordinator-side fetch-result cache and the holder-side registry of
+	// caching coordinators; coherence protocol documented in fetchcache.go.
+	cliMu       sync.Mutex
+	cliFetch    map[int]map[string]cliFetchEntry
+	cliGen      map[int]uint64
+	cliSubbed   map[int]bool
+	cliCount    int
+	cliEpochSig uint64
+
+	subsMu    sync.Mutex
+	fetchSubs map[int]struct{}
+}
+
+// fetchMemoCap bounds the fetch memo; on overflow the whole memo resets
+// (repeat-heavy workloads refill it in a handful of queries).
+const fetchMemoCap = 4096
+
+// fetchMemoKey builds tag+body into buf when it fits (the common case, so the
+// per-RPC lookup key lives on the caller's stack) and heap-allocates otherwise.
+func fetchMemoKey(buf []byte, tag byte, body []byte) []byte {
+	var key []byte
+	if 1+len(body) <= cap(buf) {
+		key = buf[:1+len(body)]
+	} else {
+		key = make([]byte, 1+len(body))
+	}
+	key[0] = tag
+	copy(key[1:], body)
+	return key
+}
+
+// fetchMemoGet returns the memoized response body for one fetch RPC request,
+// keyed by a method tag plus the raw request body, along with the publish
+// generation a miss must hand back to fetchMemoPut.
+func (n *Node) fetchMemoGet(tag byte, body []byte) ([]byte, uint64, bool) {
+	var kb [512]byte
+	key := fetchMemoKey(kb[:], tag, body)
+	n.fetchMu.Lock()
+	out, ok := n.fetchMemo[string(key)] // no-alloc map lookup
+	gen := n.fetchGen
+	n.fetchMu.Unlock()
+	if ok {
+		n.count("cache.fetch_hit")
+	}
+	return out, gen, ok
+}
+
+// fetchMemoPut memoizes one encoded fetch response, unless a publish ran
+// since the caller snapshotted gen — the response may predate it.
+func (n *Node) fetchMemoPut(tag byte, body, resp []byte, gen uint64) {
+	var kb [512]byte
+	key := fetchMemoKey(kb[:], tag, body)
+	n.fetchMu.Lock()
+	if n.fetchGen == gen {
+		if n.fetchMemo == nil || len(n.fetchMemo) >= fetchMemoCap {
+			n.fetchMemo = make(map[string][]byte, fetchMemoCap)
+		}
+		n.fetchMemo[string(key)] = resp
+	}
+	n.fetchMu.Unlock()
 }
 
 // levelFromView converts a snapshot level into membership state. Neighbor
@@ -150,6 +258,17 @@ func New(cfg Config) (*Node, error) {
 	// pipeline the per-level searches and the phase-two fetches.
 	engine.SetParallelism(n.tuning.LevelFanout, n.tuning.FetchFanout)
 	n.engine = engine
+	if n.tuning.CacheViews {
+		hot := 0
+		if n.tuning.HotReplicate {
+			hot = n.tuning.HotThreshold
+		}
+		n.cache = viewcache.New(snap.Config.Levels, viewcache.Options{
+			Capacity:     n.tuning.CacheSize,
+			HotThreshold: hot,
+			Counters:     &n.counters,
+		})
+	}
 	return n, nil
 }
 
@@ -274,6 +393,18 @@ func (n *Node) Publish(id int, item []float64) error {
 	n.items = append(n.items, item)
 	core.AbsorbInsert(n.published, item, n.cfg.Convention)
 	n.mu.Unlock()
+	// The item store changed: drop exactly the memoized fetch answers the new
+	// item can alter (fetchEntryCovered is the complement of the local scan
+	// predicates) and bump the generation so racing handlers don't re-insert
+	// answers computed against the pre-publish store.
+	n.fetchMu.Lock()
+	n.fetchGen++
+	dropCoveredFetchEntries(n.fetchMemo, item)
+	n.fetchMu.Unlock()
+	// Caching coordinators hold the same answers remotely: notify every
+	// registered subscriber and only then acknowledge the publish, so any
+	// later query anywhere sees the new item (see fetchcache.go).
+	n.broadcastInvalidate(item)
 	return nil
 }
 
@@ -335,20 +466,74 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		return transport.Response{}, nil
 
 	case methodCanSearch:
-		level, key, radius, err := decodeSearchReq(req.Body)
+		level, key, radius, full, err := decodeSearchReq(req.Body)
 		if err != nil {
 			return transport.Response{}, err
 		}
 		if level < 0 || level >= n.mgr.NumLevels() {
 			return transport.Response{}, fmt.Errorf("node: no level %d", level)
 		}
-		body, err := encodeSearchResp(n.localView(level, key, radius))
+		v := searchView{}
+		if full {
+			v = n.localFullView(level)
+		} else {
+			v = n.localView(level, key, radius)
+		}
+		body, err := encodeSearchResp(v)
 		if err != nil {
 			return transport.Response{}, err
 		}
 		return transport.Response{Body: body}, nil
 
+	case methodViewVersion:
+		level, err := decodeLevelReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		if level < 0 || level >= n.mgr.NumLevels() {
+			return transport.Response{}, fmt.Errorf("node: no level %d", level)
+		}
+		return transport.Response{Body: encodeVersionResp(n.mgr.Version(level))}, nil
+
+	case methodReplicate:
+		level, err := decodeLevelReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		if level < 0 || level >= n.mgr.NumLevels() {
+			return transport.Response{}, fmt.Errorf("node: no level %d", level)
+		}
+		body, err := encodeSearchResp(n.localFullView(level))
+		if err != nil {
+			return transport.Response{}, err
+		}
+		return transport.Response{Body: body}, nil
+
+	case methodFetchSub:
+		peer, err := decodePeerReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		n.registerFetchSub(peer)
+		return transport.Response{}, nil
+
+	case methodFetchInval:
+		holder, item, err := decodeInvalReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		n.invalidateFetch(holder, item)
+		return transport.Response{}, nil
+
 	case methodFetchRange:
+		var gen uint64
+		if n.tuning.CacheViews {
+			body, g, ok := n.fetchMemoGet('r', req.Body)
+			if ok {
+				return transport.Response{Body: body}, nil
+			}
+			gen = g
+		}
 		q, eps, err := decodeFetchRangeReq(req.Body)
 		if err != nil {
 			return transport.Response{}, err
@@ -356,9 +541,21 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		n.mu.RLock()
 		ids := core.LocalRange(q, eps, n.itemIDs, n.items)
 		n.mu.RUnlock()
-		return transport.Response{Body: encodeFetchRangeResp(ids)}, nil
+		body := encodeFetchRangeResp(ids)
+		if n.tuning.CacheViews {
+			n.fetchMemoPut('r', req.Body, body, gen)
+		}
+		return transport.Response{Body: body}, nil
 
 	case methodFetchKNN:
+		var gen uint64
+		if n.tuning.CacheViews {
+			body, g, ok := n.fetchMemoGet('k', req.Body)
+			if ok {
+				return transport.Response{Body: body}, nil
+			}
+			gen = g
+		}
 		q, k, err := decodeFetchKNNReq(req.Body)
 		if err != nil {
 			return transport.Response{}, err
@@ -366,7 +563,11 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		n.mu.RLock()
 		items := core.LocalKNN(q, k, n.itemIDs, n.items)
 		n.mu.RUnlock()
-		return transport.Response{Body: encodeFetchKNNResp(items)}, nil
+		body := encodeFetchKNNResp(items)
+		if n.tuning.CacheViews {
+			n.fetchMemoPut('k', req.Body, body, gen)
+		}
+		return transport.Response{Body: body}, nil
 
 	default:
 		if membership.IsMethod(req.Method) {
@@ -384,11 +585,21 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 // zones, neighbor table, and the stored records matching the query sphere in
 // storage order (owned first, then replicas) — the same order and match test
 // (can.TorusDist(key, center) <= recRadius+radius) as can.Overlay's collect.
+// The view carries the level's state version, read under the same lock as the
+// state it stamps, so caches revalidate against exactly what they stored.
 func (n *Node) localView(level int, key []float64, radius float64) searchView {
-	zones, nbs, recs := n.mgr.SearchView(level, func(rec can.RecordView) bool {
+	zones, nbs, owned, replicas, ver := n.mgr.SearchView(level, func(rec can.RecordView) bool {
 		return can.TorusDist(rec.Entry.Key, key) <= rec.Entry.Radius+radius
 	})
-	return searchView{ID: n.peer, Zones: zones, Neighbors: nbs, Records: recs}
+	return searchView{ID: n.peer, Version: ver, Zones: zones, Neighbors: nbs, Owned: owned, Replicas: replicas}
+}
+
+// localFullView is localView without the sphere filter: the complete record
+// stores, what cache fills (can_search full=1) and hot-replica pulls
+// (replicate_refs) return so the cached copy can answer any later sphere.
+func (n *Node) localFullView(level int) searchView {
+	zones, nbs, owned, replicas, ver := n.mgr.SearchView(level, nil)
+	return searchView{ID: n.peer, Version: ver, Zones: zones, Neighbors: nbs, Owned: owned, Replicas: replicas}
 }
 
 // netBackend implements core.Backend with peer-to-peer RPCs: the overlay

@@ -2,13 +2,17 @@ package node
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
+	"hyperm/internal/can"
 	"hyperm/internal/core"
 	"hyperm/internal/overlay"
 	"hyperm/internal/route"
 	"hyperm/internal/transport"
+	"hyperm/internal/viewcache"
 )
 
 // This file adapts the routing core (internal/route) to the serving runtime.
@@ -61,7 +65,7 @@ func (n *Node) toNodeView(v searchView) route.NodeView {
 		n.mgr.LearnAddr(nb.ID, nb.Addr)
 		nbs[i] = route.NeighborView{ID: nb.ID, Zones: nb.Zones}
 	}
-	return route.NodeView{ID: v.ID, Zones: v.Zones, Neighbors: nbs, Owned: v.Records}
+	return route.NodeView{ID: v.ID, Zones: v.Zones, Neighbors: nbs, Owned: v.Owned, Replicas: v.Replicas}
 }
 
 // fetchView obtains one node's view of the query sphere: locally for this
@@ -70,16 +74,55 @@ func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radi
 	if id == n.peer {
 		return n.localView(level, key, radius), nil
 	}
+	return n.callSearch(ctx, level, id, encodeSearchReq(level, key, radius, false))
+}
+
+// fetchFullView is fetchView with the full flag: the complete record stores,
+// which is what the cache keeps (a cached view must answer any later sphere,
+// not just the one that fetched it).
+func (n *Node) fetchFullView(ctx context.Context, level, id int) (searchView, error) {
+	if id == n.peer {
+		return n.localFullView(level), nil
+	}
+	return n.callSearch(ctx, level, id, encodeSearchReq(level, nil, 0, true))
+}
+
+func (n *Node) callSearch(ctx context.Context, level, id int, body []byte) (searchView, error) {
 	addr, err := n.peerAddr(id)
 	if err != nil {
 		return searchView{}, err
 	}
-	resp, err := n.client.Call(ctx, addr, transport.Request{
-		Method: methodCanSearch,
-		Body:   encodeSearchReq(level, key, radius),
-	})
+	resp, err := n.client.Call(ctx, addr, transport.Request{Method: methodCanSearch, Body: body})
 	if err != nil {
 		return searchView{}, fmt.Errorf("node: can_search peer %d: %w", id, err)
+	}
+	return decodeSearchResp(resp.Body)
+}
+
+// fetchVersion asks peer id for its current level state version — the cheap
+// revalidation probe (16-byte request, 8-byte response) that decides whether
+// a stale cached view can be reused or must be refetched.
+func (n *Node) fetchVersion(ctx context.Context, level, id int) (uint64, error) {
+	addr, err := n.peerAddr(id)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := n.client.Call(ctx, addr, transport.Request{Method: methodViewVersion, Body: encodeLevelReq(level)})
+	if err != nil {
+		return 0, fmt.Errorf("node: view_version peer %d: %w", id, err)
+	}
+	return decodeVersionResp(resp.Body)
+}
+
+// fetchReplica pulls peer id's full level view for pinning (replicate_refs).
+func (n *Node) fetchReplica(ctx context.Context, level, id int) (searchView, error) {
+	addr, err := n.peerAddr(id)
+	if err != nil {
+		return searchView{}, err
+	}
+	resp, err := n.client.Call(ctx, addr, transport.Request{Method: methodReplicate, Body: encodeLevelReq(level)})
+	if err != nil {
+		return searchView{}, fmt.Errorf("node: replicate_refs peer %d: %w", id, err)
 	}
 	return decodeSearchResp(resp.Body)
 }
@@ -88,20 +131,177 @@ func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radi
 // cluster size as this node currently knows it (grown by joins it hears of).
 func (n *Node) hopLimit() int { return 8*n.mgr.Size() + 16 }
 
+// cachedViews is the cache-aware ViewSource (Tuning.CacheViews): every view
+// probe goes through the per-level viewcache.Cache first, at the churn epoch
+// the membership manager currently reports.
+//
+//   - Hit (cached at the current epoch): no RPC — the overlay state a view
+//     carries changes only through membership events, and none was observed
+//     since the fetch, so a direct can_search would return the same view.
+//   - Stale (cached at an older epoch): one view_version RPC compares the
+//     responder's current state version against the cached one; a match
+//     refreshes the entry (reuse), a mismatch refetches. Stale views are
+//     never fed to the machines unvalidated.
+//   - Miss: one full can_search fetch, installed at the probe epoch.
+//
+// Either way the machines see exactly the view a direct fetch would produce,
+// so answers stay byte-identical to the uncached reference; the only
+// difference is who pays which RPC. A fetch that finds the peer unreachable
+// is memoized as a negative entry valid within the current epoch: repeat
+// queries fail fast instead of re-dialing a dead peer, and any membership
+// event clears the verdict.
+type cachedViews struct {
+	n      *Node
+	ctx    context.Context
+	level  int
+	key    []float64
+	radius float64
+}
+
+func (s cachedViews) view(id int) (route.NodeView, error) {
+	n := s.n
+	if id == n.peer {
+		// The coordinator's own slice is a lock-protected local read — never
+		// cached, so a query always starts from its node's live state.
+		return n.toNodeView(n.localView(s.level, s.key, s.radius)), nil
+	}
+	epoch := n.mgr.Epoch(s.level)
+	cv, outcome, negErr := n.cache.Get(s.level, id, epoch)
+	switch outcome {
+	case viewcache.Hit:
+		return s.use(cv)
+	case viewcache.NegHit:
+		return route.NodeView{}, negErr
+	case viewcache.Stale:
+		n.count("cache.revalidate")
+		ver, err := n.fetchVersion(s.ctx, s.level, id)
+		if err == nil && ver == cv.Version {
+			if v2, ok := n.cache.Confirm(s.level, id, epoch); ok {
+				n.count("cache.revalidate_ok")
+				return s.use(v2)
+			}
+		}
+		n.count("cache.revalidate_stale")
+		if errors.Is(err, transport.ErrUnavailable) {
+			n.cache.PutNegative(s.level, id, err, epoch)
+			return route.NodeView{}, err
+		}
+		n.cache.Invalidate(s.level, id)
+	}
+	return s.fetch(id, epoch)
+}
+
+// fetch fills the cache with one full can_search and returns the view.
+func (s cachedViews) fetch(id int, epoch uint64) (route.NodeView, error) {
+	n := s.n
+	sv, err := n.fetchFullView(s.ctx, s.level, id)
+	if err != nil {
+		if errors.Is(err, transport.ErrUnavailable) {
+			n.cache.PutNegative(s.level, id, err, epoch)
+		}
+		return route.NodeView{}, err
+	}
+	v := viewcache.View{NodeView: n.toNodeView(sv), Version: sv.Version}
+	n.cache.Put(s.level, id, v, epoch)
+	return s.use(v)
+}
+
+// use hands a cached view to the machines, feeding the hotness sketch with
+// the records this query's sphere actually touches (the demand signal that
+// drives replicate_refs pulls). Views returned Pinned are already replicated
+// — no demand to track, so their record scan is skipped entirely.
+func (s cachedViews) use(v viewcache.View) (route.NodeView, error) {
+	if s.n.tuning.HotReplicate && !v.Pinned {
+		hits := 0
+		for _, rs := range [2][]route.RecordView{v.Owned, v.Replicas} {
+			for _, rec := range rs {
+				if can.TorusDist(rec.Entry.Key, s.key) <= rec.Entry.Radius+s.radius {
+					hits++
+				}
+			}
+		}
+		s.n.cache.NoteFetchHits(s.level, v.ID, hits)
+	}
+	return v.NodeView, nil
+}
+
+// pullHotReplicas drains the level's hot-node queue after a lookup: each
+// holder that crossed the demand threshold is pulled whole and pinned, so the
+// next flood terminates at the replica. Best-effort — a failed pull just
+// leaves the node unpinned until demand re-queues it past the next decay.
+func (n *Node) pullHotReplicas(ctx context.Context, level int) {
+	for _, id := range n.cache.HotPending(level) {
+		epoch := n.mgr.Epoch(level)
+		sv, err := n.fetchReplica(ctx, level, id)
+		if err != nil {
+			continue
+		}
+		n.count("cache.replicate_pull")
+		n.cache.PutPinned(level, id, viewcache.View{NodeView: n.toNodeView(sv), Version: sv.Version}, epoch)
+	}
+}
+
+// memoKey encodes a query sphere for the lookup memo: the raw bits of the
+// radius and every key coordinate, so only bit-identical spheres collide.
+// Returned as a byte slice so the hit path can look it up without the
+// string-copy allocation (the cache only materialises a string on store).
+func memoKey(key []float64, radius float64) []byte {
+	buf := make([]byte, 8*(len(key)+1))
+	binary.BigEndian.PutUint64(buf, math.Float64bits(radius))
+	for i, x := range key {
+		binary.BigEndian.PutUint64(buf[8*(i+1):], math.Float64bits(x))
+	}
+	return buf
+}
+
 // searchSphere runs the full lookup for one level by driving the shared
 // route.Search machine over RPC-fetched views, with up to α can_search
-// probes in flight per flood step (rpcViews is safe for the concurrent View
-// calls RunAlpha makes; answers stay byte-identical to the serial drive).
+// probes in flight per flood step (both ViewSources are safe for the
+// concurrent View calls RunAlpha makes; answers stay byte-identical to the
+// serial drive). With Tuning.CacheViews the fetcher is composed behind the
+// view cache — same machine, same decisions, fewer RPCs — and whole
+// lookups are memoized per epoch: a repeat of a bit-identical query sphere
+// within one churn epoch skips the machine entirely and returns the recorded
+// entries and hops (deterministic machine + epoch-stable views ⇒ identical
+// result; see viewcache.GetSearch).
 func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
-	src := rpcViews{n: n, ctx: ctx, level: level, key: key, radius: radius}
+	if n.cache == nil {
+		src := rpcViews{n: n, ctx: ctx, level: level, key: key, radius: radius}
+		start, err := src.View(n.peer)
+		if err != nil {
+			return nil, 0, err
+		}
+		s := route.NewSearch(start, key, radius, n.hopLimit())
+		entries, hops, err := route.RunAlpha(s, src, n.tuning.Alpha)
+		if err != nil {
+			return nil, hops, fmt.Errorf("node: level %d search at %v: %w", level, key, err)
+		}
+		return entries, hops, nil
+	}
+
+	mk := memoKey(key, radius)
+	epoch := n.mgr.Epoch(level)
+	if entries, hops, ok := n.cache.GetSearch(level, mk, epoch); ok {
+		return entries, hops, nil
+	}
+	src := route.SourceFunc(cachedViews{n: n, ctx: ctx, level: level, key: key, radius: radius}.view)
 	start, err := src.View(n.peer)
 	if err != nil {
 		return nil, 0, err
 	}
 	s := route.NewSearch(start, key, radius, n.hopLimit())
 	entries, hops, err := route.RunAlpha(s, src, n.tuning.Alpha)
+	if n.tuning.HotReplicate {
+		n.pullHotReplicas(ctx, level)
+	}
 	if err != nil {
 		return nil, hops, fmt.Errorf("node: level %d search at %v: %w", level, key, err)
+	}
+	// Memoize only runs whose epoch held steady end to end: an epoch bump
+	// mid-search may have mixed views from two topologies, and such a result
+	// must not outlive the lookup that produced it.
+	if n.mgr.Epoch(level) == epoch {
+		n.cache.PutSearch(level, mk, entries, hops, epoch)
 	}
 	return entries, hops, nil
 }
@@ -118,13 +318,26 @@ func (b *netBackend) FetchRange(from, peer int, q []float64, eps float64) ([]int
 		n.mu.RUnlock()
 		return ids, nil
 	}
+	body := encodeFetchRangeReq(q, eps)
+	if n.tuning.CacheViews {
+		v, unavailable, err := n.cachedFetch(context.Background(), peer, 'r', methodFetchRange, body, func(b []byte) (any, error) {
+			return decodeFetchRangeResp(b)
+		})
+		if unavailable || err != nil {
+			// Backend contract: a dead or unreachable peer yields no items
+			// and no error — the same answer the simulator oracle gives for
+			// a peer that left the deployment.
+			return nil, err
+		}
+		return v.([]int), nil
+	}
 	addr, err := n.peerAddr(peer)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := n.client.Call(context.Background(), addr, transport.Request{
 		Method: methodFetchRange,
-		Body:   encodeFetchRangeReq(q, eps),
+		Body:   body,
 	})
 	if errors.Is(err, transport.ErrUnavailable) {
 		// Backend contract: a dead or unreachable peer yields no items and
@@ -146,13 +359,24 @@ func (b *netBackend) FetchKNN(from, peer int, q []float64, k int) ([]core.ItemDi
 		n.mu.RUnlock()
 		return items, nil
 	}
+	body := encodeFetchKNNReq(q, k)
+	if n.tuning.CacheViews {
+		v, unavailable, err := n.cachedFetch(context.Background(), peer, 'k', methodFetchKNN, body, func(b []byte) (any, error) {
+			return decodeFetchKNNResp(b)
+		})
+		if unavailable || err != nil {
+			// See FetchRange: dead peers contribute nothing, as in the oracle.
+			return nil, err
+		}
+		return v.([]core.ItemDist), nil
+	}
 	addr, err := n.peerAddr(peer)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := n.client.Call(context.Background(), addr, transport.Request{
 		Method: methodFetchKNN,
-		Body:   encodeFetchKNNReq(q, k),
+		Body:   body,
 	})
 	if errors.Is(err, transport.ErrUnavailable) {
 		// See FetchRange: dead peers contribute nothing, as in the oracle.

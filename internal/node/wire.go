@@ -13,12 +13,16 @@ import (
 // the transport codec; float64 values cross the wire bit-exactly, which the
 // determinism oracle depends on.
 const (
-	methodRange      = "range"       // client → node: run a range query as this peer
-	methodKNN        = "knn"         // client → node: run a k-nn query as this peer
-	methodPublish    = "publish"     // client → node: post-insert one item
-	methodCanSearch  = "can_search"  // node → node: one hop of an overlay lookup
-	methodFetchRange = "fetch_range" // node → node: phase-two local range scan
-	methodFetchKNN   = "fetch_knn"   // node → node: phase-two local k-nn scan
+	methodRange       = "range"          // client → node: run a range query as this peer
+	methodKNN         = "knn"            // client → node: run a k-nn query as this peer
+	methodPublish     = "publish"        // client → node: post-insert one item
+	methodCanSearch   = "can_search"     // node → node: one hop of an overlay lookup
+	methodFetchRange  = "fetch_range"    // node → node: phase-two local range scan
+	methodFetchKNN    = "fetch_knn"      // node → node: phase-two local k-nn scan
+	methodViewVersion = "view_version"   // node → node: cheap cache-revalidation version check
+	methodReplicate   = "replicate_refs" // node → node: pull a hot node's full view for pinning
+	methodFetchSub    = "fetch_sub"      // node → node: register for fetch invalidations
+	methodFetchInval  = "inval_fetch"    // node → node: holder's item store changed, drop its entries
 )
 
 // ---- range ----
@@ -40,6 +44,7 @@ func decodeRangeReq(b []byte) (q []float64, eps float64, opts core.RangeOptions,
 }
 
 func encodeScores(e *transport.Encoder, scores []core.PeerScore) {
+	e.Grow(4 + 16*len(scores))
 	e.U32(uint32(len(scores)))
 	for _, s := range scores {
 		e.Int(s.Peer)
@@ -137,34 +142,47 @@ func decodePublishReq(b []byte) (id int, item []float64, err error) {
 
 // ---- can_search ----
 
-func encodeSearchReq(level int, key []float64, radius float64) []byte {
+// The full flag asks for the node's complete record stores instead of the
+// per-sphere filtered slice — what a view cache stores so the cached copy can
+// answer any later sphere (the searcher's own filter is idempotent).
+func encodeSearchReq(level int, key []float64, radius float64, full bool) []byte {
 	var e transport.Encoder
 	e.Int(level)
 	e.Floats(key)
 	e.F64(radius)
+	if full {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
 	return e.Bytes()
 }
 
-func decodeSearchReq(b []byte) (level int, key []float64, radius float64, err error) {
+func decodeSearchReq(b []byte) (level int, key []float64, radius float64, full bool, err error) {
 	d := transport.NewDecoder(b)
 	level = d.Int()
 	key = d.Floats()
 	radius = d.F64()
-	return level, key, radius, d.Finish()
+	full = d.U8() != 0
+	return level, key, radius, full, d.Finish()
 }
 
 // searchView is one node's answer to a can_search hop: its identity and
-// zones (routing), its neighbor table (the coordinator's next-hop and flood
-// decisions; addresses included so coordinators learn how to reach peers that
-// joined after their address book was seeded), and its stored records
-// matching the query sphere, in storage order (owned first, then replicas)
-// with their overlay sequence numbers so the coordinator deduplicates
-// replicas exactly like the in-process flood.
+// zones (routing), its per-level state version (the cache revalidation
+// token), its neighbor table (the coordinator's next-hop and flood decisions;
+// addresses included so coordinators learn how to reach peers that joined
+// after their address book was seeded), and its stored records — owned and
+// replicas kept separate, each in storage order, with their overlay sequence
+// numbers so the coordinator deduplicates replicas exactly like the
+// in-process flood. Filtered responses carry the records matching the query
+// sphere; full responses (cache fills) carry everything.
 type searchView struct {
 	ID        int
+	Version   uint64
 	Zones     []can.Zone
 	Neighbors []membership.Neighbor
-	Records   []can.RecordView
+	Owned     []can.RecordView
+	Replicas  []can.RecordView
 }
 
 // searchRespSize is the exact wire size of encodeSearchResp's output, so the
@@ -178,24 +196,31 @@ func searchRespSize(v searchView) int {
 		}
 		return n
 	}
-	n := 8 + zones(v.Zones) + 4
+	recs := func(rs []can.RecordView) int {
+		n := 4
+		for _, rec := range rs {
+			n += 8 + 4 + 8*len(rec.Entry.Key) + 8 + 24 + 4 + 8*len(rec.Entry.Key) + 8 + 8
+		}
+		return n
+	}
+	n := 8 + 8 + zones(v.Zones) + 4
 	for _, nb := range v.Neighbors {
 		n += 8 + 4 + len(nb.Addr) + zones(nb.Zones)
 	}
-	n += 4
-	for _, rec := range v.Records {
-		n += 8 + 4 + 8*len(rec.Entry.Key) + 8 + 24 + 4 + 8*len(rec.Entry.Key) + 8 + 8
-	}
-	return n
+	return n + recs(v.Owned) + recs(v.Replicas)
 }
 
 func encodeSearchResp(v searchView) ([]byte, error) {
 	var e transport.Encoder
 	e.Grow(searchRespSize(v))
 	e.Int(v.ID)
+	e.U64(v.Version)
 	membership.EncodeZones(&e, v.Zones)
 	membership.EncodeNeighbors(&e, v.Neighbors)
-	if err := membership.EncodeRecords(&e, v.Records); err != nil {
+	if err := membership.EncodeRecords(&e, v.Owned); err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	if err := membership.EncodeRecords(&e, v.Replicas); err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}
 	return e.Bytes(), nil
@@ -205,10 +230,72 @@ func decodeSearchResp(b []byte) (searchView, error) {
 	d := transport.NewDecoder(b)
 	var v searchView
 	v.ID = d.Int()
+	v.Version = d.U64()
 	v.Zones = membership.DecodeZones(d)
 	v.Neighbors = membership.DecodeNeighbors(d)
-	v.Records = membership.DecodeRecords(d)
+	v.Owned = membership.DecodeRecords(d)
+	v.Replicas = membership.DecodeRecords(d)
 	return v, d.Finish()
+}
+
+// ---- view_version / replicate_refs ----
+
+// Both requests name only a level: view_version answers with the responder's
+// current state version (8 bytes — the cheap revalidation probe), and
+// replicate_refs answers with its full searchView (the hot-replica pull).
+func encodeLevelReq(level int) []byte {
+	var e transport.Encoder
+	e.Int(level)
+	return e.Bytes()
+}
+
+func decodeLevelReq(b []byte) (int, error) {
+	d := transport.NewDecoder(b)
+	level := d.Int()
+	return level, d.Finish()
+}
+
+func encodeVersionResp(v uint64) []byte {
+	var e transport.Encoder
+	e.U64(v)
+	return e.Bytes()
+}
+
+func decodeVersionResp(b []byte) (uint64, error) {
+	d := transport.NewDecoder(b)
+	v := d.U64()
+	return v, d.Finish()
+}
+
+// ---- fetch_sub / inval_fetch ----
+
+// fetch_sub carries the registering coordinator's id.
+func encodePeerReq(peer int) []byte {
+	var e transport.Encoder
+	e.Int(peer)
+	return e.Bytes()
+}
+
+func decodePeerReq(b []byte) (int, error) {
+	d := transport.NewDecoder(b)
+	peer := d.Int()
+	return peer, d.Finish()
+}
+
+// inval_fetch carries the holder's id and the newly published item, so
+// subscribers drop exactly the cached answers the item can change.
+func encodeInvalReq(holder int, item []float64) []byte {
+	var e transport.Encoder
+	e.Int(holder)
+	e.Floats(item)
+	return e.Bytes()
+}
+
+func decodeInvalReq(b []byte) (holder int, item []float64, err error) {
+	d := transport.NewDecoder(b)
+	holder = d.Int()
+	item = d.Floats()
+	return holder, item, d.Finish()
 }
 
 // ---- fetch_range ----
@@ -257,6 +344,7 @@ func decodeFetchKNNReq(b []byte) (q []float64, k int, err error) {
 
 func encodeFetchKNNResp(items []core.ItemDist) []byte {
 	var e transport.Encoder
+	e.Grow(4 + 16*len(items))
 	e.U32(uint32(len(items)))
 	for _, it := range items {
 		e.Int(it.ID)

@@ -102,6 +102,17 @@ type ViewSource interface {
 	View(id int) (NodeView, error)
 }
 
+// SourceFunc adapts a function to ViewSource, so drivers can compose sources
+// — a view cache consulted in front of an RPC fetcher, a fault injector
+// around an in-memory source — without declaring a type per combination.
+// Because every composition still yields one view per id, the machines'
+// decisions (and therefore the answers) are independent of which layer
+// actually produced the view; only the contact cost changes.
+type SourceFunc func(id int) (NodeView, error)
+
+// View calls f.
+func (f SourceFunc) View(id int) (NodeView, error) { return f(id) }
+
 // StepKind classifies one machine decision.
 type StepKind int
 

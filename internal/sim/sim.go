@@ -134,6 +134,20 @@ func (c *Counters) Get(name string) float64 {
 	return c.vals[name]
 }
 
+// Merge accumulates every counter from a Snapshot (or any name→value map)
+// into this set — how a load harness folds per-node serving counters into one
+// cluster-wide view.
+func (c *Counters) Merge(vals map[string]float64) {
+	c.mu.Lock()
+	if c.vals == nil {
+		c.vals = make(map[string]float64, len(vals))
+	}
+	for k, v := range vals {
+		c.vals[k] += v
+	}
+	c.mu.Unlock()
+}
+
 // Reset clears every counter.
 func (c *Counters) Reset() {
 	c.mu.Lock()

@@ -175,6 +175,29 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+func TestCountersMerge(t *testing.T) {
+	var a, b Counters
+	a.Add("cache.hit", 3)
+	a.Add("rpc.can_search", 2)
+	b.Add("cache.hit", 4)
+	b.Add("cache.miss", 1)
+	a.Merge(b.Snapshot())
+	if got := a.Get("cache.hit"); got != 7 {
+		t.Errorf("merged cache.hit = %v, want 7", got)
+	}
+	if got := a.Get("cache.miss"); got != 1 {
+		t.Errorf("merged cache.miss = %v, want 1", got)
+	}
+	if got := a.Get("rpc.can_search"); got != 2 {
+		t.Errorf("merged rpc.can_search = %v, want 2", got)
+	}
+	var zero Counters
+	zero.Merge(b.Snapshot()) // zero-value receiver must lazily allocate
+	if got := zero.Get("cache.hit"); got != 4 {
+		t.Errorf("zero-value merge cache.hit = %v, want 4", got)
+	}
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

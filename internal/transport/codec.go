@@ -34,22 +34,28 @@ func (e *Encoder) U8(v uint8) { e.b = append(e.b, v) }
 // U32 appends a big-endian uint32.
 func (e *Encoder) U32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
 
+// U64 appends a big-endian uint64 (state version counters).
+func (e *Encoder) U64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+
 // Int appends an int as a big-endian int64.
 func (e *Encoder) Int(v int) { e.b = binary.BigEndian.AppendUint64(e.b, uint64(int64(v))) }
 
 // F64 appends a float64 bit pattern.
 func (e *Encoder) F64(v float64) { e.b = binary.BigEndian.AppendUint64(e.b, math.Float64bits(v)) }
 
-// Floats appends a length-prefixed []float64.
+// Floats appends a length-prefixed []float64. The fixed-width format makes
+// the size exact, so the whole sequence costs at most one allocation.
 func (e *Encoder) Floats(v []float64) {
+	e.Grow(4 + 8*len(v))
 	e.U32(uint32(len(v)))
 	for _, x := range v {
 		e.F64(x)
 	}
 }
 
-// Ints appends a length-prefixed []int.
+// Ints appends a length-prefixed []int (sized up front, like Floats).
 func (e *Encoder) Ints(v []int) {
+	e.Grow(4 + 8*len(v))
 	e.U32(uint32(len(v)))
 	for _, x := range v {
 		e.Int(x)
@@ -58,6 +64,7 @@ func (e *Encoder) Ints(v []int) {
 
 // String appends a length-prefixed UTF-8 string.
 func (e *Encoder) String(s string) {
+	e.Grow(4 + len(s))
 	e.U32(uint32(len(s)))
 	e.b = append(e.b, s...)
 }
@@ -118,6 +125,15 @@ func (d *Decoder) U32() uint32 {
 		return 0
 	}
 	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
 }
 
 // Int reads an int written by Encoder.Int.

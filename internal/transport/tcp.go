@@ -70,16 +70,6 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return rest, nil
 }
 
-func encodeRequest(req Request) ([]byte, error) {
-	if len(req.Method) > 255 {
-		return nil, fmt.Errorf("transport: method name %q too long", req.Method)
-	}
-	out := make([]byte, 0, 1+len(req.Method)+len(req.Body))
-	out = append(out, byte(len(req.Method)))
-	out = append(out, req.Method...)
-	return append(out, req.Body...), nil
-}
-
 func decodeRequest(payload []byte) (Request, error) {
 	if len(payload) < 1 {
 		return Request{}, fmt.Errorf("transport: empty request frame")
@@ -136,11 +126,30 @@ type frameWriter struct {
 	conn net.Conn
 	mu   sync.Mutex
 	buf  []byte
-	wake chan struct{}
-	stop chan struct{}
-	done chan struct{}
-	err  error
+	// spare is the batch the writer goroutine last flushed, handed back for
+	// reuse once its conn.Write returns. Two buffers alternate: enqueuers fill
+	// one while the syscall drains the other, so steady-state batching costs
+	// no allocation.
+	spare []byte
+	wake  chan struct{}
+	stop  chan struct{}
+	done  chan struct{}
+	err   error
 }
+
+// takeBuf returns the current append target, reviving the recycled batch
+// buffer when the live one was just handed to the writer goroutine. Callers
+// hold w.mu.
+func (w *frameWriter) takeBuf() []byte {
+	if w.buf == nil && w.spare != nil {
+		w.buf, w.spare = w.spare[:0], nil
+	}
+	return w.buf
+}
+
+// maxRecycledBatch bounds the batch buffer kept for reuse; larger one-off
+// bursts are left to the garbage collector.
+const maxRecycledBatch = 1 << 20
 
 func newFrameWriter(conn net.Conn) *frameWriter {
 	w := &frameWriter{conn: conn, wake: make(chan struct{}, 1), stop: make(chan struct{}), done: make(chan struct{})}
@@ -156,13 +165,55 @@ func (w *frameWriter) enqueue(msgid uint64, payload []byte) bool {
 		w.mu.Unlock()
 		return false
 	}
-	w.buf = appendFrame(w.buf, msgid, payload)
+	w.buf = appendFrame(w.takeBuf(), msgid, payload)
 	w.mu.Unlock()
+	w.kick()
+	return true
+}
+
+// enqueueOK appends one success-status response frame, laying the header,
+// status byte, and body straight into the writer's buffer — the per-response
+// intermediate of the generic enqueue+encodeStatus pair, skipped on the path
+// every successful RPC takes.
+func (w *frameWriter) enqueueOK(msgid uint64, body []byte) bool {
+	w.mu.Lock()
+	if w.err != nil {
+		w.mu.Unlock()
+		return false
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.takeBuf(), uint32(8+1+len(body)))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, msgid)
+	w.buf = append(w.buf, statusOK)
+	w.buf = append(w.buf, body...)
+	w.mu.Unlock()
+	w.kick()
+	return true
+}
+
+// enqueueRequest appends one request frame, laying method and body straight
+// into the writer's buffer (the client-side twin of enqueueOK).
+func (w *frameWriter) enqueueRequest(msgid uint64, method string, body []byte) bool {
+	w.mu.Lock()
+	if w.err != nil {
+		w.mu.Unlock()
+		return false
+	}
+	w.buf = binary.BigEndian.AppendUint32(w.takeBuf(), uint32(8+1+len(method)+len(body)))
+	w.buf = binary.BigEndian.AppendUint64(w.buf, msgid)
+	w.buf = append(w.buf, byte(len(method)))
+	w.buf = append(w.buf, method...)
+	w.buf = append(w.buf, body...)
+	w.mu.Unlock()
+	w.kick()
+	return true
+}
+
+// kick wakes the writer goroutine if it is idle.
+func (w *frameWriter) kick() {
 	select {
 	case w.wake <- struct{}{}:
 	default:
 	}
-	return true
 }
 
 func (w *frameWriter) loop() {
@@ -187,6 +238,15 @@ func (w *frameWriter) loop() {
 				w.buf = nil
 				w.mu.Unlock()
 				return
+			}
+			// Written out; hand the batch back for reuse (bounded, so one
+			// burst cannot pin a huge buffer forever).
+			if cap(buf) <= maxRecycledBatch {
+				w.mu.Lock()
+				if w.spare == nil {
+					w.spare = buf[:0]
+				}
+				w.mu.Unlock()
 			}
 		}
 	}
@@ -267,9 +327,8 @@ func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Resp
 	t.mu.Unlock()
 	defer t.calls.Done()
 
-	payload, err := encodeRequest(req)
-	if err != nil {
-		return Response{}, err
+	if len(req.Method) > 255 {
+		return Response{}, fmt.Errorf("transport: method name %q too long", req.Method)
 	}
 	// One retry: a pooled connection may have died between lookup and send.
 	// Only errConnGone (frame never written) re-dials; a frame that may have
@@ -280,7 +339,7 @@ func (t *TCPTransport) Call(ctx context.Context, addr string, req Request) (Resp
 		if err != nil {
 			return Response{}, err
 		}
-		resp, err := mc.call(ctx, payload)
+		resp, err := mc.call(ctx, req)
 		if errors.Is(err, errConnGone) && attempt == 0 {
 			continue
 		}
@@ -351,7 +410,7 @@ func (t *TCPTransport) dropSlot(addr string, slot *connSlot) {
 
 // call registers one msgid, queues the request frame, and waits for the
 // correlated response, the context, or the connection's death.
-func (c *muxConn) call(ctx context.Context, payload []byte) (Response, error) {
+func (c *muxConn) call(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -363,7 +422,7 @@ func (c *muxConn) call(ctx context.Context, payload []byte) (Response, error) {
 	c.inflight[id] = ch
 	c.mu.Unlock()
 
-	if !c.w.enqueue(id, payload) {
+	if !c.w.enqueueRequest(id, req.Method, req.Body) {
 		// Writer already failed: the frame was never written.
 		c.forget(id)
 		return Response{}, errConnGone
@@ -599,7 +658,11 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		go func() {
 			defer s.wg.Done()
 			resp, err := s.h(s.ctx, req)
-			w.enqueue(id, encodeStatus(resp, err))
+			if err == nil {
+				w.enqueueOK(id, resp.Body)
+			} else {
+				w.enqueue(id, encodeStatus(resp, err))
+			}
 		}()
 	}
 }

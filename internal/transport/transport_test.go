@@ -234,6 +234,7 @@ func TestFailureModes(t *testing.T) {
 func TestCodecRoundTrip(t *testing.T) {
 	var e Encoder
 	e.U8(7)
+	e.U64(1<<63 + 9)
 	e.Int(-42)
 	e.F64(3.14159)
 	e.Floats([]float64{1.5, -2.5, 0})
@@ -244,6 +245,9 @@ func TestCodecRoundTrip(t *testing.T) {
 	d := NewDecoder(e.Bytes())
 	if v := d.U8(); v != 7 {
 		t.Fatalf("U8 = %d", v)
+	}
+	if v := d.U64(); v != 1<<63+9 {
+		t.Fatalf("U64 = %d", v)
 	}
 	if v := d.Int(); v != -42 {
 		t.Fatalf("Int = %d", v)

@@ -1,0 +1,424 @@
+// Package viewcache is the per-node cache of overlay views that turns repeat
+// lookups from O(hops·zones) RPCs into O(1): a per-level LRU of full
+// route.NodeViews keyed by node id, with churn-epoch invalidation, negative
+// caching for dead peers, and demand-driven pinning of hot nodes' views
+// (replicas of the cluster refs everyone keeps asking for).
+//
+// Soundness rests on one repo invariant: the overlay state a can_search view
+// carries — zones, neighbor table, owned/replica records — changes *only*
+// through membership events (join split, leave handoff, crash takeover, zone
+// broadcast, recovery merge). Publishing new items never touches it (the
+// paper's stale-summary semantics, core.System.PostInsert). So:
+//
+//   - every view is stamped with the responder's per-level state Version
+//     (bumped on each of its own mutations) and the coordinator's per-level
+//     churn Epoch (bumped on every membership event the coordinator observes);
+//   - a cached view whose epoch is current is trusted outright — no
+//     membership event was observed since it was fetched, so the responder's
+//     state cannot have changed in a way this node could ever learn about;
+//   - a view from an older epoch is *revalidated*, never trusted: a cheap
+//     view_version RPC compares the responder's current Version, refreshing
+//     the entry on a match and refetching on a mismatch.
+//
+// Either way the coordinator feeds the routing machines exactly the view a
+// direct can_search would return, so cached answers are byte-identical to the
+// uncached serial reference — stale entries can cost an extra RPC, never a
+// wrong result (the differential test in internal/node proves it across
+// seeded churned topologies).
+//
+// Negative entries memoize unreachable peers within a single epoch: a flood
+// that lost a wave to a crashed node should not re-dial it on the very next
+// query, but any membership event clears the verdict (the peer may have been
+// replaced).
+//
+// Hotness: the cache keeps a windowed sketch of per-record fetch hits
+// attributed to the node holding the record. When a holder's records cross
+// the threshold, the node is marked hot; the owner (internal/node) pulls its
+// full view via replicate_refs and installs it pinned — exempt from LRU
+// eviction, so the flood short-circuits at the replica for as long as the
+// demand lasts. Pinned entries expire after ReplicaTTL epochs without
+// revalidation, so churn cannot resurrect stale records from a long-dead
+// topology.
+package viewcache
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"hyperm/internal/overlay"
+	"hyperm/internal/route"
+	"hyperm/internal/sim"
+)
+
+// Outcome classifies one cache probe.
+type Outcome int
+
+const (
+	// Miss: nothing cached (or the entry expired) — fetch the view.
+	Miss Outcome = iota
+	// Hit: a view cached at the current epoch — use it, no RPC.
+	Hit
+	// Stale: a view cached at an older epoch — revalidate its version
+	// before use, never trust it.
+	Stale
+	// NegHit: a failure cached at the current epoch — fail fast.
+	NegHit
+)
+
+// View is a cached node view plus the responder-side state version it was
+// fetched at (the revalidation token).
+type View struct {
+	route.NodeView
+	Version uint64
+	// Pinned is set on views returned from Get/Confirm when the entry is a
+	// pinned replica — the holder is already replicated, so callers can skip
+	// feeding the hotness sketch for it. Ignored on Put.
+	Pinned bool
+}
+
+// Options tunes one cache. The zero value gets defaults from New.
+type Options struct {
+	// Capacity bounds the number of unpinned entries per level (LRU
+	// eviction beyond it). Default 1024.
+	Capacity int
+	// HotThreshold is the number of windowed fetch hits that mark a holder
+	// hot (<= 0 disables hotness tracking entirely).
+	HotThreshold int
+	// HotWindow is the total hit count at which the sketch decays (all
+	// per-holder counts halve), so hotness tracks current demand rather
+	// than all-time popularity. Default 64 * HotThreshold.
+	HotWindow int
+	// ReplicaTTL is how many epochs a pinned entry may lag behind without a
+	// successful revalidation before it is dropped outright. Default 8.
+	ReplicaTTL uint64
+	// PathCapacity bounds the per-level lookup memo (GetSearch/PutSearch),
+	// LRU-evicted beyond it. Default 4096.
+	PathCapacity int
+	// Counters receives the cache telemetry ("cache.hit", "cache.miss",
+	// "cache.stale", "cache.neg_hit", "cache.evict", "cache.replica_hit",
+	// "cache.pin", "cache.path_hit", "cache.path_miss", "cache.path_evict").
+	// Optional.
+	Counters *sim.Counters
+}
+
+type entry struct {
+	id      int
+	view    View
+	err     error // non-nil: negative entry (view is zero)
+	epoch   uint64
+	pinned  bool
+	lruElem *list.Element // nil while pinned
+}
+
+// memoEntry is one memoized lookup: the full level-search result for an
+// exact (key, radius), valid only at the epoch it was recorded.
+type memoEntry struct {
+	key     string
+	entries []overlay.Entry
+	hops    int
+	epoch   uint64
+	lruElem *list.Element
+}
+
+// levelCache is one level's entries plus its hotness sketch and lookup memo.
+type levelCache struct {
+	entries map[int]*entry
+	lru     *list.List // front = most recent; unpinned entries only
+	// hits[holder] counts windowed fetch hits attributed to holder's
+	// records; total is the window fill.
+	hits    map[int]int
+	total   int
+	pending map[int]bool // holders newly crossed the threshold, not yet pulled
+	// memo caches whole level-search results by encoded (key, radius); see
+	// GetSearch for the epoch argument that makes this sound.
+	memo    map[string]*memoEntry
+	memoLRU *list.List
+}
+
+// Cache is a per-node, per-level view cache. Safe for concurrent use.
+type Cache struct {
+	opts Options
+
+	mu     sync.Mutex
+	levels []levelCache
+}
+
+// New builds a cache with one slot set per CAN level.
+func New(levels int, opts Options) *Cache {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1024
+	}
+	if opts.ReplicaTTL == 0 {
+		opts.ReplicaTTL = 8
+	}
+	if opts.HotWindow <= 0 {
+		opts.HotWindow = 64 * opts.HotThreshold
+	}
+	if opts.PathCapacity <= 0 {
+		opts.PathCapacity = 4096
+	}
+	c := &Cache{opts: opts, levels: make([]levelCache, levels)}
+	for l := range c.levels {
+		c.levels[l] = levelCache{
+			entries: map[int]*entry{},
+			lru:     list.New(),
+			hits:    map[int]int{},
+			pending: map[int]bool{},
+			memo:    map[string]*memoEntry{},
+			memoLRU: list.New(),
+		}
+	}
+	return c
+}
+
+func (c *Cache) count(name string) {
+	if c.opts.Counters != nil {
+		c.opts.Counters.Add(name, 1)
+	}
+}
+
+// Get probes the cache for node id's view at the coordinator's current churn
+// epoch. The returned error is only meaningful for NegHit (the memoized
+// failure); the View only for Hit and Stale.
+func (c *Cache) Get(level, id int, epoch uint64) (View, Outcome, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	e := lc.entries[id]
+	if e == nil {
+		c.count("cache.miss")
+		return View{}, Miss, nil
+	}
+	if e.err != nil {
+		// Negative entries are valid within their epoch only: any observed
+		// membership event may have replaced the dead peer's zone.
+		if e.epoch == epoch {
+			c.count("cache.neg_hit")
+			return View{}, NegHit, e.err
+		}
+		lc.remove(e)
+		c.count("cache.miss")
+		return View{}, Miss, nil
+	}
+	if e.epoch == epoch {
+		v := e.view
+		if e.pinned {
+			v.Pinned = true
+			c.count("cache.replica_hit")
+		} else {
+			lc.lru.MoveToFront(e.lruElem)
+			c.count("cache.hit")
+		}
+		return v, Hit, nil
+	}
+	if e.pinned && epoch-e.epoch >= c.opts.ReplicaTTL {
+		// A replica that outlived its TTL without revalidation is dropped,
+		// not revalidated: the demand that pinned it is long gone.
+		lc.remove(e)
+		c.count("cache.miss")
+		return View{}, Miss, nil
+	}
+	c.count("cache.stale")
+	return e.view, Stale, nil
+}
+
+// Confirm refreshes an entry after a successful version match (view_version
+// returned the cached Version): its epoch advances to the current one and the
+// view is returned for use. ok is false when the entry vanished concurrently
+// (evicted by another lookup) — treat as a miss.
+func (c *Cache) Confirm(level, id int, epoch uint64) (View, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	e := lc.entries[id]
+	if e == nil || e.err != nil {
+		return View{}, false
+	}
+	e.epoch = epoch
+	v := e.view
+	if e.pinned {
+		v.Pinned = true
+	} else {
+		lc.lru.MoveToFront(e.lruElem)
+	}
+	return v, true
+}
+
+// Put installs a freshly fetched view at the given epoch, evicting the
+// least-recently-used unpinned entry beyond capacity.
+func (c *Cache) Put(level, id int, v View, epoch uint64) {
+	c.put(level, id, v, nil, epoch, false)
+}
+
+// PutNegative memoizes a fetch failure (an unreachable peer) at the given
+// epoch.
+func (c *Cache) PutNegative(level, id int, err error, epoch uint64) {
+	c.put(level, id, View{}, err, epoch, false)
+}
+
+// PutPinned installs a replicated view exempt from LRU eviction (hot-node
+// replica). It expires only by ReplicaTTL, version mismatch, or Invalidate.
+func (c *Cache) PutPinned(level, id int, v View, epoch uint64) {
+	c.count("cache.pin")
+	c.put(level, id, v, nil, epoch, true)
+}
+
+func (c *Cache) put(level, id int, v View, err error, epoch uint64, pinned bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	if e := lc.entries[id]; e != nil {
+		lc.remove(e)
+	}
+	e := &entry{id: id, view: v, err: err, epoch: epoch, pinned: pinned}
+	if !pinned {
+		e.lruElem = lc.lru.PushFront(e)
+	}
+	lc.entries[id] = e
+	for lc.lru.Len() > c.opts.Capacity {
+		victim := lc.lru.Back().Value.(*entry)
+		lc.remove(victim)
+		c.count("cache.evict")
+	}
+}
+
+// Invalidate drops node id's entry (version mismatch, or an RPC observed the
+// peer in a state that contradicts the cache).
+func (c *Cache) Invalidate(level, id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	if e := lc.entries[id]; e != nil {
+		lc.remove(e)
+	}
+}
+
+// remove unlinks an entry from the level (both index and LRU list).
+func (lc *levelCache) remove(e *entry) {
+	if e.lruElem != nil {
+		lc.lru.Remove(e.lruElem)
+		e.lruElem = nil
+	}
+	delete(lc.entries, e.id)
+}
+
+// Len returns the number of entries cached at a level (pinned included).
+func (c *Cache) Len(level int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.levels[level].entries)
+}
+
+// NoteFetchHit records that a lookup used a record held by holder at this
+// level — the demand signal of the hotness sketch. When holder's windowed
+// count crosses HotThreshold it is queued for replication (HotPending).
+func (c *Cache) NoteFetchHit(level, holder int) { c.NoteFetchHits(level, holder, 1) }
+
+// NoteFetchHits is NoteFetchHit batched: one lock round for all of a view's
+// record hits from a single lookup. Already-pinned holders need no demand
+// tracking (they cannot be re-queued while pinned), so callers skip the call
+// for views returned with Pinned set.
+func (c *Cache) NoteFetchHits(level, holder, n int) {
+	if c.opts.HotThreshold <= 0 || n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	before := lc.hits[holder]
+	lc.hits[holder] = before + n
+	lc.total += n
+	if before < c.opts.HotThreshold && before+n >= c.opts.HotThreshold {
+		if e := lc.entries[holder]; e == nil || !e.pinned {
+			lc.pending[holder] = true
+		}
+	}
+	if lc.total >= c.opts.HotWindow {
+		// Window decay: halve every count so hotness follows current demand.
+		lc.total = 0
+		for id, n := range lc.hits {
+			if n /= 2; n == 0 {
+				delete(lc.hits, id)
+			} else {
+				lc.hits[id] = n
+				lc.total += n
+			}
+		}
+	}
+}
+
+// GetSearch probes the lookup memo: the entries and hop count a full level
+// search produced for this exact encoded (key, radius), recorded at the
+// current epoch. Sound for the same reason same-epoch view hits are: a level
+// search is a deterministic function of the query sphere and the per-node
+// views, views mutate only through membership events, and every observable
+// membership event bumps the epoch — so within one epoch a repeat search
+// would walk the same path, collect the same records, and charge the same
+// hops. A memo recorded at an older epoch is dropped, never trusted (unlike
+// views there is no cheap single-peer revalidation for a whole path).
+//
+// Callers must treat the returned entries as read-only: the slice is shared
+// between every repeat of the query within the epoch.
+func (c *Cache) GetSearch(level int, key []byte, epoch uint64) ([]overlay.Entry, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	m := lc.memo[string(key)] // no-alloc map lookup
+	if m == nil {
+		c.count("cache.path_miss")
+		return nil, 0, false
+	}
+	if m.epoch != epoch {
+		lc.removeMemo(m)
+		c.count("cache.path_miss")
+		return nil, 0, false
+	}
+	lc.memoLRU.MoveToFront(m.lruElem)
+	c.count("cache.path_hit")
+	return m.entries, m.hops, true
+}
+
+// PutSearch memoizes one completed level search at the epoch it ran under.
+// The caller is responsible for only recording searches whose epoch did not
+// advance mid-run (compare the epoch before and after driving the machine).
+func (c *Cache) PutSearch(level int, key []byte, entries []overlay.Entry, hops int, epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	if m := lc.memo[string(key)]; m != nil {
+		lc.removeMemo(m)
+	}
+	m := &memoEntry{key: string(key), entries: entries, hops: hops, epoch: epoch}
+	m.lruElem = lc.memoLRU.PushFront(m)
+	lc.memo[m.key] = m
+	for lc.memoLRU.Len() > c.opts.PathCapacity {
+		victim := lc.memoLRU.Back().Value.(*memoEntry)
+		lc.removeMemo(victim)
+		c.count("cache.path_evict")
+	}
+}
+
+func (lc *levelCache) removeMemo(m *memoEntry) {
+	lc.memoLRU.Remove(m.lruElem)
+	delete(lc.memo, m.key)
+}
+
+// HotPending drains the set of holders that crossed the hotness threshold
+// since the last call, in ascending id order. The caller is expected to pull
+// each holder's full view (replicate_refs) and PutPinned it.
+func (c *Cache) HotPending(level int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc := &c.levels[level]
+	if len(lc.pending) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(lc.pending))
+	for id := range lc.pending {
+		out = append(out, id)
+	}
+	lc.pending = map[int]bool{}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package viewcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"hyperm/internal/route"
+	"hyperm/internal/sim"
+)
+
+func view(id int, version uint64) View {
+	return View{NodeView: route.NodeView{ID: id}, Version: version}
+}
+
+func TestHitStaleConfirm(t *testing.T) {
+	var ctr sim.Counters
+	c := New(2, Options{Capacity: 8, Counters: &ctr})
+
+	if _, out, _ := c.Get(0, 3, 0); out != Miss {
+		t.Fatalf("empty cache: outcome %v, want Miss", out)
+	}
+	c.Put(0, 3, view(3, 7), 0)
+	v, out, _ := c.Get(0, 3, 0)
+	if out != Hit || v.Version != 7 || v.ID != 3 {
+		t.Fatalf("same-epoch probe: outcome %v view %+v", out, v)
+	}
+	// Epoch advanced: the entry must come back Stale, never Hit.
+	if _, out, _ := c.Get(0, 3, 1); out != Stale {
+		t.Fatalf("post-churn probe: outcome %v, want Stale", out)
+	}
+	// A version match refreshes the entry to the current epoch.
+	if _, ok := c.Confirm(0, 3, 1); !ok {
+		t.Fatal("Confirm lost the entry")
+	}
+	if _, out, _ := c.Get(0, 3, 1); out != Hit {
+		t.Fatal("confirmed entry not Hit at the new epoch")
+	}
+	// Levels are independent.
+	if _, out, _ := c.Get(1, 3, 0); out != Miss {
+		t.Fatal("level 1 saw level 0's entry")
+	}
+	if ctr.Get("cache.stale") != 1 || ctr.Get("cache.hit") != 2 {
+		t.Fatalf("counters: %v", ctr.Snapshot())
+	}
+}
+
+func TestNegativeEntriesExpireWithEpoch(t *testing.T) {
+	c := New(1, Options{})
+	dead := errors.New("peer unreachable")
+	c.PutNegative(0, 5, dead, 4)
+	_, out, err := c.Get(0, 5, 4)
+	if out != NegHit || !errors.Is(err, dead) {
+		t.Fatalf("same-epoch negative probe: outcome %v err %v", out, err)
+	}
+	// Any membership event clears the verdict: the zone may have a new owner.
+	if _, out, _ := c.Get(0, 5, 5); out != Miss {
+		t.Fatalf("post-churn negative probe: outcome %v, want Miss", out)
+	}
+	if _, out, _ := c.Get(0, 5, 5); out != Miss {
+		t.Fatal("expired negative entry was not dropped")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	var ctr sim.Counters
+	c := New(1, Options{Capacity: 2, Counters: &ctr})
+	c.Put(0, 1, view(1, 0), 0)
+	c.Put(0, 2, view(2, 0), 0)
+	c.Get(0, 1, 0) // touch 1: now 2 is the LRU victim
+	c.Put(0, 3, view(3, 0), 0)
+	if _, out, _ := c.Get(0, 2, 0); out != Miss {
+		t.Fatal("LRU victim 2 still cached")
+	}
+	for _, id := range []int{1, 3} {
+		if _, out, _ := c.Get(0, id, 0); out != Hit {
+			t.Fatalf("entry %d evicted, want resident", id)
+		}
+	}
+	if ctr.Get("cache.evict") != 1 {
+		t.Fatalf("evictions: %v", ctr.Get("cache.evict"))
+	}
+}
+
+func TestPinnedEntries(t *testing.T) {
+	var ctr sim.Counters
+	c := New(1, Options{Capacity: 1, ReplicaTTL: 3, Counters: &ctr})
+	c.PutPinned(0, 9, view(9, 2), 10)
+	// Pinned entries don't occupy LRU capacity and never get evicted by Puts.
+	c.Put(0, 1, view(1, 0), 10)
+	c.Put(0, 2, view(2, 0), 10)
+	v, out, _ := c.Get(0, 9, 10)
+	if out != Hit || v.ID != 9 {
+		t.Fatalf("pinned probe: outcome %v view %+v", out, v)
+	}
+	if ctr.Get("cache.replica_hit") != 1 {
+		t.Fatalf("replica_hit: %v", ctr.Get("cache.replica_hit"))
+	}
+	// Within the TTL a stale pinned entry revalidates like any other…
+	if _, out, _ := c.Get(0, 9, 12); out != Stale {
+		t.Fatal("pinned entry within TTL not Stale")
+	}
+	// …but beyond it, the entry is dropped outright.
+	if _, out, _ := c.Get(0, 9, 13); out != Miss {
+		t.Fatal("pinned entry survived its TTL")
+	}
+}
+
+func TestHotnessSketch(t *testing.T) {
+	c := New(1, Options{HotThreshold: 3, HotWindow: 1000})
+	c.NoteFetchHit(0, 4)
+	c.NoteFetchHit(0, 4)
+	if got := c.HotPending(0); got != nil {
+		t.Fatalf("below threshold, pending = %v", got)
+	}
+	c.NoteFetchHit(0, 4)
+	c.NoteFetchHit(0, 7)
+	c.NoteFetchHit(0, 7)
+	c.NoteFetchHit(0, 7)
+	if got := c.HotPending(0); len(got) != 2 || got[0] != 4 || got[1] != 7 {
+		t.Fatalf("pending = %v, want [4 7]", got)
+	}
+	// Drained: a second call reports nothing until new crossings.
+	if got := c.HotPending(0); got != nil {
+		t.Fatalf("drained pending = %v", got)
+	}
+	// An already-pinned holder is not re-queued by further hits.
+	c.PutPinned(0, 4, view(4, 0), 0)
+	for i := 0; i < 10; i++ {
+		c.NoteFetchHit(0, 4)
+	}
+	if got := c.HotPending(0); got != nil {
+		t.Fatalf("pinned holder re-queued: %v", got)
+	}
+}
+
+func TestHotnessWindowDecay(t *testing.T) {
+	c := New(1, Options{HotThreshold: 100, HotWindow: 10})
+	// 10 hits fill the window; the decay halves the count, so the holder
+	// needs sustained demand — not all-time accumulation — to cross a high
+	// threshold.
+	for i := 0; i < 99; i++ {
+		c.NoteFetchHit(0, 1)
+	}
+	if got := c.HotPending(0); got != nil {
+		t.Fatalf("decayed sketch crossed threshold: %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(2, Options{Capacity: 16, HotThreshold: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := (w + i) % 24
+				l := i % 2
+				switch i % 5 {
+				case 0:
+					c.Put(l, id, view(id, uint64(i)), uint64(i%3))
+				case 1:
+					c.Get(l, id, uint64(i%3))
+				case 2:
+					c.NoteFetchHit(l, id)
+				case 3:
+					c.Confirm(l, id, uint64(i%3))
+				default:
+					for _, h := range c.HotPending(l) {
+						c.PutPinned(l, h, view(h, 0), uint64(i%3))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for l := 0; l < 2; l++ {
+		if n := c.Len(l); n > 16+24 {
+			t.Fatalf("level %d holds %d entries", l, n)
+		}
+	}
+}
+
+func TestCapacityDefaultsAndInvalidate(t *testing.T) {
+	c := New(1, Options{})
+	for i := 0; i < 1500; i++ {
+		c.Put(0, i, view(i, 0), 0)
+	}
+	if n := c.Len(0); n != 1024 {
+		t.Fatalf("default capacity held %d entries, want 1024", n)
+	}
+	c.Invalidate(0, 1499)
+	if _, out, _ := c.Get(0, 1499, 0); out != Miss {
+		t.Fatal("invalidated entry still cached")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	// Guard the ordering the node wiring switches on.
+	for i, want := range []Outcome{Miss, Hit, Stale, NegHit} {
+		if int(want) != i {
+			t.Fatalf("outcome %d reordered", i)
+		}
+	}
+	_ = fmt.Sprintf("%d", Hit)
+}
