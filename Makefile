@@ -52,12 +52,19 @@ bench-kernels:
 # BENCH_serve.json (fails on any request error). The second phase repeats the
 # run on a skewed (Zipf + repeat) stream with the view cache and hot
 # replication on, appending its rows to the same artifact — the before/after
-# pair the cache's speedup claim is measured from.
+# pair the cache's speedup claim is measured from. The skewed phases also run
+# a cache-cleared cold phase (-cold): 500 distinct first-touch queries whose
+# "cold" row carries coordinator RPCs per query — the Θ(N)-vs-delegated
+# number — so the artifact holds the serial reference, cached, and delegated
+# (can_search_agg + warm push) cold paths side by side. BENCH_CPUS pins
+# GOMAXPROCS for reproducible numbers (recorded in the artifact's env stamp).
+BENCH_CPUS ?= 0
 bench-serve:
-	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 8000 -clients 32 -transport tcp -sweep 40,80,120,160,200 -sweep-seconds 5s -out BENCH_serve.json
-	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -zipf 1.5 -repeat 0.5 -append -out BENCH_serve.json
-	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -append -out BENCH_serve.json
-	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity -append -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 8000 -clients 32 -transport tcp -cpus $(BENCH_CPUS) -sweep 40,80,120,160,200 -sweep-seconds 5s -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -cpus $(BENCH_CPUS) -zipf 1.5 -repeat 0.5 -cold 500 -append -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -cpus $(BENCH_CPUS) -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -cold 500 -append -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -cpus $(BENCH_CPUS) -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity -append -out BENCH_serve.json
+	$(GO) run ./cmd/hyperm-load -nodes 64 -requests 16000 -clients 32 -transport tcp -cpus $(BENCH_CPUS) -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity -agg-fanout 3 -warm-push 4 -cold 500 -append -out BENCH_serve.json
 
 # Quick serving smoke for CI: a small 8-node TCP run that fails on any
 # request error — catches transport or coordinator regressions in seconds —
@@ -65,12 +72,14 @@ bench-serve:
 # differential smoke: both must come back clean).
 bench-serve-smoke:
 	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp
-	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity
+	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity -agg-fanout 3 -warm-push 2 -cold 200
 
 # Short fuzz sessions: the wavelet round-trip invariant, the routing core vs
-# the frozen pre-extraction sphere-search reference, and the zone
-# split/takeover tiling invariants under random churn schedules.
+# the frozen pre-extraction sphere-search reference, the zone split/takeover
+# tiling invariants under random churn schedules, and the first-wins merge of
+# delegated gather results against claimed-set consistency.
 fuzz:
 	$(GO) test -fuzz=FuzzDecomposeReconstruct -fuzztime=30s ./internal/wavelet
 	$(GO) test -fuzz=FuzzSearchSphere -fuzztime=30s ./internal/can
 	$(GO) test -fuzz=FuzzZoneSplitTakeover -fuzztime=30s ./internal/can
+	$(GO) test -fuzz=FuzzDelegateMerge -fuzztime=30s ./internal/route

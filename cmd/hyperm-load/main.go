@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -134,6 +135,23 @@ type ServeBenchRow struct {
 	// toward zero.
 	FetchHitRate  float64 `json:"fetch_hit_rate,omitempty"`
 	FetchPerQuery float64 `json:"fetch_per_query,omitempty"`
+	// AggFanout/AggDepth/WarmPush record the delegation tuning the cluster
+	// ran with (0 = serial reference, no can_search_agg).
+	AggFanout int `json:"agg_fanout,omitempty"`
+	AggDepth  int `json:"agg_depth,omitempty"`
+	WarmPush  int `json:"warm_push,omitempty"`
+	// CoordPerQuery is the mean number of lookup-coordinator RPCs per request
+	// in this row's phase — can_search fetches + can_search_agg delegations +
+	// version probes, the budget the delegation tentpole collapses from Θ(N).
+	// AggPerQuery is the delegation share of it, and GatheredPerQuery the
+	// mean number of piggybacked views those delegations returned.
+	CoordPerQuery    float64 `json:"coord_per_query,omitempty"`
+	AggPerQuery      float64 `json:"agg_per_query,omitempty"`
+	GatheredPerQuery float64 `json:"gathered_per_query,omitempty"`
+	// WarmPushes/WarmInstalls count proactive warm_views pushes sent and
+	// installed cluster-wide during this row's phase.
+	WarmPushes   float64 `json:"warm_pushes,omitempty"`
+	WarmInstalls float64 `json:"warm_installs,omitempty"`
 }
 
 // errorClass buckets one failed request. Routing stalls carry their
@@ -203,7 +221,12 @@ func run() int {
 	cacheViews := flag.Bool("cache-views", false, "enable the per-node view cache on the lookup path")
 	cacheSize := flag.Int("cache-size", 0, "view-cache capacity per level (0 = node default)")
 	hotReplicate := flag.Bool("hot-replicate", false, "pull and pin hot nodes' views on demand (implies -cache-views)")
+	aggFanout := flag.Int("agg-fanout", 0, "delegate flood regions via can_search_agg, sub-delegating to this many frontier claims (0 = off, serial reference)")
+	aggDepth := flag.Int("agg-depth", 0, "recursive sub-delegation depth budget (0 = default when -agg-fanout is set)")
+	warmPush := flag.Int("warm-push", 0, "after churn epochs, push refreshed views to up to this many recent delegation requesters per node (0 = off)")
 	affinity := flag.Bool("affinity", false, "route each query to a coordinator chosen by query hash so repeats land on warm caches (publishes stay random)")
+	cold := flag.Int("cold", 0, "after the main run and sweeps, clear every node's caches and issue this many distinct first-touch queries, reported as a 'cold' row")
+	cpus := flag.Int("cpus", 0, "GOMAXPROCS override for the whole process (0 = leave the runtime default)")
 	appendOut := flag.Bool("append", false, "append rows to -out instead of overwriting it")
 	out := flag.String("out", "", "also write the rows to this path (e.g. BENCH_serve.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this path")
@@ -226,6 +249,12 @@ func run() int {
 	}
 	if *hotReplicate {
 		*cacheViews = true
+	}
+	if *cpus > 0 {
+		// Before any cluster or client goroutine exists, so the whole run —
+		// serving nodes and load generators alike — shares the budget. The
+		// benchio envelope's Env stamp records what this changed.
+		runtime.GOMAXPROCS(*cpus)
 	}
 
 	fmt.Printf("hyperm-load: building %d-node workload (items/peer=%d dim=%d levels=%d seed=%d)\n",
@@ -267,6 +296,9 @@ func run() int {
 		CacheViews:   *cacheViews,
 		CacheSize:    *cacheSize,
 		HotReplicate: *hotReplicate,
+		AggFanout:    *aggFanout,
+		AggDepth:     *aggDepth,
+		WarmPush:     *warmPush,
 	}
 	cl, err := node.StartClusterTuned(sys, tr, listen, policy, mopts, tuning)
 	if err != nil {
@@ -373,12 +405,17 @@ func run() int {
 	if *cacheViews && effCacheSize == 0 {
 		effCacheSize = node.DefaultCacheSize
 	}
+	effAggDepth := *aggDepth
+	if *aggFanout > 0 && effAggDepth == 0 {
+		effAggDepth = node.DefaultAggDepth
+	}
 	// decorate stamps a row with the workload/tuning configuration and, when
 	// phase counters are given, the cache telemetry of that row's phase.
 	decorate := func(row *ServeBenchRow, cc map[string]float64, queries int) {
 		row.ZipfS, row.RepeatFrac = *zipfS, *repeatFrac
 		row.CacheViews, row.CacheSize, row.HotReplicate = *cacheViews, effCacheSize, *hotReplicate
 		row.Affinity = *affinity
+		row.AggFanout, row.AggDepth, row.WarmPush = *aggFanout, effAggDepth, *warmPush
 		if !*cacheViews {
 			row.CacheSize = 0
 		}
@@ -414,6 +451,13 @@ func run() int {
 		if queries > 0 {
 			row.FetchPerQuery = fetchRPC / float64(queries)
 		}
+		if queries > 0 {
+			row.CoordPerQuery = (cc["coord.can_search"] + cc["coord.agg"] + cc["coord.view_version"]) / float64(queries)
+			row.AggPerQuery = cc["coord.agg"] / float64(queries)
+			row.GatheredPerQuery = cc["agg.gathered_views"] / float64(queries)
+		}
+		row.WarmPushes = cc["warm.push"]
+		row.WarmInstalls = cc["warm.install"]
 	}
 
 	// The churn driver: every -churn interval, join a fresh node through
@@ -641,6 +685,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
 			return 1
 		}
+		runtime.GC() // flush the final allocation epoch into the profile
 		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 			fmt.Fprintf(os.Stderr, "hyperm-load: %v\n", err)
 			f.Close()
@@ -748,6 +793,93 @@ func run() int {
 		rows = append(rows, row)
 	}
 
+	// Cold phase: clear every node's caches — view cache, lookup memo, fetch
+	// memos, client fetch cache — then issue -cold distinct never-repeated
+	// queries closed-loop. Every lookup is a first touch, so the row's
+	// CoordPerQuery is the Θ(N)-vs-delegated number the can_search_agg
+	// tentpole targets, measured on the same cluster as the warm rows.
+	coldErrs := 0
+	if *cold > 0 {
+		for _, nd := range cl.Nodes {
+			nd.ClearCaches()
+		}
+		ccDelta() // re-baseline: cold telemetry must not inherit warm-phase counters
+		coldRng := rand.New(rand.NewSource(*seed + 23))
+		coldQ := make([][]float64, *cold)
+		coldR := make([]float64, *cold)
+		for i := range coldQ {
+			// Distinct center per query — a pool center plus a tiny jitter —
+			// so no two cold queries can share a lookup memo entry.
+			q := append([]float64(nil), centers[i%len(centers)]...)
+			for d := range q {
+				q[d] += 1e-6 * (1 + coldRng.Float64())
+			}
+			coldQ[i] = q
+			coldR[i] = radii[i%len(radii)]
+		}
+		fmt.Printf("hyperm-load: cold phase: caches cleared, %d first-touch queries\n", *cold)
+		var coldNext int64
+		coldSamples := make([][]sample, *clients)
+		coldStart := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(*seed*2000 + int64(c)))
+				for {
+					i := atomic.AddInt64(&coldNext, 1) - 1
+					if i >= int64(*cold) {
+						return
+					}
+					addr := pickAddr(rng)
+					var err error
+					t0 := time.Now()
+					if i%2 == 0 {
+						_, err = client.Range(ctx, addr, coldQ[i], coldR[i], core.RangeOptions{})
+					} else {
+						_, err = client.KNN(ctx, addr, coldQ[i], *k, core.KNNOptions{})
+					}
+					coldSamples[c] = append(coldSamples[c], sample{op: 1 + int(i%2), dur: time.Since(t0), err: err})
+				}
+			}(c)
+		}
+		wg.Wait()
+		coldSecs := time.Since(coldStart).Seconds()
+		var durs []time.Duration
+		coldClasses := map[string]int{}
+		for _, cs := range coldSamples {
+			for _, s := range cs {
+				if s.err != nil {
+					coldErrs++
+					coldClasses[errorClass(s.err)]++
+					if *churnEvery == 0 {
+						fmt.Fprintf(os.Stderr, "hyperm-load: cold %s request: %v\n", opNames[s.op], s.err)
+					}
+					continue
+				}
+				durs = append(durs, s.dur)
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		if coldErrs == 0 {
+			coldClasses = nil
+		}
+		row := ServeBenchRow{
+			Op: "cold", Transport: *transportName, Nodes: *nodes, Clients: *clients,
+			Requests: *cold, Errors: coldErrs, Seconds: coldSecs,
+			P50Ms: percentile(durs, 0.50), P95Ms: percentile(durs, 0.95), P99Ms: percentile(durs, 0.99),
+			ErrorClasses: coldClasses, Alpha: effAlpha,
+		}
+		if coldSecs > 0 {
+			row.QPS = float64(*cold) / coldSecs
+		}
+		decorate(&row, ccDelta(), *cold)
+		fmt.Printf("hyperm-load: cold path: %.2f coordinator RPCs/query (can_search+agg+version), %.2f delegations/query, %.2f gathered views/query\n",
+			row.CoordPerQuery, row.AggPerQuery, row.GatheredPerQuery)
+		rows = append(rows, row)
+	}
+
 	workload := "uniform"
 	if *zipfS > 0 {
 		workload = fmt.Sprintf("zipf(s=%g)", *zipfS)
@@ -762,11 +894,18 @@ func run() int {
 			cacheDesc += "+hot"
 		}
 	}
+	aggDesc := "off"
+	if *aggFanout > 0 {
+		aggDesc = fmt.Sprintf("fanout=%d depth=%d", *aggFanout, effAggDepth)
+		if *warmPush > 0 {
+			aggDesc += fmt.Sprintf(" warm=%d", *warmPush)
+		}
+	}
 	if *affinity {
 		workload += "+affinity"
 	}
-	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport, alpha=%d, queries=%s, cache=%s\n",
-		*requests, *clients, *nodes, *transportName, effAlpha, workload, cacheDesc)
+	fmt.Printf("\nServing throughput — %d requests, %d clients, %d nodes, %s transport, alpha=%d, queries=%s, cache=%s, agg=%s\n",
+		*requests, *clients, *nodes, *transportName, effAlpha, workload, cacheDesc, aggDesc)
 	fmt.Printf("%-8s %-9s %-9s %-7s %-10s %-9s %-9s %-9s\n", "op", "offered", "requests", "errors", "qps", "p50_ms", "p95_ms", "p99_ms")
 	for _, r := range rows {
 		if r.Op == "availability" {
@@ -849,6 +988,10 @@ func run() int {
 	}
 	if sweepErrs > 0 {
 		fmt.Fprintf(os.Stderr, "hyperm-load: %d sweep requests failed\n", sweepErrs)
+		return 1
+	}
+	if coldErrs > 0 {
+		fmt.Fprintf(os.Stderr, "hyperm-load: %d cold requests failed\n", coldErrs)
 		return 1
 	}
 	return 0

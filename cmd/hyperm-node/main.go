@@ -92,6 +92,9 @@ func run() int {
 	cacheViews := flag.Bool("cache-views", false, "cache peers' can_search views with churn-epoch invalidation")
 	cacheSize := flag.Int("cache-size", 0, "view-cache capacity per level (0 = default)")
 	hotReplicate := flag.Bool("hot-replicate", false, "pull and pin hot peers' views on demand (implies -cache-views)")
+	aggFanout := flag.Int("agg-fanout", 0, "delegate flood regions via can_search_agg, sub-delegating to this many frontier claims (0 = off, serial reference)")
+	aggDepth := flag.Int("agg-depth", 0, "recursive sub-delegation depth budget (0 = default when -agg-fanout is set)")
+	warmPush := flag.Int("warm-push", 0, "after churn epochs, push this node's refreshed view to up to this many recent delegation requesters (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 	flag.Parse()
 	if *hotReplicate {
@@ -183,6 +186,9 @@ func run() int {
 			CacheViews:   *cacheViews,
 			CacheSize:    *cacheSize,
 			HotReplicate: *hotReplicate,
+			AggFanout:    *aggFanout,
+			AggDepth:     *aggDepth,
+			WarmPush:     *warmPush,
 		},
 	})
 	if err != nil {

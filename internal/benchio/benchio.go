@@ -18,10 +18,30 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 )
 
 // Schema is the current envelope schema version.
 const Schema = 1
+
+// Env records the execution environment a benchmark ran under, so numbers
+// from different machines (or GOMAXPROCS settings — see the bench-serve
+// -cpus knob) are never compared as if they were alike. Additive to the
+// envelope, so Schema stays 1; readers of older artifacts see a zero Env.
+type Env struct {
+	// GoVersion is the toolchain that built the benchmark binary.
+	GoVersion string `json:"go_version"`
+	// GoMaxProcs is the scheduler's processor limit at write time — what a
+	// -cpus override actually changed.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// NumCPU is the machine's logical CPU count.
+	NumCPU int `json:"num_cpu"`
+}
+
+// CurrentEnv captures the writing process's environment.
+func CurrentEnv() Env {
+	return Env{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+}
 
 // Envelope is the common frame around every benchmark artifact.
 type Envelope struct {
@@ -29,6 +49,8 @@ type Envelope struct {
 	Bench string `json:"bench"`
 	// Schema is the envelope version the artifact was written with.
 	Schema int `json:"schema"`
+	// Env is the environment of the (last) writing process.
+	Env Env `json:"env"`
 	// Rows holds the driver-specific measurements.
 	Rows json.RawMessage `json:"rows"`
 }
@@ -40,7 +62,7 @@ func Write(path, bench string, rows any) error {
 	if err != nil {
 		return fmt.Errorf("benchio: encoding %s rows: %w", bench, err)
 	}
-	data, err := json.MarshalIndent(Envelope{Bench: bench, Schema: Schema, Rows: rowData}, "", "  ")
+	data, err := json.MarshalIndent(Envelope{Bench: bench, Schema: Schema, Env: CurrentEnv(), Rows: rowData}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchio: encoding %s envelope: %w", bench, err)
 	}

@@ -26,6 +26,9 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if env.Bench != "x" || env.Schema != Schema {
 		t.Fatalf("envelope %+v", env)
 	}
+	if env.Env != CurrentEnv() || env.Env.GoVersion == "" || env.Env.GoMaxProcs < 1 || env.Env.NumCPU < 1 {
+		t.Fatalf("environment stamp %+v", env.Env)
+	}
 	if len(back) != 2 || back[0] != rows[0] || back[1] != rows[1] {
 		t.Fatalf("rows %+v", back)
 	}

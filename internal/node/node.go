@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"hyperm/internal/can"
 	"hyperm/internal/core"
@@ -80,6 +81,22 @@ type Tuning struct {
 	// HotThreshold is the windowed fetch-hit count that marks a node hot.
 	// 0 → 16. Only meaningful with HotReplicate.
 	HotThreshold int
+	// AggFanout enables delegated flood aggregation (can_search_agg): the
+	// coordinator hands whole flood regions to the first node contacted in
+	// each, which gathers the region's views locally — sub-delegating up to
+	// AggFanout of its own frontier claims — and piggybacks them back in one
+	// response. Kills the Θ(N) coordinator-side first-touch cost; answers
+	// stay byte-identical (delegation only changes who fetches views, the
+	// coordinator replays the same serial machine over the gathered pool —
+	// see delegate.go and DESIGN.md §13). 0 → off (frozen reference).
+	AggFanout int
+	// AggDepth bounds recursive sub-delegation. 0 → 2 when AggFanout is on.
+	AggDepth int
+	// WarmPush enables proactive view warming: after a churn epoch this node
+	// pushes its refreshed view to up to WarmPush recent delegation
+	// requesters, pre-healing their caches before the next cold query.
+	// 0 → off.
+	WarmPush int
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -97,6 +114,9 @@ func (t Tuning) withDefaults() Tuning {
 	}
 	if t.HotReplicate && t.HotThreshold == 0 {
 		t.HotThreshold = DefaultHotThreshold
+	}
+	if t.AggFanout > 0 && t.AggDepth == 0 {
+		t.AggDepth = DefaultAggDepth
 	}
 	return t
 }
@@ -157,6 +177,17 @@ type Node struct {
 
 	subsMu    sync.Mutex
 	fetchSubs map[int]struct{}
+
+	// Proactive warming state (Tuning.WarmPush > 0; see delegate.go):
+	// recent can_search_agg requesters and the per-level dirty flags the
+	// membership epoch hook sets for the warm loop to drain.
+	warmMu     sync.Mutex
+	warmPeers  map[int]uint64
+	warmSeq    uint64
+	warmDirty  []atomic.Bool
+	warmNotify chan struct{}
+	warmStop   chan struct{}
+	warmWG     sync.WaitGroup
 }
 
 // fetchMemoCap bounds the fetch memo; on overflow the whole memo resets
@@ -269,6 +300,14 @@ func New(cfg Config) (*Node, error) {
 			Counters:     &n.counters,
 		})
 	}
+	if n.tuning.WarmPush > 0 {
+		n.warmDirty = make([]atomic.Bool, snap.Config.Levels)
+		n.warmNotify = make(chan struct{}, 1)
+		n.warmStop = make(chan struct{})
+		// The hook runs under the manager's state lock: onEpochBump only
+		// flips an atomic and nudges the warm loop.
+		n.mgr.SetEpochHook(n.onEpochBump)
+	}
 	return n, nil
 }
 
@@ -294,6 +333,10 @@ func (n *Node) Start() error {
 	n.srv = srv
 	n.mgr.SetSelfAddr(srv.Addr())
 	n.mgr.StartProbing()
+	if n.tuning.WarmPush > 0 {
+		n.warmWG.Add(1)
+		go n.warmLoop()
+	}
 	return nil
 }
 
@@ -343,6 +386,12 @@ func (n *Node) Stop() error {
 	n.srvMu.Unlock()
 	if srv == nil {
 		return nil
+	}
+	if n.warmStop != nil {
+		// First Stop with a live server: the warm loop is running (Start
+		// launched it) and this path runs at most once, so the close is safe.
+		close(n.warmStop)
+		n.warmWG.Wait()
 	}
 	return srv.Close()
 }
@@ -484,6 +533,12 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 			return transport.Response{}, err
 		}
 		return transport.Response{Body: body}, nil
+
+	case methodCanSearchAgg:
+		return n.handleAgg(ctx, req.Body)
+
+	case methodWarmViews:
+		return n.handleWarm(req.Body)
 
 	case methodViewVersion:
 		level, err := decodeLevelReq(req.Body)

@@ -74,24 +74,40 @@ func (n *Node) fetchView(ctx context.Context, level, id int, key []float64, radi
 	if id == n.peer {
 		return n.localView(level, key, radius), nil
 	}
-	return n.callSearch(ctx, level, id, encodeSearchReq(level, key, radius, false))
+	return n.callSearch(ctx, level, id, encodeSearchReq(level, key, radius, false), ctrCoordSearch)
 }
 
 // fetchFullView is fetchView with the full flag: the complete record stores,
 // which is what the cache keeps (a cached view must answer any later sphere,
-// not just the one that fetched it).
-func (n *Node) fetchFullView(ctx context.Context, level, id int) (searchView, error) {
+// not just the one that fetched it). ctr attributes the RPC to the issuing
+// role — the query coordinator or a delegate's gather flood.
+func (n *Node) fetchFullView(ctx context.Context, level, id int, ctr string) (searchView, error) {
 	if id == n.peer {
 		return n.localFullView(level), nil
 	}
-	return n.callSearch(ctx, level, id, encodeSearchReq(level, nil, 0, true))
+	return n.callSearch(ctx, level, id, encodeSearchReq(level, nil, 0, true), ctr)
 }
 
-func (n *Node) callSearch(ctx context.Context, level, id int, body []byte) (searchView, error) {
+// Issue-side RPC attribution: handler-side rpc.* counters say how much
+// traffic a node served; these say which role *initiated* it — the lookup
+// coordinator (coord.*) or a can_search_agg delegate gathering its region
+// (agg.*). The cold-path budget metric is coord.can_search + coord.agg +
+// coord.view_version per query.
+const (
+	ctrCoordSearch  = "coord.can_search"
+	ctrCoordAgg     = "coord.agg"
+	ctrCoordVersion = "coord.view_version"
+	ctrAggFetch     = "agg.fetch"
+	ctrAggSub       = "agg.sub"
+	ctrAggVersion   = "agg.view_version"
+)
+
+func (n *Node) callSearch(ctx context.Context, level, id int, body []byte, ctr string) (searchView, error) {
 	addr, err := n.peerAddr(id)
 	if err != nil {
 		return searchView{}, err
 	}
+	n.count(ctr)
 	resp, err := n.client.Call(ctx, addr, transport.Request{Method: methodCanSearch, Body: body})
 	if err != nil {
 		return searchView{}, fmt.Errorf("node: can_search peer %d: %w", id, err)
@@ -102,7 +118,8 @@ func (n *Node) callSearch(ctx context.Context, level, id int, body []byte) (sear
 // fetchVersion asks peer id for its current level state version — the cheap
 // revalidation probe (16-byte request, 8-byte response) that decides whether
 // a stale cached view can be reused or must be refetched.
-func (n *Node) fetchVersion(ctx context.Context, level, id int) (uint64, error) {
+func (n *Node) fetchVersion(ctx context.Context, level, id int, ctr string) (uint64, error) {
+	n.count(ctr)
 	addr, err := n.peerAddr(id)
 	if err != nil {
 		return 0, err
@@ -174,7 +191,7 @@ func (s cachedViews) view(id int) (route.NodeView, error) {
 		return route.NodeView{}, negErr
 	case viewcache.Stale:
 		n.count("cache.revalidate")
-		ver, err := n.fetchVersion(s.ctx, s.level, id)
+		ver, err := n.fetchVersion(s.ctx, s.level, id, ctrCoordVersion)
 		if err == nil && ver == cv.Version {
 			if v2, ok := n.cache.Confirm(s.level, id, epoch); ok {
 				n.count("cache.revalidate_ok")
@@ -194,7 +211,7 @@ func (s cachedViews) view(id int) (route.NodeView, error) {
 // fetch fills the cache with one full can_search and returns the view.
 func (s cachedViews) fetch(id int, epoch uint64) (route.NodeView, error) {
 	n := s.n
-	sv, err := n.fetchFullView(s.ctx, s.level, id)
+	sv, err := n.fetchFullView(s.ctx, s.level, id, ctrCoordSearch)
 	if err != nil {
 		if errors.Is(err, transport.ErrUnavailable) {
 			n.cache.PutNegative(s.level, id, err, epoch)
@@ -265,6 +282,12 @@ func memoKey(key []float64, radius float64) []byte {
 // entries and hops (deterministic machine + epoch-stable views ⇒ identical
 // result; see viewcache.GetSearch).
 func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radius float64) ([]overlay.Entry, int, error) {
+	if n.tuning.AggFanout > 0 {
+		// Delegated aggregation mode: gather whole flood regions through
+		// can_search_agg and replay this same machine over the pool — see
+		// delegate.go. Opt-in; the paths below are the frozen reference.
+		return n.searchSphereDelegated(ctx, level, key, radius)
+	}
 	if n.cache == nil {
 		src := rpcViews{n: n, ctx: ctx, level: level, key: key, radius: radius}
 		start, err := src.View(n.peer)

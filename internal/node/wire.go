@@ -13,16 +13,18 @@ import (
 // the transport codec; float64 values cross the wire bit-exactly, which the
 // determinism oracle depends on.
 const (
-	methodRange       = "range"          // client → node: run a range query as this peer
-	methodKNN         = "knn"            // client → node: run a k-nn query as this peer
-	methodPublish     = "publish"        // client → node: post-insert one item
-	methodCanSearch   = "can_search"     // node → node: one hop of an overlay lookup
-	methodFetchRange  = "fetch_range"    // node → node: phase-two local range scan
-	methodFetchKNN    = "fetch_knn"      // node → node: phase-two local k-nn scan
-	methodViewVersion = "view_version"   // node → node: cheap cache-revalidation version check
-	methodReplicate   = "replicate_refs" // node → node: pull a hot node's full view for pinning
-	methodFetchSub    = "fetch_sub"      // node → node: register for fetch invalidations
-	methodFetchInval  = "inval_fetch"    // node → node: holder's item store changed, drop its entries
+	methodRange        = "range"          // client → node: run a range query as this peer
+	methodKNN          = "knn"            // client → node: run a k-nn query as this peer
+	methodPublish      = "publish"        // client → node: post-insert one item
+	methodCanSearch    = "can_search"     // node → node: one hop of an overlay lookup
+	methodFetchRange   = "fetch_range"    // node → node: phase-two local range scan
+	methodFetchKNN     = "fetch_knn"      // node → node: phase-two local k-nn scan
+	methodViewVersion  = "view_version"   // node → node: cheap cache-revalidation version check
+	methodReplicate    = "replicate_refs" // node → node: pull a hot node's full view for pinning
+	methodFetchSub     = "fetch_sub"      // node → node: register for fetch invalidations
+	methodFetchInval   = "inval_fetch"    // node → node: holder's item store changed, drop its entries
+	methodCanSearchAgg = "can_search_agg" // node → node: delegated gather of a whole flood region
+	methodWarmViews    = "warm_views"     // node → node: proactive view push after a churn epoch
 )
 
 // ---- range ----
@@ -210,24 +212,23 @@ func searchRespSize(v searchView) int {
 	return n + recs(v.Owned) + recs(v.Replicas)
 }
 
-func encodeSearchResp(v searchView) ([]byte, error) {
-	var e transport.Encoder
-	e.Grow(searchRespSize(v))
+// encodeSearchView appends one searchView to an encoder — the body shared
+// by can_search responses and the multi-view agg/warm messages.
+func encodeSearchView(e *transport.Encoder, v searchView) error {
 	e.Int(v.ID)
 	e.U64(v.Version)
-	membership.EncodeZones(&e, v.Zones)
-	membership.EncodeNeighbors(&e, v.Neighbors)
-	if err := membership.EncodeRecords(&e, v.Owned); err != nil {
-		return nil, fmt.Errorf("node: %w", err)
+	membership.EncodeZones(e, v.Zones)
+	membership.EncodeNeighbors(e, v.Neighbors)
+	if err := membership.EncodeRecords(e, v.Owned); err != nil {
+		return fmt.Errorf("node: %w", err)
 	}
-	if err := membership.EncodeRecords(&e, v.Replicas); err != nil {
-		return nil, fmt.Errorf("node: %w", err)
+	if err := membership.EncodeRecords(e, v.Replicas); err != nil {
+		return fmt.Errorf("node: %w", err)
 	}
-	return e.Bytes(), nil
+	return nil
 }
 
-func decodeSearchResp(b []byte) (searchView, error) {
-	d := transport.NewDecoder(b)
+func decodeSearchView(d *transport.Decoder) searchView {
 	var v searchView
 	v.ID = d.Int()
 	v.Version = d.U64()
@@ -235,7 +236,116 @@ func decodeSearchResp(b []byte) (searchView, error) {
 	v.Neighbors = membership.DecodeNeighbors(d)
 	v.Owned = membership.DecodeRecords(d)
 	v.Replicas = membership.DecodeRecords(d)
+	return v
+}
+
+func encodeSearchResp(v searchView) ([]byte, error) {
+	var e transport.Encoder
+	e.Grow(searchRespSize(v))
+	if err := encodeSearchView(&e, v); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+func decodeSearchResp(b []byte) (searchView, error) {
+	d := transport.NewDecoder(b)
+	v := decodeSearchView(d)
 	return v, d.Finish()
+}
+
+// ---- can_search_agg ----
+
+// aggReq asks a delegate to gather the views of the sphere region reachable
+// from it without crossing the claimed set, sub-delegating up to Fanout
+// frontier claims with Depth budget remaining. From names the requester —
+// the id the delegate's proactive warmer will push refreshed views back to.
+type aggReq struct {
+	From, Level   int
+	Key           []float64
+	Radius        float64
+	Depth, Fanout int
+	Claimed       []int
+}
+
+func encodeAggReq(r aggReq) []byte {
+	var e transport.Encoder
+	e.Int(r.From)
+	e.Int(r.Level)
+	e.Floats(r.Key)
+	e.F64(r.Radius)
+	e.Int(r.Depth)
+	e.Int(r.Fanout)
+	e.Ints(r.Claimed)
+	return e.Bytes()
+}
+
+func decodeAggReq(b []byte) (aggReq, error) {
+	d := transport.NewDecoder(b)
+	var r aggReq
+	r.From = d.Int()
+	r.Level = d.Int()
+	r.Key = d.Floats()
+	r.Radius = d.F64()
+	r.Depth = d.Int()
+	r.Fanout = d.Int()
+	r.Claimed = d.Ints()
+	return r, d.Finish()
+}
+
+// The agg response piggybacks every gathered full view (the delegate's own
+// first) plus the final claimed set of the delegate's flood.
+func encodeAggResp(views []searchView, claimed []int) ([]byte, error) {
+	var e transport.Encoder
+	size := 4 + 4 + 8*len(claimed)
+	for _, v := range views {
+		size += searchRespSize(v)
+	}
+	e.Grow(size)
+	e.Ints(claimed)
+	e.U32(uint32(len(views)))
+	for _, v := range views {
+		if err := encodeSearchView(&e, v); err != nil {
+			return nil, err
+		}
+	}
+	return e.Bytes(), nil
+}
+
+func decodeAggResp(b []byte) (views []searchView, claimed []int, err error) {
+	d := transport.NewDecoder(b)
+	claimed = d.Ints()
+	if n := int(d.U32()); d.Err() == nil && n > 0 {
+		views = make([]searchView, 0, n)
+		for i := 0; i < n; i++ {
+			views = append(views, decodeSearchView(d))
+		}
+	}
+	return views, claimed, d.Finish()
+}
+
+// ---- warm_views ----
+
+// warm_views pushes the sender's full level view unsolicited: From is the
+// sender (== view ID), installed by caching receivers at their current
+// epoch (equivalent to a fetch completing now).
+func encodeWarmReq(from, level int, v searchView) ([]byte, error) {
+	var e transport.Encoder
+	e.Grow(16 + searchRespSize(v))
+	e.Int(from)
+	e.Int(level)
+	if err := encodeSearchView(&e, v); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+func decodeWarmReq(b []byte) (from, level int, v searchView, err error) {
+	d := transport.NewDecoder(b)
+	from = d.Int()
+	level = d.Int()
+	v = decodeSearchView(d)
+	return from, level, v, d.Finish()
 }
 
 // ---- view_version / replicate_refs ----

@@ -1,0 +1,146 @@
+package route
+
+import "sort"
+
+// Delegated flood aggregation: the pure kernel behind the can_search_agg
+// RPC. A coordinator (or an upstream delegate) hands a contacted node the
+// query sphere plus the set of node ids already claimed elsewhere; the
+// delegate floods the sphere region reachable from its own zones WITHOUT
+// crossing the claimed set, gathers the full view of every node it visits,
+// and recursively sub-delegates whole sub-regions to a bounded number of
+// neighbors. The gathered views form a pool the coordinator REPLAYS the
+// ordinary serial Search machine over — so delegation changes who fetches
+// views, never what the answer is. Byte-identity to the serial reference
+// follows from two properties this file maintains:
+//
+//  1. Disjoint claim regions: a sub-delegate receives the delegator's
+//     current visited set as its claimed set and pre-marks it, so no node
+//     is expanded by two delegates. Residual duplicates (a view returned
+//     by two branches through piggybacking) are removed by MergeViews'
+//     exact first-wins dedup.
+//  2. The pool is advisory: the replay machine decides the visit order and
+//     the hops accounting exactly as route.Run does, falling back to a
+//     direct fetch for any node the gather missed. Gaps cost extra RPCs,
+//     never correctness.
+
+// NewFloodClaimed starts a flood of the sphere (key, radius) rooted at
+// root, with every id in claimed pre-marked visited — the flood expands
+// only the part of the sphere region reachable from root without crossing
+// nodes another delegate has already claimed. The root itself is always
+// considered visited.
+func NewFloodClaimed(root NodeView, key []float64, radius float64, claimed []int) *Flood {
+	f := NewFlood(root, key, radius)
+	for _, id := range claimed {
+		f.visited[id] = true
+	}
+	return f
+}
+
+// Claim marks id visited without expanding it — the driver learned (from a
+// sub-delegate's result) that the node is covered elsewhere. Claiming an
+// already-visited id is a no-op.
+func (f *Flood) Claim(id int) { f.visited[id] = true }
+
+// Claimed returns the flood's visited set — claimed inputs, the root,
+// every expanded node, and every neighbor passed over as non-intersecting —
+// sorted ascending for deterministic wire encoding.
+func (f *Flood) Claimed() []int {
+	out := make([]int, 0, len(f.visited))
+	for id := range f.visited {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DelegateResult is what one delegation returns: every full node view the
+// delegate (and its sub-delegates) gathered — the delegate's own view
+// first — and the final claimed set of its flood.
+type DelegateResult struct {
+	Views   []NodeView
+	Claimed []int
+}
+
+// SubDelegate forwards one sub-delegation: node to (a freshly claimed
+// frontier neighbor) should flood the same sphere over the region reachable
+// from it avoiding claimed, with depth sub-delegation levels remaining, and
+// return everything it gathered. An error means the sub-delegation could
+// not run (peer dead, budget exceeded); the delegator falls back to a
+// direct fetch of to.
+type SubDelegate func(to int, claimed []int, depth int) (DelegateResult, error)
+
+// Delegate floods the sphere (key, radius) from root, avoiding claimed,
+// gathering the full view of every node visited. Up to fanout frontier
+// claims are forwarded through sub (each with the flood's then-current
+// visited set as its claimed set, and depth-1 remaining); the rest are
+// fetched directly from src. Sub-delegations run sequentially in claim
+// order, so their claim regions are disjoint by construction. A failed
+// fetch or failed sub-delegation abandons that visit (Skip) — the region
+// behind it is left for the coordinator's replay to fall back on. With
+// depth <= 0, sub == nil, or fanout <= 0 no sub-delegation happens and
+// Delegate degenerates to a plain gather flood.
+func Delegate(root NodeView, key []float64, radius float64, claimed []int, depth, fanout int, src ViewSource, sub SubDelegate) DelegateResult {
+	f := NewFloodClaimed(root, key, radius, claimed)
+	res := DelegateResult{Views: []NodeView{root}}
+	subUsed := 0
+	for {
+		step := f.Next()
+		if step.Kind == StepDone {
+			break
+		}
+		if depth > 0 && fanout > 0 && sub != nil && subUsed < fanout {
+			subUsed++
+			if r, err := sub(step.To, f.Claimed(), depth-1); err == nil {
+				res.Views = append(res.Views, r.Views...)
+				for _, id := range r.Claimed {
+					f.Claim(id)
+				}
+				// Expand the target through its returned view so the flood
+				// can still reach regions adjacent to it that the
+				// sub-delegate's claim set walled off from its own flood.
+				if tv, ok := findView(r.Views, step.To); ok {
+					f.Feed(tv)
+				} else {
+					f.Skip()
+				}
+				continue
+			}
+			// Sub-delegation failed: fall through to a direct fetch.
+		}
+		v, err := src.View(step.To)
+		if err != nil {
+			f.Skip() // unreachable now; the replay will retry or abort
+			continue
+		}
+		res.Views = append(res.Views, v)
+		f.Feed(v)
+	}
+	res.Claimed = f.Claimed()
+	return res
+}
+
+func findView(views []NodeView, id int) (NodeView, bool) {
+	for _, v := range views {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return NodeView{}, false
+}
+
+// MergeViews merges delegate results into a pool keyed by node id with
+// exact first-wins dedup: a view already in the pool is never replaced, so
+// repeated piggybacks across delegation branches cannot perturb what the
+// replay machine sees. The pool is what makes delegated answers
+// byte-identical to the serial reference — the replay consults it before
+// issuing any RPC, and every entry is a full node view indistinguishable
+// from a direct can_search response.
+func MergeViews(pool map[int]NodeView, results ...DelegateResult) {
+	for _, r := range results {
+		for _, v := range r.Views {
+			if _, ok := pool[v.ID]; !ok {
+				pool[v.ID] = v
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package route
+
+import (
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperm/internal/overlay"
+)
+
+var errDown = errors.New("route_test: peer down")
+
+func entryOf(key []float64, radius float64, payload int) overlay.Entry {
+	return overlay.Entry{Key: key, Radius: radius, Payload: payload}
+}
+
+// randomSplitTopology grows a CAN-style tiling of the unit box by repeated
+// zone splits (one zone per node, like a join-only history), derives
+// neighbor tables from zone adjacency in ascending id order, and scatters
+// records with the replication invariant: the owner of a record's key holds
+// it as Owned, every other node whose zone the record's sphere touches
+// holds it as a Replica.
+func randomSplitTopology(rng *rand.Rand, nodes, dim, records int) map[int]NodeView {
+	zones := []Zone{unitZone(dim)}
+	for id := 1; id < nodes; id++ {
+		pick := rng.Intn(len(zones))
+		point := make([]float64, dim)
+		z := zones[pick]
+		for i := range point {
+			point[i] = z.Lo[i] + rng.Float64()*(z.Hi[i]-z.Lo[i])
+		}
+		kept, taken := SplitZone(z, point)
+		zones[pick] = kept
+		zones = append(zones, taken)
+	}
+	views := make(map[int]NodeView, nodes)
+	for id := 0; id < nodes; id++ {
+		v := NodeView{ID: id, Zones: []Zone{zones[id]}}
+		for nb := 0; nb < nodes; nb++ {
+			if nb != id && ZoneSetsAdjacent(v.Zones, []Zone{zones[nb]}) {
+				v.Neighbors = append(v.Neighbors, NeighborView{ID: nb, Zones: []Zone{zones[nb]}})
+			}
+		}
+		views[id] = v
+	}
+	for seq := 0; seq < records; seq++ {
+		key := make([]float64, dim)
+		for i := range key {
+			key[i] = rng.Float64()
+		}
+		rec := RecordView{Seq: seq, Entry: entryOf(key, rng.Float64()*0.3, seq)}
+		for id := 0; id < nodes; id++ {
+			v := views[id]
+			switch {
+			case zones[id].Contains(key):
+				v.Owned = append(v.Owned, rec)
+			case zones[id].IntersectsSphere(key, rec.Entry.Radius):
+				v.Replicas = append(v.Replicas, rec)
+			default:
+				continue
+			}
+			views[id] = v
+		}
+	}
+	return views
+}
+
+func unitZone(dim int) Zone {
+	z := Zone{Lo: make([]float64, dim), Hi: make([]float64, dim)}
+	for i := range z.Hi {
+		z.Hi[i] = 1
+	}
+	return z
+}
+
+// failableSource serves views[id], failing for ids in down — the
+// fixed-outcome fault injection both the reference and the delegated drive
+// see identically.
+func failableSource(views map[int]NodeView, down map[int]bool) SourceFunc {
+	return func(id int) (NodeView, error) {
+		if down[id] {
+			return NodeView{}, errDown
+		}
+		v, ok := views[id]
+		if !ok {
+			return NodeView{}, errDown
+		}
+		return v, nil
+	}
+}
+
+// delegatedLookup runs a sphere lookup the way the serving coordinator's
+// delegated mode does: drive the ordinary serial Search machine, consulting
+// a pool of gathered views before the fallback source, and on the first
+// pool miss of a flood visit delegate the whole remaining region to that
+// node (recursively, with the given depth/fanout budgets), merging
+// everything it returns into the pool. Routing-phase hops never delegate.
+func delegatedLookup(t *testing.T, views map[int]NodeView, down map[int]bool, start int, key []float64, radius float64, depth, fanout int) (entries []RecordView, hops int, err error) {
+	t.Helper()
+	src := failableSource(views, down)
+	var sub SubDelegate
+	sub = func(to int, claimed []int, d int) (DelegateResult, error) {
+		if down[to] {
+			return DelegateResult{}, errDown
+		}
+		return Delegate(views[to], key, radius, claimed, d, fanout, src, sub), nil
+	}
+	pool := map[int]NodeView{start: views[start]}
+	hopLimit := 8*len(views) + 16
+	s := NewSearch(views[start], key, radius, hopLimit)
+	for {
+		step, serr := s.Next()
+		if serr != nil {
+			return nil, s.Hops(), serr
+		}
+		if step.Kind == StepDone {
+			out := make([]RecordView, 0, len(s.Results()))
+			for _, e := range s.Results() {
+				out = append(out, RecordView{Entry: e})
+			}
+			return out, s.Hops(), nil
+		}
+		v, ok := pool[step.To]
+		if !ok {
+			if step.Kind == StepFloodVisit && !down[step.To] {
+				claimed := make([]int, 0, len(pool))
+				for id := range pool {
+					claimed = append(claimed, id)
+				}
+				r := Delegate(views[step.To], key, radius, claimed, depth, fanout, src, sub)
+				MergeViews(pool, r)
+				v, ok = pool[step.To]
+			}
+			if !ok {
+				fv, ferr := src.View(step.To)
+				if ferr != nil {
+					return nil, s.Hops(), ferr
+				}
+				pool[step.To] = fv
+				v = fv
+			}
+		}
+		s.Feed(v, 1)
+	}
+}
+
+// TestDelegateDifferential proves the delegation kernel's central claim:
+// gather-then-replay returns entries, hops, and errors byte-identical to
+// the serial route.Run reference, across random split topologies, random
+// spheres, random delegation budgets, and injected peer failures.
+func TestDelegateDifferential(t *testing.T) {
+	for topo := 0; topo < 25; topo++ {
+		rng := rand.New(rand.NewSource(int64(9000 + topo)))
+		nodes := 2 + rng.Intn(38)
+		dim := 2 + rng.Intn(3)
+		views := randomSplitTopology(rng, nodes, dim, 4*nodes)
+		down := map[int]bool{}
+		if topo%3 == 1 { // a third of the topologies have dead peers
+			for i := 0; i < 1+nodes/10; i++ {
+				down[rng.Intn(nodes)] = true
+			}
+		}
+		for q := 0; q < 8; q++ {
+			start := rng.Intn(nodes)
+			for down[start] {
+				start = rng.Intn(nodes)
+			}
+			key := make([]float64, dim)
+			for i := range key {
+				key[i] = rng.Float64()
+			}
+			radius := rng.Float64() * 0.4
+			if q == 0 {
+				radius = 0
+			}
+			depth, fanout := rng.Intn(4), 1+rng.Intn(3)
+
+			hopLimit := 8*len(views) + 16
+			src := failableSource(views, down)
+			wantEntries, wantHops, wantErr := Run(NewSearch(views[start], key, radius, hopLimit), src)
+			gotEntries, gotHops, gotErr := delegatedLookup(t, views, down, start, key, radius, depth, fanout)
+
+			if !errors.Is(gotErr, wantErr) && !(gotErr == nil && wantErr == nil) {
+				t.Fatalf("topo %d q %d: err %v, want %v", topo, q, gotErr, wantErr)
+			}
+			if gotHops != wantHops {
+				t.Fatalf("topo %d q %d: hops %d, want %d", topo, q, gotHops, wantHops)
+			}
+			flat := make([]RecordView, 0, len(wantEntries))
+			for _, e := range wantEntries {
+				flat = append(flat, RecordView{Entry: e})
+			}
+			if !(len(gotEntries) == 0 && len(flat) == 0) && !reflect.DeepEqual(gotEntries, flat) {
+				t.Fatalf("topo %d q %d: entries diverge\n got %v\nwant %v", topo, q, gotEntries, flat)
+			}
+		}
+	}
+}
+
+// TestFloodClaimed checks the claim-set mechanics the delegation protocol
+// rides on: pre-claimed ids are never emitted, Claim suppresses future
+// visits, and Claimed reports the sorted visited set.
+func TestFloodClaimed(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	views := randomSplitTopology(rng, 12, 2, 0)
+	key := []float64{0.5, 0.5}
+	const radius = 2 // covers the whole box: every node is reachable
+
+	f := NewFloodClaimed(views[0], key, radius, []int{3, 5})
+	seen := map[int]bool{}
+	for {
+		step := f.Next()
+		if step.Kind == StepDone {
+			break
+		}
+		seen[step.To] = true
+		if step.To == 7 {
+			f.Claim(9) // pretend a sub-delegate covered 9
+			f.Skip()
+			continue
+		}
+		f.Feed(views[step.To])
+	}
+	for _, id := range []int{0, 3, 5} {
+		if seen[id] {
+			t.Fatalf("claimed/root node %d was emitted", id)
+		}
+	}
+	if seen[9] {
+		t.Fatalf("node 9 emitted after Claim")
+	}
+	claimed := f.Claimed()
+	for i := 1; i < len(claimed); i++ {
+		if claimed[i-1] >= claimed[i] {
+			t.Fatalf("Claimed not sorted ascending: %v", claimed)
+		}
+	}
+	for _, id := range []int{0, 3, 5, 9} {
+		if !containsInt(claimed, id) {
+			t.Fatalf("Claimed missing %d: %v", id, claimed)
+		}
+	}
+}
+
+func containsInt(xs []int, want int) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMergeViewsFirstWins checks the exact-dedup contract: once a view for
+// an id is pooled, later piggybacks (even different copies) never replace
+// it, and merge order across results is respected.
+func TestMergeViewsFirstWins(t *testing.T) {
+	a := NodeView{ID: 1, Owned: []RecordView{{Seq: 10}}}
+	b := NodeView{ID: 1, Owned: []RecordView{{Seq: 99}}}
+	pool := map[int]NodeView{}
+	MergeViews(pool, DelegateResult{Views: []NodeView{a}}, DelegateResult{Views: []NodeView{b, {ID: 2}}})
+	if got := pool[1].Owned[0].Seq; got != 10 {
+		t.Fatalf("pool[1] replaced: seq %d, want 10", got)
+	}
+	if _, ok := pool[2]; !ok {
+		t.Fatalf("pool missing id 2")
+	}
+	MergeViews(pool) // no results: no-op
+	if len(pool) != 2 {
+		t.Fatalf("pool len %d, want 2", len(pool))
+	}
+}
+
+// FuzzDelegateMerge fuzzes the gather/merge/replay pipeline against the
+// serial reference on small random topologies derived from the fuzz input.
+func FuzzDelegateMerge(f *testing.F) {
+	f.Add([]byte("seed"), uint8(8), uint8(2), uint8(1), uint8(2))
+	f.Add([]byte("wide"), uint8(20), uint8(3), uint8(3), uint8(1))
+	f.Add([]byte{0xff, 0x01}, uint8(3), uint8(2), uint8(0), uint8(3))
+	f.Fuzz(func(t *testing.T, seed []byte, nodes, dim, depth, fanout uint8) {
+		n := 2 + int(nodes)%30
+		d := 2 + int(dim)%3
+		h := fnv.New64a()
+		h.Write(seed)
+		rng := rand.New(rand.NewSource(int64(h.Sum64())))
+		views := randomSplitTopology(rng, n, d, 3*n)
+		down := map[int]bool{}
+		if rng.Intn(2) == 0 {
+			down[rng.Intn(n)] = true
+		}
+		start := rng.Intn(n)
+		if down[start] {
+			return
+		}
+		key := make([]float64, d)
+		for i := range key {
+			key[i] = rng.Float64()
+		}
+		radius := rng.Float64() * 0.5
+		hopLimit := 8*n + 16
+		src := failableSource(views, down)
+		wantEntries, wantHops, wantErr := Run(NewSearch(views[start], key, radius, hopLimit), src)
+		gotEntries, gotHops, gotErr := delegatedLookup(t, views, down, start, key, radius, int(depth)%4, 1+int(fanout)%3)
+		if !errors.Is(gotErr, wantErr) && !(gotErr == nil && wantErr == nil) {
+			t.Fatalf("err %v, want %v", gotErr, wantErr)
+		}
+		if gotHops != wantHops {
+			t.Fatalf("hops %d, want %d", gotHops, wantHops)
+		}
+		flat := make([]RecordView, 0, len(wantEntries))
+		for _, e := range wantEntries {
+			flat = append(flat, RecordView{Entry: e})
+		}
+		if !(len(gotEntries) == 0 && len(flat) == 0) && !reflect.DeepEqual(gotEntries, flat) {
+			t.Fatalf("entries diverge: got %v want %v", gotEntries, flat)
+		}
+	})
+}

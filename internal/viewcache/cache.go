@@ -264,10 +264,60 @@ func (c *Cache) PutPinned(level, id int, v View, epoch uint64) {
 	c.put(level, id, v, nil, epoch, true)
 }
 
-func (c *Cache) put(level, id int, v View, err error, epoch uint64, pinned bool) {
+// PutRefresh installs a view obtained out-of-band — a delegation piggyback
+// or a proactive warm push — at the given epoch. Unlike Put it preserves the
+// entry's pinned status (a warm copy of a hot replica refreshes the replica
+// rather than demoting it), never replaces a same-epoch negative verdict
+// (fail-fast stays consistent within an epoch), and drops version
+// regressions: responder versions are monotonic, so a reordered in-flight
+// older copy must not overwrite a newer view already installed.
+func (c *Cache) PutRefresh(level, id int, v View, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	lc := &c.levels[level]
+	pinned := false
+	if e := lc.entries[id]; e != nil {
+		if e.err != nil {
+			if e.epoch == epoch {
+				return
+			}
+		} else {
+			if e.view.Version > v.Version {
+				return
+			}
+			pinned = e.pinned
+		}
+	}
+	c.count("cache.refresh")
+	c.putLocked(lc, id, v, nil, epoch, pinned)
+}
+
+// Clear drops every cached view, negative verdict, memoized lookup, and
+// hotness count across all levels — back to the cold-start state. The bench
+// harness's cold phase uses it to measure first-touch cost on an otherwise
+// warm cluster.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for l := range c.levels {
+		c.levels[l] = levelCache{
+			entries: map[int]*entry{},
+			lru:     list.New(),
+			hits:    map[int]int{},
+			pending: map[int]bool{},
+			memo:    map[string]*memoEntry{},
+			memoLRU: list.New(),
+		}
+	}
+}
+
+func (c *Cache) put(level, id int, v View, err error, epoch uint64, pinned bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(&c.levels[level], id, v, err, epoch, pinned)
+}
+
+func (c *Cache) putLocked(lc *levelCache, id int, v View, err error, epoch uint64, pinned bool) {
 	if e := lc.entries[id]; e != nil {
 		lc.remove(e)
 	}

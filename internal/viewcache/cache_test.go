@@ -206,3 +206,157 @@ func TestOutcomeString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%d", Hit)
 }
+
+// TestNegativeExpiryAfterRejoin covers the rejoin sequence the delegation
+// path leans on: a peer crashes (negative verdict cached), its zone is
+// taken over and the node later rejoins — each a membership event bumping
+// the epoch — and the first post-rejoin probe must be a clean Miss followed
+// by a normal install, not a lingering fail-fast.
+func TestNegativeExpiryAfterRejoin(t *testing.T) {
+	var ctr sim.Counters
+	c := New(1, Options{Capacity: 8, Counters: &ctr})
+	dead := errors.New("peer unreachable")
+
+	c.PutNegative(0, 7, dead, 3) // crash observed at epoch 3
+	if _, out, err := c.Get(0, 7, 3); out != NegHit || !errors.Is(err, dead) {
+		t.Fatalf("same-epoch probe: outcome %v err %v", out, err)
+	}
+	// Takeover then rejoin: two membership events, epoch 3 -> 5. The stale
+	// verdict must not survive either of them.
+	if _, out, _ := c.Get(0, 7, 5); out != Miss {
+		t.Fatal("negative verdict survived the rejoin epoch bumps")
+	}
+	// The expired negative entry is gone for good, not resurrected at the
+	// old epoch.
+	if _, out, _ := c.Get(0, 7, 3); out != Miss {
+		t.Fatal("expired negative entry resurrected at its original epoch")
+	}
+	c.Put(0, 7, view(7, 12), 5) // the rejoined node's fresh view
+	if v, out, _ := c.Get(0, 7, 5); out != Hit || v.Version != 12 {
+		t.Fatalf("post-rejoin install: outcome %v view %+v", out, v)
+	}
+	if ctr.Get("cache.neg_hit") != 1 {
+		t.Fatalf("neg_hit count %v, want 1", ctr.Get("cache.neg_hit"))
+	}
+}
+
+// TestPinExemptionUnderFullCache runs LRU churn well beyond capacity with
+// pinned replicas present: pinned entries must never be evicted, must not
+// consume LRU capacity, and the unpinned population must evict in exact
+// least-recently-used order.
+func TestPinExemptionUnderFullCache(t *testing.T) {
+	var ctr sim.Counters
+	c := New(1, Options{Capacity: 3, Counters: &ctr})
+	c.PutPinned(0, 100, view(100, 1), 0)
+	c.PutPinned(0, 101, view(101, 1), 0)
+
+	// Churn 20 unpinned entries through a 3-slot LRU.
+	for id := 0; id < 20; id++ {
+		c.Put(0, id, view(id, 1), 0)
+	}
+	if got := c.Len(0); got != 5 { // 3 unpinned + 2 pinned
+		t.Fatalf("Len %d, want 5", got)
+	}
+	// The pinned replicas survived the churn.
+	for _, id := range []int{100, 101} {
+		v, out, _ := c.Get(0, id, 0)
+		if out != Hit || !v.Pinned {
+			t.Fatalf("pinned %d after churn: outcome %v pinned %v", id, out, v.Pinned)
+		}
+	}
+	// Exactly the 3 most recent unpinned entries remain; older ones were
+	// evicted least-recent-first.
+	for id := 0; id < 20; id++ {
+		want := Miss
+		if id >= 17 {
+			want = Hit
+		}
+		if _, out, _ := c.Get(0, id, 0); out != want {
+			t.Fatalf("unpinned %d: outcome %v, want %v", id, out, want)
+		}
+	}
+	if got := ctr.Get("cache.evict"); got != 17 {
+		t.Fatalf("evictions %v, want 17", got)
+	}
+	// Touching an old entry via Get moves it to the front: it must outlive
+	// a subsequently inserted entry's eviction round.
+	c.Get(0, 17, 0)              // LRU order now 17, 19, 18
+	c.Put(0, 50, view(50, 1), 0) // evicts 18
+	if _, out, _ := c.Get(0, 18, 0); out != Miss {
+		t.Fatal("LRU eviction ignored recency: 18 should be the victim")
+	}
+	if _, out, _ := c.Get(0, 17, 0); out != Hit {
+		t.Fatal("recently touched entry evicted out of order")
+	}
+}
+
+// TestPutRefresh covers the out-of-band install path used by delegation
+// piggybacks and warm pushes: pin preservation, version-regression drops,
+// and same-epoch negative verdicts standing their ground.
+func TestPutRefresh(t *testing.T) {
+	var ctr sim.Counters
+	c := New(1, Options{Capacity: 8, Counters: &ctr})
+
+	// Refresh over a pinned replica keeps it pinned (and updates the view).
+	c.PutPinned(0, 1, view(1, 5), 0)
+	c.PutRefresh(0, 1, view(1, 6), 1)
+	v, out, _ := c.Get(0, 1, 1)
+	if out != Hit || !v.Pinned || v.Version != 6 {
+		t.Fatalf("refreshed replica: outcome %v pinned %v version %d", out, v.Pinned, v.Version)
+	}
+
+	// A version regression (reordered in-flight older copy) is dropped.
+	c.PutRefresh(0, 1, view(1, 4), 1)
+	if v, _, _ := c.Get(0, 1, 1); v.Version != 6 {
+		t.Fatalf("version regressed to %d", v.Version)
+	}
+
+	// A same-epoch negative verdict is not overwritten...
+	dead := errors.New("peer unreachable")
+	c.PutNegative(0, 2, dead, 1)
+	c.PutRefresh(0, 2, view(2, 1), 1)
+	if _, out, _ := c.Get(0, 2, 1); out != NegHit {
+		t.Fatalf("same-epoch negative overwritten: outcome %v", out)
+	}
+	// ...but a stale one is: after an epoch bump the verdict is void.
+	c.PutRefresh(0, 2, view(2, 2), 2)
+	if v, out, _ := c.Get(0, 2, 2); out != Hit || v.Version != 2 {
+		t.Fatalf("refresh over stale negative: outcome %v view %+v", out, v)
+	}
+
+	// Plain install on a cold id works and is unpinned.
+	c.PutRefresh(0, 3, view(3, 9), 2)
+	if v, out, _ := c.Get(0, 3, 2); out != Hit || v.Pinned {
+		t.Fatalf("cold refresh: outcome %v pinned %v", out, v.Pinned)
+	}
+	if ctr.Get("cache.refresh") != 3 {
+		t.Fatalf("refresh count %v, want 3", ctr.Get("cache.refresh"))
+	}
+}
+
+// TestClear returns the cache to the cold-start state: views, negatives,
+// lookup memos, and hotness all gone, across every level.
+func TestClear(t *testing.T) {
+	c := New(2, Options{Capacity: 8, HotThreshold: 1})
+	c.Put(0, 1, view(1, 1), 0)
+	c.PutPinned(1, 2, view(2, 1), 0)
+	c.PutNegative(0, 3, errors.New("dead"), 0)
+	c.PutSearch(0, []byte("q"), nil, 4, 0)
+	c.NoteFetchHit(0, 9)
+
+	c.Clear()
+	for l := 0; l < 2; l++ {
+		if c.Len(l) != 0 {
+			t.Fatalf("level %d Len %d after Clear", l, c.Len(l))
+		}
+	}
+	if _, out, _ := c.Get(0, 3, 0); out != Miss {
+		t.Fatal("negative verdict survived Clear")
+	}
+	if _, _, ok := c.GetSearch(0, []byte("q"), 0); ok {
+		t.Fatal("lookup memo survived Clear")
+	}
+	if got := c.HotPending(0); got != nil {
+		t.Fatalf("hot pending survived Clear: %v", got)
+	}
+}
