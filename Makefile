@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-kernels bench-serve bench-serve-smoke fuzz soak
+.PHONY: check fmt vet build test race bench bench-kernels bench-serve bench-serve-smoke bench-mem bench-mem-smoke fuzz soak
 
 check: fmt vet build test
 
@@ -74,12 +74,37 @@ bench-serve-smoke:
 	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp
 	$(GO) run ./cmd/hyperm-load -nodes 8 -requests 2000 -clients 8 -transport tcp -zipf 1.5 -repeat 0.5 -cache-views -hot-replicate -affinity -agg-fanout 3 -warm-push 2 -cold 200
 
+# Memory-scale serving benchmark: first the flat-store layout accounting
+# (live-heap bytes/item, flat vs the parallel-slice layout it replaced) and
+# the arena decode fence benchmark, then a 4-node TCP cluster at 100k
+# items/node serving the query mix while an open-loop -publish-rate ingest
+# stream grows the stores through the streaming incremental kernel
+# (re-clustering after 1000 streamed inserts). The "all" row carries
+# heap_bytes, store_bytes(_per_item), gc_pause_p99_ms, and
+# store_rec_per_publish — the O(changed clusters) announcement payload; the
+# "ingest" row the ingest latencies. Rows append to BENCH_serve.json. The
+# offered rates are sized for the single-CPU CI box (a 100k-item first-touch
+# fetch scan is ~5-10 ms there); scale them up with the cores.
+bench-mem:
+	$(GO) test -run TestFlatLayoutHeapBytesPerItem -v ./internal/store
+	$(GO) test -run=^$$ -bench='^(BenchmarkFloatsSharedDecode|BenchmarkAppend)$$' -benchmem ./internal/transport ./internal/store
+	$(GO) run ./cmd/hyperm-load -nodes 4 -items 100000 -requests 4000 -clients 8 -transport tcp -cpus $(BENCH_CPUS) -cache-views -stream-publish -recluster-every 1000 -publish-rate 50 -append -out BENCH_serve.json
+
+# CI-sized bench-mem: same shape (streamed publishes + ingest under query
+# load, memory telemetry on), small enough for seconds-long smoke. Fails on
+# any request or ingest error.
+bench-mem-smoke:
+	$(GO) run ./cmd/hyperm-load -nodes 4 -items 2000 -requests 1500 -clients 8 -transport tcp -cache-views -stream-publish -recluster-every 100 -publish-rate 100
+
 # Short fuzz sessions: the wavelet round-trip invariant, the routing core vs
 # the frozen pre-extraction sphere-search reference, the zone split/takeover
-# tiling invariants under random churn schedules, and the first-wins merge of
-# delegated gather results against claimed-set consistency.
+# tiling invariants under random churn schedules, the first-wins merge of
+# delegated gather results against claimed-set consistency, and the store_rec
+# wire round-trip (bounded-count decode: a corrupt length prefix must error,
+# never allocate).
 fuzz:
 	$(GO) test -fuzz=FuzzDecomposeReconstruct -fuzztime=30s ./internal/wavelet
 	$(GO) test -fuzz=FuzzSearchSphere -fuzztime=30s ./internal/can
 	$(GO) test -fuzz=FuzzZoneSplitTakeover -fuzztime=30s ./internal/can
 	$(GO) test -fuzz=FuzzDelegateMerge -fuzztime=30s ./internal/route
+	$(GO) test -fuzz=FuzzStoreRecRoundTrip -fuzztime=30s ./internal/membership

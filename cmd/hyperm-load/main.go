@@ -152,6 +152,28 @@ type ServeBenchRow struct {
 	// installed cluster-wide during this row's phase.
 	WarmPushes   float64 `json:"warm_pushes,omitempty"`
 	WarmInstalls float64 `json:"warm_installs,omitempty"`
+	// StreamPublish/ReclusterEvery record the incremental-publish tuning the
+	// cluster ran with; PublishRate is the offered rate of the -publish-rate
+	// open-loop ingest driver (its completions are the "ingest" row).
+	StreamPublish  bool    `json:"stream_publish,omitempty"`
+	ReclusterEvery int     `json:"recluster_every,omitempty"`
+	PublishRate    float64 `json:"publish_rate,omitempty"`
+	// StoreRecPerPublish is the mean number of store_rec announcement RPCs one
+	// publish issued during the main phase (set on the "all" row of
+	// -stream-publish runs) — the O(changed clusters) payload: an absorb or
+	// grow touches one record per level, only splits and re-clusters ship
+	// more, versus a full republish shipping every cluster of every level.
+	StoreRecPerPublish float64 `json:"store_rec_per_publish,omitempty"`
+	// Memory-scale telemetry, set on the "all" row: HeapBytes is the process
+	// live heap (runtime HeapAlloc) at the end of the main phase, StoreBytes
+	// the summed flat-store footprint of every node's item store, StoreItems
+	// the items those stores hold, StoreBytesPerItem their ratio, and
+	// GCPauseP99Ms the p99 stop-the-world pause across the phase's GC cycles.
+	HeapBytes         uint64  `json:"heap_bytes,omitempty"`
+	StoreBytes        int     `json:"store_bytes,omitempty"`
+	StoreItems        int     `json:"store_items,omitempty"`
+	StoreBytesPerItem float64 `json:"store_bytes_per_item,omitempty"`
+	GCPauseP99Ms      float64 `json:"gc_pause_p99_ms,omitempty"`
 }
 
 // errorClass buckets one failed request. Routing stalls carry their
@@ -198,6 +220,26 @@ func percentile(sorted []time.Duration, p float64) float64 {
 	return float64(sorted[idx]) / float64(time.Millisecond)
 }
 
+// gcPauseP99 returns the p99 stop-the-world pause in milliseconds across the
+// GC cycles between two MemStats snapshots. The runtime's PauseNs ring keeps
+// the last 256 cycles, so a very long phase reports the tail's p99 — exactly
+// the recent-steady-state number the bench wants.
+func gcPauseP99(base, end *runtime.MemStats) float64 {
+	n := int(end.NumGC - base.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(end.PauseNs) {
+		n = len(end.PauseNs)
+	}
+	pauses := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		pauses = append(pauses, float64(end.PauseNs[(int(end.NumGC)-1-i+len(end.PauseNs)*4)%len(end.PauseNs)]))
+	}
+	sort.Float64s(pauses)
+	return pauses[int(0.99*float64(len(pauses)-1))] / 1e6
+}
+
 func main() { os.Exit(run()) }
 
 func run() int {
@@ -225,6 +267,9 @@ func run() int {
 	aggDepth := flag.Int("agg-depth", 0, "recursive sub-delegation depth budget (0 = default when -agg-fanout is set)")
 	warmPush := flag.Int("warm-push", 0, "after churn epochs, push refreshed views to up to this many recent delegation requesters per node (0 = off)")
 	affinity := flag.Bool("affinity", false, "route each query to a coordinator chosen by query hash so repeats land on warm caches (publishes stay random)")
+	streamPublish := flag.Bool("stream-publish", false, "publish through the streaming incremental kernel: O(changed clusters) record deltas announced per publish instead of stale summaries (incompatible with -agg-fanout)")
+	reclusterEvery := flag.Int("recluster-every", 0, "with -stream-publish, re-cluster a node's levels after this many streamed inserts (0 = never)")
+	publishRate := flag.Float64("publish-rate", 0, "open-loop publish ingest in items/s running alongside the query load, reported as an 'ingest' row (0 = off)")
 	cold := flag.Int("cold", 0, "after the main run and sweeps, clear every node's caches and issue this many distinct first-touch queries, reported as a 'cold' row")
 	cpus := flag.Int("cpus", 0, "GOMAXPROCS override for the whole process (0 = leave the runtime default)")
 	appendOut := flag.Bool("append", false, "append rows to -out instead of overwriting it")
@@ -249,6 +294,14 @@ func run() int {
 	}
 	if *hotReplicate {
 		*cacheViews = true
+	}
+	if *streamPublish && *aggFanout > 0 {
+		fmt.Fprintln(os.Stderr, "hyperm-load: -stream-publish is incompatible with -agg-fanout (delegated view pools are not revalidated against record churn)")
+		return 2
+	}
+	if *publishRate < 0 {
+		fmt.Fprintln(os.Stderr, "hyperm-load: -publish-rate must be >= 0")
+		return 2
 	}
 	if *cpus > 0 {
 		// Before any cluster or client goroutine exists, so the whole run —
@@ -292,13 +345,15 @@ func run() int {
 		mopts = membership.Options{ProbeInterval: 100 * time.Millisecond, ProbeTimeout: 500 * time.Millisecond, FailAfter: 3}
 	}
 	tuning := node.Tuning{
-		Alpha:        *alpha,
-		CacheViews:   *cacheViews,
-		CacheSize:    *cacheSize,
-		HotReplicate: *hotReplicate,
-		AggFanout:    *aggFanout,
-		AggDepth:     *aggDepth,
-		WarmPush:     *warmPush,
+		Alpha:          *alpha,
+		CacheViews:     *cacheViews,
+		CacheSize:      *cacheSize,
+		HotReplicate:   *hotReplicate,
+		AggFanout:      *aggFanout,
+		AggDepth:       *aggDepth,
+		WarmPush:       *warmPush,
+		StreamPublish:  *streamPublish,
+		ReclusterEvery: *reclusterEvery,
 	}
 	cl, err := node.StartClusterTuned(sys, tr, listen, policy, mopts, tuning)
 	if err != nil {
@@ -320,6 +375,18 @@ func run() int {
 		addrMu.RLock()
 		defer addrMu.RUnlock()
 		return aliveAddrs[rng.Intn(len(aliveAddrs))]
+	}
+	// Streamed publishes need a base clustering, which churn-joined nodes
+	// start without — under -stream-publish, publishes target alive founders
+	// only (founder 0 never churns, so the list is never empty).
+	aliveFounders := append([]string(nil), cl.Addrs...)
+	pickPublishAddr := func(rng *rand.Rand) string {
+		if !*streamPublish {
+			return pickAddr(rng)
+		}
+		addrMu.RLock()
+		defer addrMu.RUnlock()
+		return aliveFounders[rng.Intn(len(aliveFounders))]
 	}
 	// With -affinity, queries (not publishes) route to a coordinator chosen by
 	// hashing the query, so a repeated query lands on the node whose caches it
@@ -416,6 +483,10 @@ func run() int {
 		row.CacheViews, row.CacheSize, row.HotReplicate = *cacheViews, effCacheSize, *hotReplicate
 		row.Affinity = *affinity
 		row.AggFanout, row.AggDepth, row.WarmPush = *aggFanout, effAggDepth, *warmPush
+		row.StreamPublish, row.PublishRate = *streamPublish, *publishRate
+		if *streamPublish {
+			row.ReclusterEvery = *reclusterEvery
+		}
 		if !*cacheViews {
 			row.CacheSize = 0
 		}
@@ -479,9 +550,13 @@ func run() int {
 			publish := func() {
 				addrMu.Lock()
 				aliveAddrs = aliveAddrs[:0]
+				aliveFounders = aliveFounders[:0]
 				for id, up := range alive {
 					if up {
 						aliveAddrs = append(aliveAddrs, cl.Addrs[id])
+						if id < *nodes {
+							aliveFounders = append(aliveFounders, cl.Addrs[id])
+						}
 					}
 				}
 				addrMu.Unlock()
@@ -582,7 +657,7 @@ func run() int {
 		qi := queryIdx[int(i%querySeqLen)]
 		var addr string
 		if op == 0 {
-			addr = pickAddr(rng)
+			addr = pickPublishAddr(rng)
 		} else {
 			addr = pickQueryAddr(rng, qi)
 		}
@@ -627,6 +702,58 @@ func run() int {
 		return samples, time.Since(startT).Seconds()
 	}
 
+	// The ingest driver: -publish-rate items/s of open-loop publishes running
+	// alongside the query load for the whole main phase — the memory-scale
+	// scenario bench-mem measures, a store that grows while it serves. Each
+	// publish is dispatched at its scheduled arrival regardless of completion,
+	// so queueing delay shows up in the ingest latencies.
+	ingestStop := make(chan struct{})
+	var ingestWG sync.WaitGroup
+	var ingestMu sync.Mutex
+	var ingestSamples []sample
+	if *publishRate > 0 {
+		ingestWG.Add(1)
+		go func() {
+			defer ingestWG.Done()
+			var callWG sync.WaitGroup
+			defer callWG.Wait()
+			rng := rand.New(rand.NewSource(*seed + 211))
+			startT := time.Now()
+			for i := int64(0); ; i++ {
+				target := startT.Add(time.Duration(float64(i) / *publishRate * float64(time.Second)))
+				if d := time.Until(target); d > 0 {
+					select {
+					case <-ingestStop:
+						return
+					case <-time.After(d):
+					}
+				} else {
+					select {
+					case <-ingestStop:
+						return
+					default:
+					}
+				}
+				qi := queryIdx[int(i%querySeqLen)]
+				item := append([]float64(nil), centers[qi]...)
+				for d := range item {
+					item[d] += 0.01 * rng.Float64()
+				}
+				addr := pickPublishAddr(rng)
+				id := int(atomic.AddInt64(&nextID, 1))
+				callWG.Add(1)
+				go func() {
+					defer callWG.Done()
+					t0 := time.Now()
+					err := client.Publish(ctx, addr, id, item)
+					ingestMu.Lock()
+					ingestSamples = append(ingestSamples, sample{op: 0, dur: time.Since(t0), err: err})
+					ingestMu.Unlock()
+				}()
+			}
+		}()
+	}
+
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -641,6 +768,8 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
+	var msBase runtime.MemStats
+	runtime.ReadMemStats(&msBase)
 	start := time.Now()
 	var elapsed float64
 	if *rate > 0 {
@@ -678,7 +807,19 @@ func run() int {
 		elapsed = time.Since(start).Seconds()
 	}
 	close(churnStop)
+	close(ingestStop)
 	churnWG.Wait()
+	ingestWG.Wait()
+	// Memory telemetry, captured before the profile-flush GC below so the
+	// heap number reflects the serving steady state, not a post-collection
+	// floor. The store sums are exact accounting, independent of GC timing.
+	var msEnd runtime.MemStats
+	runtime.ReadMemStats(&msEnd)
+	storeBytes, storeItems := 0, 0
+	for _, nd := range cl.Nodes {
+		storeBytes += nd.StoreHeapBytes()
+		storeItems += nd.ItemCount()
+	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -718,6 +859,27 @@ func run() int {
 			perOp["all"] = append(perOp["all"], s.dur)
 		}
 	}
+	// Ingest aggregates feed both the "ingest" row and the per-publish
+	// announcement cost on the "all" row.
+	var ingestDurs []time.Duration
+	ingestErrs := 0
+	ingestClasses := map[string]int{}
+	for _, s := range ingestSamples {
+		if s.err != nil {
+			ingestErrs++
+			ingestClasses[errorClass(s.err)]++
+			if *churnEvery == 0 {
+				fmt.Fprintf(os.Stderr, "hyperm-load: ingest publish: %v\n", s.err)
+			}
+			continue
+		}
+		ingestDurs = append(ingestDurs, s.dur)
+	}
+	if ingestErrs == 0 {
+		ingestClasses = nil
+	}
+	mainPublishes := len(perOp["publish"]) + errs["publish"] + len(ingestSamples)
+
 	var rows []ServeBenchRow
 	for _, op := range []string{"publish", "range", "knn", "all"} {
 		durs := perOp[op]
@@ -736,6 +898,32 @@ func run() int {
 			cc = mainCC
 		}
 		decorate(&row, cc, len(perOp["all"])+errs["all"])
+		if op == "all" {
+			row.HeapBytes = msEnd.HeapAlloc
+			row.StoreBytes = storeBytes
+			row.StoreItems = storeItems
+			if storeItems > 0 {
+				row.StoreBytesPerItem = float64(storeBytes) / float64(storeItems)
+			}
+			row.GCPauseP99Ms = gcPauseP99(&msBase, &msEnd)
+			if *streamPublish && mainPublishes > 0 {
+				row.StoreRecPerPublish = mainCC["stream.store_rec"] / float64(mainPublishes)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if *publishRate > 0 {
+		sort.Slice(ingestDurs, func(i, j int) bool { return ingestDurs[i] < ingestDurs[j] })
+		row := ServeBenchRow{
+			Op: "ingest", Transport: *transportName, Nodes: *nodes, Clients: *clients,
+			Requests: len(ingestSamples), Errors: ingestErrs, Seconds: elapsed,
+			P50Ms: percentile(ingestDurs, 0.50), P95Ms: percentile(ingestDurs, 0.95), P99Ms: percentile(ingestDurs, 0.99),
+			ErrorClasses: ingestClasses, Alpha: effAlpha, OfferedQPS: *publishRate,
+		}
+		if elapsed > 0 {
+			row.QPS = float64(len(ingestSamples)) / elapsed
+		}
+		decorate(&row, nil, 0)
 		rows = append(rows, row)
 	}
 	if *churnEvery > 0 {
@@ -919,6 +1107,23 @@ func run() int {
 			r.Op, offered, r.Requests, r.Errors, r.QPS, r.P50Ms, r.P95Ms, r.P99Ms)
 	}
 
+	{
+		var allRow *ServeBenchRow
+		for i := range rows {
+			if rows[i].Op == "all" {
+				allRow = &rows[i]
+			}
+		}
+		fmt.Printf("\nmemory: heap=%.1f MiB, stores=%.1f MiB / %d items = %.1f B/item, gc_pause_p99=%.3f ms\n",
+			float64(allRow.HeapBytes)/(1<<20), float64(allRow.StoreBytes)/(1<<20),
+			allRow.StoreItems, allRow.StoreBytesPerItem, allRow.GCPauseP99Ms)
+		if *streamPublish {
+			fmt.Printf("stream publish: %d mix + %d ingested publishes, %.0f store_rec announcements (%.2f per publish)\n",
+				len(perOp["publish"])+errs["publish"], len(ingestSamples),
+				mainCC["stream.store_rec"], allRow.StoreRecPerPublish)
+		}
+	}
+
 	if *cacheViews {
 		cc := mainCC
 		var allRow *ServeBenchRow
@@ -984,6 +1189,10 @@ func run() int {
 		sort.Strings(parts)
 		fmt.Fprintf(os.Stderr, "hyperm-load: %d requests failed (%s)\n",
 			errs["all"], strings.Join(parts, " "))
+		return 1
+	}
+	if ingestErrs > 0 {
+		fmt.Fprintf(os.Stderr, "hyperm-load: %d ingest publishes failed\n", ingestErrs)
 		return 1
 	}
 	if sweepErrs > 0 {

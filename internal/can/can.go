@@ -415,6 +415,78 @@ func (o *Overlay) replicate(owner *node, rec RecordView) int {
 	return msgs
 }
 
+// NextSeq previews the sequence number the next InsertSphere will assign —
+// the record identity a publisher remembers so it can upsert the record in
+// place later (overlay.Sequencer).
+func (o *Overlay) NextSeq() int { return o.nextSeq }
+
+var _ overlay.Sequencer = (*Overlay)(nil)
+var _ overlay.StreamUpdater = (*Overlay)(nil)
+
+// UpsertSphere applies one streamed record delta (overlay.StreamUpdater):
+// greedy-route to the centroid's owner, upsert there, then flood the sphere
+// upserting on every reached node — the same visit pattern as InsertSphere,
+// with route.UpsertRecord (replace in place, append where absent) instead of
+// a plain append. Growing a record's radius therefore lands replicas in the
+// newly covered zones while existing holders update in place.
+func (o *Overlay) UpsertSphere(from, seq int, e overlay.Entry) int {
+	return o.streamOp(from, route.RecordView{Seq: seq, Entry: e}, false)
+}
+
+// DeleteSphere removes the record with seq everywhere its sphere reaches
+// (overlay.StreamUpdater). The entry carries the record's *current* key and
+// radius, which bound where replicas can live.
+func (o *Overlay) DeleteSphere(from, seq int, e overlay.Entry) int {
+	return o.streamOp(from, route.RecordView{Seq: seq, Entry: e}, true)
+}
+
+// streamOp routes to the sphere owner, applies the delta there, and floods
+// the sphere applying it on every reached node. Dropped flood messages are
+// charged but not applied, exactly like replicate.
+func (o *Overlay) streamOp(from int, rec RecordView, del bool) int {
+	o.checkKey(rec.Entry.Key)
+	if rec.Entry.Radius < 0 {
+		panic("can: negative entry radius")
+	}
+	if !o.nodes[from].alive {
+		panic(fmt.Sprintf("can: node %d has left the overlay", from))
+	}
+	owner, hops := o.route(o.nodes[from], rec.Entry.Key)
+	o.stats.InsertRouteHops += hops
+	o.applyStream(owner, rec, del, true)
+	if rec.Entry.Radius <= 0 {
+		return hops
+	}
+	f := route.NewFlood(o.liveView(owner), rec.Entry.Key, rec.Entry.Radius)
+	msgs := 0
+	for {
+		step := f.Next()
+		if step.Kind == route.StepDone {
+			break
+		}
+		o.message(step.From, step.To)
+		msgs++
+		if o.dropped() {
+			f.Skip() // delta lost in the air; this holder goes stale
+			continue
+		}
+		nb := o.nodes[step.To]
+		o.applyStream(nb, rec, del, false)
+		f.Feed(o.liveView(nb))
+	}
+	o.stats.InsertReplicationHops += msgs
+	return hops + msgs
+}
+
+// applyStream mutates one node's stores through the shared delta rules.
+func (o *Overlay) applyStream(n *node, rec RecordView, del, asOwner bool) {
+	if del {
+		n.owned, n.replicas, _ = route.DeleteRecord(n.owned, n.replicas, rec.Seq)
+		return
+	}
+	n.owned, n.replicas = route.UpsertRecord(n.owned, n.replicas, rec, asOwner)
+}
+
 // SearchSphere routes to the owner of key and floods the zones intersecting
 // the query sphere, returning every stored entry whose own sphere intersects
 // the query (deduplicated across replicas) plus the hops spent. Every

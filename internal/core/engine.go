@@ -438,7 +438,7 @@ func (b systemBackend) FetchRange(from, peer int, q []float64, eps float64) ([]i
 	if ps.dead {
 		return nil, nil // contact times out; the budget is still spent
 	}
-	return LocalRange(q, eps, ps.itemIDs, ps.items), nil
+	return LocalRange(q, eps, ps.store), nil
 }
 
 func (b systemBackend) FetchKNN(from, peer int, q []float64, k int) ([]ItemDist, error) {
@@ -446,5 +446,5 @@ func (b systemBackend) FetchKNN(from, peer int, q []float64, k int) ([]ItemDist,
 	if ps.dead {
 		return nil, nil // contact times out; the budget is still spent
 	}
-	return LocalKNN(q, k, ps.itemIDs, ps.items), nil
+	return LocalKNN(q, k, ps.store), nil
 }

@@ -55,8 +55,8 @@ func (s *System) KNNQuery(from int, q []float64, k int, opts KNNOptions) KNNResu
 func (s *System) itemLookup() map[int][]float64 {
 	out := make(map[int][]float64, s.TotalItems())
 	for _, ps := range s.peers {
-		for i, id := range ps.itemIDs {
-			out[id] = ps.items[i]
+		for i, n := 0, ps.store.Len(); i < n; i++ {
+			out[ps.store.ID(i)] = ps.store.Vec(i)
 		}
 	}
 	return out

@@ -3,20 +3,21 @@ package core
 import (
 	"sort"
 
+	"hyperm/internal/store"
 	"hyperm/internal/vec"
 	"hyperm/internal/wavelet"
 )
 
 // LocalRange is the second query phase on a contacted peer: an exact scan of
-// its locally stored original vectors, returning the ids of every item
-// within eps of q. Exported so serving nodes (internal/node) answer fetch
-// RPCs with the exact same rule as the in-process simulation.
-func LocalRange(q []float64, eps float64, ids []int, items [][]float64) []int {
+// its flat item store, returning the ids of every item within eps of q.
+// Exported so serving nodes (internal/node) answer fetch RPCs with the exact
+// same rule as the in-process simulation.
+func LocalRange(q []float64, eps float64, st *store.Store) []int {
 	var out []int
 	eps2 := eps * eps
-	for i, x := range items {
-		if vec.Dist2(q, x) <= eps2 {
-			out = append(out, ids[i])
+	for i, n := 0, st.Len(); i < n; i++ {
+		if vec.Dist2(q, st.Vec(i)) <= eps2 {
+			out = append(out, st.ID(i))
 		}
 	}
 	return out
@@ -25,13 +26,13 @@ func LocalRange(q []float64, eps float64, ids []int, items [][]float64) []int {
 // LocalKNN returns the k locally stored items closest to q with their squared
 // distances, ordered by ascending distance (ties by ascending id). Exported
 // for serving nodes, like LocalRange.
-func LocalKNN(q []float64, k int, ids []int, items [][]float64) []ItemDist {
-	if k <= 0 || len(items) == 0 {
+func LocalKNN(q []float64, k int, st *store.Store) []ItemDist {
+	if k <= 0 || st.Len() == 0 {
 		return nil
 	}
-	cands := make([]ItemDist, len(items))
-	for i, x := range items {
-		cands[i] = ItemDist{ID: ids[i], Dist2: vec.Dist2(q, x)}
+	cands := make([]ItemDist, st.Len())
+	for i := range cands {
+		cands[i] = ItemDist{ID: st.ID(i), Dist2: vec.Dist2(q, st.Vec(i))}
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].Dist2 != cands[j].Dist2 {

@@ -9,6 +9,7 @@ import (
 	"hyperm/internal/cluster"
 	"hyperm/internal/overlay"
 	"hyperm/internal/parallel"
+	"hyperm/internal/store"
 	"hyperm/internal/wavelet"
 )
 
@@ -27,13 +28,22 @@ type ClusterRef struct {
 
 // peerState is everything a single device knows locally.
 type peerState struct {
-	id      int
-	itemIDs []int       // global item ids
-	items   [][]float64 // original vectors, parallel to itemIDs
+	id int
+	// store is the device's flat item store: id column + coalesced vector
+	// blocks (see internal/store).
+	store *store.Store
 	// published[l] is the level-l clustering actually announced to the
 	// overlays; stale after post-creation inserts, exactly like the paper's
 	// Fig 10c setting.
 	published [][]ClusterRef
+	// pubSeqs[l][i] is the overlay sequence number published[l][i] was
+	// announced under — the record identity streaming publish upserts in
+	// place. Captured only on overlays that expose sequence numbers
+	// (can.Overlay); nil otherwise.
+	pubSeqs [][]int
+	// stream is the incremental-publish state, lazily built on the first
+	// StreamInsert (see stream.go).
+	stream *StreamState
 	// dead marks a crashed/departed device: it answers no fetches and its
 	// overlay storage has been wiped.
 	dead bool
@@ -48,6 +58,9 @@ type System struct {
 	peers    []*peerState
 	bounds   []Bounds
 	engine   *Engine
+	// streamTuning parameterizes the incremental publish kernel for peers
+	// that begin streaming (see stream.go); zero value = defaults.
+	streamTuning StreamTuning
 }
 
 // NewSystem builds the per-level overlays and empty peers. Data is added
@@ -74,7 +87,7 @@ func NewSystem(cfg Config) (*System, error) {
 		s.overlays = append(s.overlays, ov)
 	}
 	for p := 0; p < cfg.Peers; p++ {
-		s.peers = append(s.peers, &peerState{id: p})
+		s.peers = append(s.peers, &peerState{id: p, store: store.New(cfg.Dim)})
 	}
 	return s, nil
 }
@@ -96,19 +109,18 @@ func (s *System) AddPeerData(p int, ids []int, items [][]float64) {
 		if len(x) != s.cfg.Dim {
 			panic(fmt.Sprintf("core: item dim %d, want %d", len(x), s.cfg.Dim))
 		}
-		ps.itemIDs = append(ps.itemIDs, ids[i])
-		ps.items = append(ps.items, x)
+		ps.store.Append(ids[i], x)
 	}
 }
 
 // PeerItemCount returns the number of items stored on peer p.
-func (s *System) PeerItemCount(p int) int { return len(s.peers[p].items) }
+func (s *System) PeerItemCount(p int) int { return s.peers[p].store.Len() }
 
 // TotalItems returns the number of items across every peer.
 func (s *System) TotalItems() int {
 	total := 0
 	for _, ps := range s.peers {
-		total += len(ps.items)
+		total += ps.store.Len()
 	}
 	return total
 }
@@ -133,8 +145,9 @@ func (s *System) DeriveBounds() {
 	}
 	parts, _ := parallel.Map(nil, s.cfg.Parallelism, len(s.peers), func(p int) ([]Bounds, error) {
 		pb := newBounds()
-		for _, x := range s.peers[p].items {
-			dec := wavelet.Decompose(x, s.cfg.Convention)
+		st := s.peers[p].store
+		for i := 0; i < st.Len(); i++ {
+			dec := wavelet.Decompose(st.Vec(i), s.cfg.Convention)
 			for l := 0; l < s.cfg.Levels; l++ {
 				for _, c := range dec.Subspace(l) {
 					if c < pb[l].Lo {
@@ -194,12 +207,18 @@ func (s *System) Bounds() []Bounds {
 }
 
 // PeerData returns peer p's item ids and vectors. The outer slices are
-// copies; the vectors themselves are shared (they are treated as immutable
-// throughout the repository). Serving nodes snapshot this as their local
-// store.
+// copies; the vectors themselves are arena views (they are treated as
+// immutable throughout the repository).
 func (s *System) PeerData(p int) (ids []int, items [][]float64) {
 	ps := s.peers[p]
-	return append([]int(nil), ps.itemIDs...), append([][]float64(nil), ps.items...)
+	return append([]int(nil), ps.store.IDs()...), ps.store.Rows()
+}
+
+// PeerStore returns an independent flat-store clone of peer p's items — what
+// a serving node snapshots as its local store (full blocks shared, append
+// tails split; see store.Clone).
+func (s *System) PeerStore(p int) *store.Store {
+	return s.peers[p].store.Clone()
 }
 
 // PublishStats reports the network cost of announcing one peer's summaries.
@@ -231,11 +250,11 @@ func (s *System) clusterSeed() int64 { return s.cfg.Rng.Int63() }
 // concurrently for distinct peers.
 func (s *System) preparePeer(p int, seed int64) preparedPeer {
 	ps := s.peers[p]
-	if len(ps.items) == 0 {
+	if ps.store.Len() == 0 {
 		return preparedPeer{}
 	}
 	rng := rand.New(rand.NewSource(seed))
-	decs := wavelet.DecomposeAll(ps.items, s.cfg.Convention)
+	decs := wavelet.DecomposeAll(ps.store.Rows(), s.cfg.Convention)
 	prep := preparedPeer{levels: make([][]cluster.Cluster, s.cfg.Levels)}
 	for l := 0; l < s.cfg.Levels; l++ {
 		coeffs := wavelet.SubspaceMatrix(decs, l)
@@ -252,10 +271,13 @@ func (s *System) commitPeer(p int, prep preparedPeer) PublishStats {
 	ps := s.peers[p]
 	st := PublishStats{HopsPerLevel: make([]int, s.cfg.Levels)}
 	ps.published = make([][]ClusterRef, s.cfg.Levels)
+	ps.pubSeqs = make([][]int, s.cfg.Levels)
+	ps.stream = nil // a fresh batch publish resets any incremental state
 	if prep.levels == nil {
 		return st
 	}
 	for l, clusters := range prep.levels {
+		seqer, _ := s.overlays[l].(overlay.Sequencer)
 		for idx, c := range clusters {
 			ref := ClusterRef{
 				Peer:   p,
@@ -266,6 +288,9 @@ func (s *System) commitPeer(p int, prep preparedPeer) PublishStats {
 				Items:  c.Count,
 			}
 			ps.published[l] = append(ps.published[l], ref)
+			if seqer != nil {
+				ps.pubSeqs[l] = append(ps.pubSeqs[l], seqer.NextSeq())
+			}
 			hops := s.overlays[l].InsertSphere(p, overlay.Entry{
 				Key:     s.mappers[l].mapPoint(c.Centroid),
 				Radius:  slacken(s.mappers[l].mapRadius(c.Radius)),
@@ -336,9 +361,21 @@ func (s *System) PostInsert(p int, id int, item []float64) {
 		panic(fmt.Sprintf("core: item dim %d, want %d", len(item), s.cfg.Dim))
 	}
 	ps := s.peers[p]
-	ps.itemIDs = append(ps.itemIDs, id)
-	ps.items = append(ps.items, item)
+	ps.store.Append(id, item)
 	AbsorbInsert(ps.published, item, s.cfg.Convention)
+}
+
+// PostInsertBatch is PostInsert over a batch, in order — the oracle for
+// node.PublishBatch (which batches only the coherence traffic, never the
+// store or summary mutations, so a batch and a per-item loop are the same
+// state transition).
+func (s *System) PostInsertBatch(p int, ids []int, items [][]float64) {
+	if len(ids) != len(items) {
+		panic(fmt.Sprintf("core: batch has %d ids for %d items", len(ids), len(items)))
+	}
+	for i := range items {
+		s.PostInsert(p, ids[i], items[i])
+	}
 }
 
 // FailPeer models device p crashing or walking out of radio range after
@@ -416,7 +453,7 @@ func (s *System) JoinPeer(points [][]float64) (int, error) {
 			return 0, fmt.Errorf("core: level %d assigned node id %d, want peer id %d", l, nid, id)
 		}
 	}
-	s.peers = append(s.peers, &peerState{id: id})
+	s.peers = append(s.peers, &peerState{id: id, store: store.New(s.cfg.Dim)})
 	s.cfg.Peers++
 	return id, nil
 }
@@ -483,6 +520,23 @@ func (s *System) PublishedAll(p int) [][]ClusterRef {
 	out := make([][]ClusterRef, len(ps.published))
 	for l, refs := range ps.published {
 		out[l] = append([]ClusterRef(nil), refs...)
+	}
+	return out
+}
+
+// PublishedSeqs returns a copy of the overlay sequence numbers peer p's
+// published records were announced under, indexed like PublishedAll (nil if
+// the peer has not published or the overlay exposes no sequence numbers).
+// Serving nodes snapshot these: they are the record identities streaming
+// publish upserts in place.
+func (s *System) PublishedSeqs(p int) [][]int {
+	ps := s.peers[p]
+	if ps.pubSeqs == nil {
+		return nil
+	}
+	out := make([][]int, len(ps.pubSeqs))
+	for l, seqs := range ps.pubSeqs {
+		out[l] = append([]int(nil), seqs...)
 	}
 	return out
 }

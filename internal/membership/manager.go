@@ -354,6 +354,16 @@ func (m *Manager) bumpLocked(level int) {
 	}
 }
 
+// bumpVersionLocked records a record-store mutation that is not churn: the
+// revalidation version advances (remote caches of this node's view must
+// refetch) but the churn epoch holds — zones and neighbor tables are
+// untouched, so topology-keyed trust is unaffected. Streaming publish is the
+// only caller; its coordinators compensate by never trusting a cached view
+// without revalidation (see node.Tuning.StreamPublish).
+func (m *Manager) bumpVersionLocked(level int) {
+	m.versions[level]++
+}
+
 // observeLocked records a churn event at level l that did not change this
 // node's own state (news about others): only the epoch advances, so local
 // caches revalidate while remote caches of *this* node's view stay valid.
@@ -399,6 +409,12 @@ func (m *Manager) HandleRPC(ctx context.Context, method string, body []byte) ([]
 			return nil, err
 		}
 		return nil, m.handleZoneUpdate(upd)
+	case MethodStoreRec:
+		req, err := DecodeStoreRecReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return m.handleStoreRec(req)
 	default:
 		return nil, fmt.Errorf("membership: unknown method %q", method)
 	}
@@ -409,6 +425,46 @@ func (m *Manager) checkLevel(level int) error {
 		return fmt.Errorf("membership: no level %d", level)
 	}
 	return nil
+}
+
+// ---- m.store_rec (streaming incremental publish) ----
+
+// ApplyRecord applies one streamed record delta to this node's level state
+// through the shared rules (route.UpsertRecord/DeleteRecord), so the records
+// a live holder ends up with are byte-identical to the simulator node the
+// same delta sequence reached. Bumps the level's revalidation version only —
+// record churn is not membership churn (see bumpVersionLocked).
+func (m *Manager) ApplyRecord(level int, asOwner, del bool, rec route.RecordView) error {
+	if err := m.checkLevel(level); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := &m.levels[level]
+	if del {
+		ls.Owned, ls.Replicas, _ = route.DeleteRecord(ls.Owned, ls.Replicas, rec.Seq)
+	} else {
+		ls.Owned, ls.Replicas = route.UpsertRecord(ls.Owned, ls.Replicas, rec, asOwner)
+	}
+	m.bumpVersionLocked(level)
+	return nil
+}
+
+// handleStoreRec serves one streamed record delta and acknowledges with this
+// node's zones and neighbor table — the view the publisher's flood machine
+// expands through.
+func (m *Manager) handleStoreRec(req StoreRecReq) ([]byte, error) {
+	if err := m.ApplyRecord(req.Level, req.AsOwner, req.Del, req.Rec); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	resp := StoreRecResp{
+		ID:        m.self,
+		Zones:     cloneZones(m.levels[req.Level].Zones),
+		Neighbors: cloneNeighbors(m.levels[req.Level].Neighbors),
+	}
+	m.mu.RUnlock()
+	return EncodeStoreRecResp(resp), nil
 }
 
 // ---- join ----

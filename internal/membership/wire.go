@@ -14,18 +14,19 @@ import (
 // record keys cross the wire bit-exactly (the determinism oracle depends on
 // it).
 const (
-	MethodJoin     = "m.join"     // joiner → owner: split your zone, hand my half over
-	MethodHandoff  = "m.handoff"  // leaver → taker: take these zones and records
-	MethodPing     = "m.ping"     // prober → neighbor: liveness + state snapshot
-	MethodTakeover = "m.takeover" // taker → neighborhood: I claimed a crashed node's zone
-	MethodZones    = "m.zones"    // any → neighbor: zone-set updates (join/leave/takeover notices)
+	MethodJoin     = "m.join"      // joiner → owner: split your zone, hand my half over
+	MethodHandoff  = "m.handoff"   // leaver → taker: take these zones and records
+	MethodPing     = "m.ping"      // prober → neighbor: liveness + state snapshot
+	MethodTakeover = "m.takeover"  // taker → neighborhood: I claimed a crashed node's zone
+	MethodZones    = "m.zones"     // any → neighbor: zone-set updates (join/leave/takeover notices)
+	MethodStoreRec = "m.store_rec" // stream publisher → holder: apply one record delta (upsert/delete)
 )
 
 // IsMethod reports whether method is a membership RPC (node daemons dispatch
 // these to their Manager).
 func IsMethod(method string) bool {
 	switch method {
-	case MethodJoin, MethodHandoff, MethodPing, MethodTakeover, MethodZones:
+	case MethodJoin, MethodHandoff, MethodPing, MethodTakeover, MethodZones, MethodStoreRec:
 		return true
 	}
 	return false
@@ -72,15 +73,17 @@ func EncodeZones(e *transport.Encoder, zs []route.Zone) {
 	}
 }
 
-// DecodeZones reads a zone list.
+// DecodeZones reads a zone list. Coordinate vectors land in the decoder's
+// shared arena (one block allocation per message instead of two per zone);
+// holders may retain them under the shared-read contract.
 func DecodeZones(d *transport.Decoder) []route.Zone {
-	n := int(d.U32())
+	n := d.Count(8) // two length-prefixed vectors minimum
 	if d.Err() != nil || n == 0 {
 		return nil
 	}
 	out := make([]route.Zone, n)
 	for i := range out {
-		out[i] = route.Zone{Lo: d.Floats(), Hi: d.Floats()}
+		out[i] = route.Zone{Lo: d.FloatsShared(), Hi: d.FloatsShared()}
 	}
 	return out
 }
@@ -97,7 +100,7 @@ func EncodeNeighbors(e *transport.Encoder, ns []Neighbor) {
 
 // DecodeNeighbors reads a neighbor table.
 func DecodeNeighbors(d *transport.Decoder) []Neighbor {
-	n := int(d.U32())
+	n := d.Count(16) // id + address prefix + zone count minimum
 	if d.Err() != nil || n == 0 {
 		return nil
 	}
@@ -130,21 +133,23 @@ func EncodeRecords(e *transport.Encoder, recs []route.RecordView) error {
 	return nil
 }
 
-// DecodeRecords reads a record list.
+// DecodeRecords reads a record list. Key and centroid vectors decode into
+// the decoder's shared arena (see DecodeZones): a view carrying hundreds of
+// records costs a few block allocations, not two slices per record.
 func DecodeRecords(d *transport.Decoder) []route.RecordView {
-	n := int(d.U32())
+	n := d.Count(64) // seq + entry + cluster-ref scalars minimum
 	if d.Err() != nil || n == 0 {
 		return nil
 	}
 	out := make([]route.RecordView, n)
 	for i := range out {
 		out[i].Seq = d.Int()
-		out[i].Entry = overlay.Entry{Key: d.Floats(), Radius: d.F64()}
+		out[i].Entry = overlay.Entry{Key: d.FloatsShared(), Radius: d.F64()}
 		out[i].Entry.Payload = core.ClusterRef{
 			Peer:   d.Int(),
 			Level:  d.Int(),
 			Index:  d.Int(),
-			Center: d.Floats(),
+			Center: d.FloatsShared(),
 			Radius: d.F64(),
 			Items:  d.Int(),
 		}
@@ -162,7 +167,7 @@ func encodeNodeZones(e *transport.Encoder, us []NodeZones) {
 }
 
 func decodeNodeZones(d *transport.Decoder) []NodeZones {
-	n := int(d.U32())
+	n := d.Count(16) // id + address prefix + zone count minimum
 	if d.Err() != nil || n == 0 {
 		return nil
 	}
@@ -237,7 +242,7 @@ func decodeJoinGrant(b []byte) (JoinGrant, error) {
 	g.Owned = DecodeRecords(d)
 	g.Replicas = DecodeRecords(d)
 	g.Size = d.Int()
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
+	if n := d.Count(12); d.Err() == nil && n > 0 {
 		g.Book = make([]BookEntry, n)
 		for i := range g.Book {
 			g.Book[i] = BookEntry{ID: d.Int(), Addr: d.String()}
@@ -302,7 +307,7 @@ func decodeHandoffReq(b []byte) (HandoffReq, error) {
 	var r HandoffReq
 	r.Level = d.Int()
 	r.Leaver = d.Int()
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
+	if n := d.Count(17); d.Err() == nil && n > 0 {
 		r.Assigns = make([]ZoneAssign, n)
 		for i := range r.Assigns {
 			r.Assigns[i].Zone = route.Zone{Lo: d.Floats(), Hi: d.Floats()}
@@ -351,7 +356,7 @@ func encodePingResp(tables []LevelTable) []byte {
 func decodePingResp(b []byte) ([]LevelTable, error) {
 	d := transport.NewDecoder(b)
 	var tables []LevelTable
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
+	if n := d.Count(8); d.Err() == nil && n > 0 {
 		tables = make([]LevelTable, n)
 		for i := range tables {
 			tables[i] = LevelTable{Zones: DecodeZones(d), Neighbors: DecodeNeighbors(d)}
@@ -396,6 +401,82 @@ func decodeTakeoverMsg(b []byte) (TakeoverMsg, error) {
 	msg.TakerAddr = d.String()
 	msg.TakerZones = DecodeZones(d)
 	return msg, d.Finish()
+}
+
+// ---- m.store_rec ----
+
+// StoreRecReq is one streamed record delta: upsert (replace in place, or
+// store where absent — as an owned record when AsOwner, as a replica
+// otherwise) or delete the record with Rec.Seq. Rec carries the full record
+// value, so holders apply it without further context (see route.UpsertRecord).
+type StoreRecReq struct {
+	Level   int
+	Del     bool
+	AsOwner bool
+	Rec     route.RecordView
+}
+
+// EncodeStoreRecReq builds the request body (exported: the stream publisher
+// in internal/node issues these).
+func EncodeStoreRecReq(r StoreRecReq) ([]byte, error) {
+	var e transport.Encoder
+	e.Int(r.Level)
+	flags := uint8(0)
+	if r.Del {
+		flags |= 1
+	}
+	if r.AsOwner {
+		flags |= 2
+	}
+	e.U8(flags)
+	if err := EncodeRecords(&e, []route.RecordView{r.Rec}); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// DecodeStoreRecReq reads a store_rec request body.
+func DecodeStoreRecReq(b []byte) (StoreRecReq, error) {
+	d := transport.NewDecoder(b)
+	var r StoreRecReq
+	r.Level = d.Int()
+	flags := d.U8()
+	r.Del = flags&1 != 0
+	r.AsOwner = flags&2 != 0
+	recs := DecodeRecords(d)
+	if err := d.Finish(); err != nil {
+		return StoreRecReq{}, err
+	}
+	if len(recs) != 1 {
+		return StoreRecReq{}, fmt.Errorf("membership: store_rec carries %d records, want 1", len(recs))
+	}
+	r.Rec = recs[0]
+	return r, nil
+}
+
+// StoreRecResp is the holder's acknowledgement: its id, zones, and neighbor
+// table, which is exactly what the publisher's flood machine needs to expand
+// the record's sphere to the next holders.
+type StoreRecResp struct {
+	ID        int
+	Zones     []route.Zone
+	Neighbors []Neighbor
+}
+
+// EncodeStoreRecResp builds the response body.
+func EncodeStoreRecResp(r StoreRecResp) []byte {
+	var e transport.Encoder
+	e.Int(r.ID)
+	EncodeZones(&e, r.Zones)
+	EncodeNeighbors(&e, r.Neighbors)
+	return e.Bytes()
+}
+
+// DecodeStoreRecResp reads a store_rec response body.
+func DecodeStoreRecResp(b []byte) (StoreRecResp, error) {
+	d := transport.NewDecoder(b)
+	r := StoreRecResp{ID: d.Int(), Zones: DecodeZones(d), Neighbors: DecodeNeighbors(d)}
+	return r, d.Finish()
 }
 
 // ---- m.zones ----

@@ -1,0 +1,66 @@
+package membership
+
+import (
+	"bytes"
+	"testing"
+
+	"hyperm/internal/core"
+	"hyperm/internal/overlay"
+	"hyperm/internal/route"
+)
+
+// Fuzz target for the store_rec delta codec — the wire format streaming
+// publish trusts for byte-identity with the simulator oracle. The invariant
+// is encode/decode idempotence on the byte level: any input the decoder
+// accepts must re-encode to bytes that decode to the same value and encode
+// back to the identical message (bit-level float comparison, so NaN payloads
+// and negative zeros cannot hide behind value equality).
+
+// storeRecSeed builds one valid request body for the fuzz corpus.
+func storeRecSeed(seq int, del, asOwner bool, key, center []float64) []byte {
+	b, err := EncodeStoreRecReq(StoreRecReq{
+		Level: 1, Del: del, AsOwner: asOwner,
+		Rec: route.RecordView{
+			Seq: seq,
+			Entry: overlay.Entry{
+				Key: key, Radius: 0.25,
+				Payload: core.ClusterRef{Peer: 3, Level: 1, Index: 2, Center: center, Radius: 0.5, Items: 7},
+			},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func FuzzStoreRecRoundTrip(f *testing.F) {
+	f.Add(storeRecSeed(42, false, true, []float64{0.1, 0.9}, []float64{1, 2, 3, 4}))
+	f.Add(storeRecSeed(1<<40+5, true, false, []float64{0.5}, nil))
+	f.Add(storeRecSeed(0, false, false, nil, []float64{-0.25}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := DecodeStoreRecReq(raw)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		b1, err := EncodeStoreRecReq(req)
+		if err != nil {
+			t.Fatalf("decoded request failed to re-encode: %v", err)
+		}
+		req2, err := DecodeStoreRecReq(b1)
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		b2, err := EncodeStoreRecReq(req2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("store_rec round-trip not a fixed point:\nfirst:  %x\nsecond: %x", b1, b2)
+		}
+		if req2.Level != req.Level || req2.Del != req.Del || req2.AsOwner != req.AsOwner || req2.Rec.Seq != req.Rec.Seq {
+			t.Fatalf("scalar fields changed across round-trip: %+v vs %+v", req, req2)
+		}
+	})
+}

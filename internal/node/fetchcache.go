@@ -228,21 +228,24 @@ func (n *Node) registerFetchSub(peer int) {
 	n.subsMu.Unlock()
 }
 
-// invalidateFetch handles a holder's notification that item was published
-// there: bump its generation (so in-flight fetches that may predate the
-// publish are not cached) and drop exactly the entries whose answer the new
-// item can change. Subscriptions are untouched — this node is still
-// registered at the holder.
-func (n *Node) invalidateFetch(holder int, item []float64) {
+// invalidateFetch handles a holder's notification that a batch of items was
+// published there: bump its generation once (so in-flight fetches that may
+// predate any item of the publish are not cached) and drop exactly the
+// entries whose answer some new item can change. Subscriptions are untouched
+// — this node is still registered at the holder.
+func (n *Node) invalidateFetch(holder int, items [][]float64) {
 	n.cliMu.Lock()
 	if n.cliGen == nil {
 		n.cliGen = make(map[int]uint64)
 	}
 	n.cliGen[holder]++
 	for key, e := range n.cliFetch[holder] {
-		if fetchEntryCovered(key, e.resp, item) {
-			delete(n.cliFetch[holder], key)
-			n.cliCount--
+		for _, item := range items {
+			if fetchEntryCovered(key, e.resp, item) {
+				delete(n.cliFetch[holder], key)
+				n.cliCount--
+				break
+			}
 		}
 	}
 	n.cliMu.Unlock()
@@ -250,9 +253,10 @@ func (n *Node) invalidateFetch(holder int, item []float64) {
 }
 
 // broadcastInvalidate synchronously notifies every registered coordinator
-// that item was published into this node's store. Subscribers whose transport
-// fails are dropped from the registry (fail-stop, see the comment above).
-func (n *Node) broadcastInvalidate(item []float64) {
+// that a batch of items was published into this node's store — one message
+// per subscriber regardless of batch size. Subscribers whose transport fails
+// are dropped from the registry (fail-stop, see the comment above).
+func (n *Node) broadcastInvalidate(items [][]float64) {
 	n.subsMu.Lock()
 	subs := make([]int, 0, len(n.fetchSubs))
 	for id := range n.fetchSubs {
@@ -263,7 +267,7 @@ func (n *Node) broadcastInvalidate(item []float64) {
 		return
 	}
 
-	body := encodeInvalReq(n.peer, item)
+	body := encodeInvalReq(n.peer, items)
 	dead := make([]bool, len(subs))
 	var wg sync.WaitGroup
 	for i, id := range subs {

@@ -12,6 +12,7 @@ import (
 	"hyperm/internal/membership"
 	"hyperm/internal/route"
 	"hyperm/internal/sim"
+	"hyperm/internal/store"
 	"hyperm/internal/transport"
 	"hyperm/internal/viewcache"
 )
@@ -97,6 +98,20 @@ type Tuning struct {
 	// requesters, pre-healing their caches before the next cold query.
 	// 0 → off.
 	WarmPush int
+	// StreamPublish enables streaming incremental publish: Publish runs the
+	// core stream kernel (absorb/grow/split, periodic re-cluster) against the
+	// published summaries and announces the O(changed clusters) record deltas
+	// as store_rec RPCs — routed to each record's owner and flooded across its
+	// sphere — so the overlay stays fresh instead of degrading like Fig 10c.
+	// Changes the answer by design (fresher summaries), byte-identically to
+	// the simulator's StreamInsert oracle. Incompatible with AggFanout: record
+	// churn bumps only view versions, and the delegated-aggregation pool has
+	// no per-view revalidation step.
+	StreamPublish bool
+	// GrowSlack and ReclusterEvery forward to core.StreamTuning (0 →
+	// kernel defaults). Only meaningful with StreamPublish.
+	GrowSlack      float64
+	ReclusterEvery int
 }
 
 func (t Tuning) withDefaults() Tuning {
@@ -137,13 +152,23 @@ type Node struct {
 	client *transport.Client
 	listen string
 
-	mu      sync.RWMutex // guards itemIDs, items, published (publish vs fetch)
-	itemIDs []int
-	items   [][]float64
-	// published is local bookkeeping only: Publish absorbs new items into it
-	// (core.AbsorbInsert) while the overlay records stay stale, exactly like
-	// the simulator's PostInsert.
+	mu sync.RWMutex // guards store, published, pubSeqs, stream (publish vs fetch)
+	// store is the node's flat item store (see internal/store): the serving
+	// path scans it in place; Publish appends to it (the explicit copy point).
+	store *store.Store
+	// published is local bookkeeping only unless streaming is on: Publish
+	// absorbs new items into it (core.AbsorbInsert) while the overlay records
+	// stay stale, exactly like the simulator's PostInsert. With
+	// Tuning.StreamPublish the kernel keeps it — and the overlay records —
+	// fresh instead.
 	published [][]core.ClusterRef
+	// pubSeqs are the overlay identities of published (Snapshot.PubSeqs);
+	// stream is the incremental-publish kernel state, built lazily on the
+	// first streamed Publish; mappers rebuild the simulator's exact
+	// bounds→key-space rule for the records streaming publish announces.
+	pubSeqs [][]int
+	stream  *core.StreamState
+	mappers []core.KeyMapper
 
 	srvMu sync.Mutex
 	srv   transport.Server
@@ -262,8 +287,12 @@ func New(cfg Config) (*Node, error) {
 	if len(snap.Levels) != snap.Config.Levels {
 		return nil, fmt.Errorf("node: snapshot has %d level views for %d levels", len(snap.Levels), snap.Config.Levels)
 	}
-	if len(snap.ItemIDs) != len(snap.Items) {
-		return nil, fmt.Errorf("node: snapshot has %d ids for %d items", len(snap.ItemIDs), len(snap.Items))
+	st := snap.Store
+	if st == nil {
+		st = store.New(snap.Config.Dim)
+	}
+	if st.Dim() != snap.Config.Dim {
+		return nil, fmt.Errorf("node: snapshot store dim %d, want %d", st.Dim(), snap.Config.Dim)
 	}
 	n := &Node{
 		peer:      snap.Peer,
@@ -271,10 +300,16 @@ func New(cfg Config) (*Node, error) {
 		tr:        cfg.Transport,
 		client:    transport.NewClient(cfg.Transport, cfg.Retry),
 		listen:    cfg.Listen,
-		itemIDs:   snap.ItemIDs,
-		items:     snap.Items,
+		store:     st,
 		published: snap.Published,
+		pubSeqs:   snap.PubSeqs,
 		tuning:    cfg.Tuning.withDefaults(),
+	}
+	if n.tuning.StreamPublish && n.tuning.AggFanout > 0 {
+		return nil, fmt.Errorf("node: StreamPublish is incompatible with AggFanout (delegated view pools are not revalidated against record churn)")
+	}
+	if n.tuning.StreamPublish {
+		n.mappers = core.BuildKeyMappers(snap.Bounds)
 	}
 	levels := make([]membership.LevelState, len(snap.Levels))
 	for l, v := range snap.Levels {
@@ -432,14 +467,18 @@ func (n *Node) KNNQuery(ctx context.Context, q []float64, k int, opts core.KNNOp
 
 // Publish post-inserts one item into this node's local store and absorbs it
 // into the nearest published cluster per level — core.System.PostInsert
-// semantics: the overlay summaries stay stale (Fig 10c).
+// semantics: the overlay summaries stay stale (Fig 10c). With
+// Tuning.StreamPublish the insert instead runs the incremental publish kernel
+// and announces the changed records (see stream.go).
 func (n *Node) Publish(id int, item []float64) error {
 	if len(item) != n.cfg.Dim {
 		return fmt.Errorf("node: item dim %d, want %d", len(item), n.cfg.Dim)
 	}
+	if n.tuning.StreamPublish {
+		return n.publishStream(id, item)
+	}
 	n.mu.Lock()
-	n.itemIDs = append(n.itemIDs, id)
-	n.items = append(n.items, item)
+	n.store.Append(id, item)
 	core.AbsorbInsert(n.published, item, n.cfg.Convention)
 	n.mu.Unlock()
 	// The item store changed: drop exactly the memoized fetch answers the new
@@ -453,7 +492,52 @@ func (n *Node) Publish(id int, item []float64) error {
 	// Caching coordinators hold the same answers remotely: notify every
 	// registered subscriber and only then acknowledge the publish, so any
 	// later query anywhere sees the new item (see fetchcache.go).
-	n.broadcastInvalidate(item)
+	n.broadcastInvalidate([][]float64{item})
+	return nil
+}
+
+// PublishBatch post-inserts a batch of items in order with one coherence
+// round: the store mutations happen under a single lock acquisition, the
+// fetch memo takes one generation bump with a per-item covered-entry sweep,
+// and every registered coordinator gets one invalidation message carrying the
+// whole batch instead of len(items) RPCs. The resulting store and summary
+// state is exactly a Publish-per-item sequence (oracle:
+// core.System.PostInsertBatch). With Tuning.StreamPublish the kernel must
+// interleave deltas with their announcements, so the batch runs as sequential
+// streamed publishes.
+func (n *Node) PublishBatch(ids []int, items [][]float64) error {
+	if len(ids) != len(items) {
+		return fmt.Errorf("node: batch has %d ids for %d items", len(ids), len(items))
+	}
+	for i, item := range items {
+		if len(item) != n.cfg.Dim {
+			return fmt.Errorf("node: batch item %d dim %d, want %d", i, len(item), n.cfg.Dim)
+		}
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	if n.tuning.StreamPublish {
+		for i := range items {
+			if err := n.publishStream(ids[i], items[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	n.mu.Lock()
+	for i, item := range items {
+		n.store.Append(ids[i], item)
+		core.AbsorbInsert(n.published, item, n.cfg.Convention)
+	}
+	n.mu.Unlock()
+	n.fetchMu.Lock()
+	n.fetchGen++
+	for _, item := range items {
+		dropCoveredFetchEntries(n.fetchMemo, item)
+	}
+	n.fetchMu.Unlock()
+	n.broadcastInvalidate(items)
 	return nil
 }
 
@@ -461,7 +545,16 @@ func (n *Node) Publish(id int, item []float64) error {
 func (n *Node) ItemCount() int {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	return len(n.items)
+	return n.store.Len()
+}
+
+// StoreHeapBytes returns the heap footprint of this node's flat item store
+// (id column plus allocated block capacity) — the per-node number the
+// bench-mem harness sums into its heap telemetry.
+func (n *Node) StoreHeapBytes() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.store.HeapBytes()
 }
 
 // remoteErr classifies a query error for the wire: the routing-core stall
@@ -510,6 +603,16 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 			return transport.Response{}, err
 		}
 		if err := n.Publish(id, item); err != nil {
+			return transport.Response{}, err
+		}
+		return transport.Response{}, nil
+
+	case methodPublishBatch:
+		ids, items, err := decodePublishBatchReq(req.Body)
+		if err != nil {
+			return transport.Response{}, err
+		}
+		if err := n.PublishBatch(ids, items); err != nil {
 			return transport.Response{}, err
 		}
 		return transport.Response{}, nil
@@ -573,11 +676,11 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 		return transport.Response{}, nil
 
 	case methodFetchInval:
-		holder, item, err := decodeInvalReq(req.Body)
+		holder, items, err := decodeInvalReq(req.Body)
 		if err != nil {
 			return transport.Response{}, err
 		}
-		n.invalidateFetch(holder, item)
+		n.invalidateFetch(holder, items)
 		return transport.Response{}, nil
 
 	case methodFetchRange:
@@ -594,7 +697,7 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 			return transport.Response{}, err
 		}
 		n.mu.RLock()
-		ids := core.LocalRange(q, eps, n.itemIDs, n.items)
+		ids := core.LocalRange(q, eps, n.store)
 		n.mu.RUnlock()
 		body := encodeFetchRangeResp(ids)
 		if n.tuning.CacheViews {
@@ -616,7 +719,7 @@ func (n *Node) handle(ctx context.Context, req transport.Request) (transport.Res
 			return transport.Response{}, err
 		}
 		n.mu.RLock()
-		items := core.LocalKNN(q, k, n.itemIDs, n.items)
+		items := core.LocalKNN(q, k, n.store)
 		n.mu.RUnlock()
 		body := encodeFetchKNNResp(items)
 		if n.tuning.CacheViews {

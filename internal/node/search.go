@@ -184,6 +184,13 @@ func (s cachedViews) view(id int) (route.NodeView, error) {
 	}
 	epoch := n.mgr.Epoch(s.level)
 	cv, outcome, negErr := n.cache.Get(s.level, id, epoch)
+	if outcome == viewcache.Hit && n.tuning.StreamPublish {
+		// Streaming publish mutates remote record stores without a membership
+		// event: same-epoch entries can be silently stale, so every hit is
+		// demoted to the revalidation path. The view_version probe catches
+		// record churn because ApplyRecord bumps the holder's version.
+		outcome = viewcache.Stale
+	}
 	switch outcome {
 	case viewcache.Hit:
 		return s.use(cv)
@@ -304,8 +311,15 @@ func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radiu
 
 	mk := memoKey(key, radius)
 	epoch := n.mgr.Epoch(level)
-	if entries, hops, ok := n.cache.GetSearch(level, mk, epoch); ok {
-		return entries, hops, nil
+	// The whole-lookup memo is keyed by churn epoch alone; streamed record
+	// deltas change lookup answers without an epoch bump, so under
+	// StreamPublish the memo is bypassed entirely (per-view revalidation in
+	// cachedViews still saves the bulk RPCs).
+	useMemo := !n.tuning.StreamPublish
+	if useMemo {
+		if entries, hops, ok := n.cache.GetSearch(level, mk, epoch); ok {
+			return entries, hops, nil
+		}
 	}
 	src := route.SourceFunc(cachedViews{n: n, ctx: ctx, level: level, key: key, radius: radius}.view)
 	start, err := src.View(n.peer)
@@ -323,7 +337,7 @@ func (n *Node) searchSphere(ctx context.Context, level int, key []float64, radiu
 	// Memoize only runs whose epoch held steady end to end: an epoch bump
 	// mid-search may have mixed views from two topologies, and such a result
 	// must not outlive the lookup that produced it.
-	if n.mgr.Epoch(level) == epoch {
+	if useMemo && n.mgr.Epoch(level) == epoch {
 		n.cache.PutSearch(level, mk, entries, hops, epoch)
 	}
 	return entries, hops, nil
@@ -337,7 +351,7 @@ func (b *netBackend) FetchRange(from, peer int, q []float64, eps float64) ([]int
 	n := b.n
 	if peer == n.peer {
 		n.mu.RLock()
-		ids := core.LocalRange(q, eps, n.itemIDs, n.items)
+		ids := core.LocalRange(q, eps, n.store)
 		n.mu.RUnlock()
 		return ids, nil
 	}
@@ -378,7 +392,7 @@ func (b *netBackend) FetchKNN(from, peer int, q []float64, k int) ([]core.ItemDi
 	n := b.n
 	if peer == n.peer {
 		n.mu.RLock()
-		items := core.LocalKNN(q, k, n.itemIDs, n.items)
+		items := core.LocalKNN(q, k, n.store)
 		n.mu.RUnlock()
 		return items, nil
 	}

@@ -20,6 +20,7 @@ import (
 
 	"hyperm/internal/can"
 	"hyperm/internal/core"
+	"hyperm/internal/store"
 )
 
 // Snapshot is everything one peer needs to serve its slice of a deployment:
@@ -46,13 +47,19 @@ type Snapshot struct {
 	// Bounds are the installed per-level coefficient bounds; they rebuild
 	// the exact key mapping of the source system.
 	Bounds []core.Bounds
-	// ItemIDs/Items are the peer's local store (parallel slices).
-	ItemIDs []int
-	Items   [][]float64
+	// Store is the peer's local item store — the flat coalesced layout the
+	// serving path scans directly (nil for a dead or joining peer; New
+	// substitutes an empty store).
+	Store *store.Store
 	// Published holds the peer's announced per-level cluster summaries (nil
 	// if the peer has not published). Publish RPCs absorb new items into it
 	// exactly like core.System.PostInsert.
 	Published [][]core.ClusterRef
+	// PubSeqs[l][i] is the overlay sequence number Published[l][i] was
+	// announced under — the record identities streaming publish
+	// (Tuning.StreamPublish) upserts in place. nil when the peer has not
+	// published.
+	PubSeqs [][]int
 	// Levels[l] is the peer's slice of the level-l CAN overlay: zones,
 	// neighbor table, stored records.
 	Levels []can.NodeView
@@ -74,6 +81,7 @@ func ExtractSnapshot(sys *core.System, peer int) (Snapshot, error) {
 		Config:      cfg,
 		Bounds:      bounds,
 		Published:   sys.PublishedAll(peer),
+		PubSeqs:     sys.PublishedSeqs(peer),
 		Levels:      make([]can.NodeView, cfg.Levels),
 	}
 	snap.Config.Factory = nil
@@ -82,7 +90,7 @@ func ExtractSnapshot(sys *core.System, peer int) (Snapshot, error) {
 		// A dead peer's items left with the device: serving them would
 		// diverge from the oracle, whose backend answers no fetches for a
 		// dead peer.
-		snap.ItemIDs, snap.Items = sys.PeerData(peer)
+		snap.Store = sys.PeerStore(peer)
 	}
 	for l := 0; l < cfg.Levels; l++ {
 		ov, ok := sys.Overlay(l).(*can.Overlay)

@@ -1,0 +1,207 @@
+package node_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hyperm/internal/core"
+	"hyperm/internal/experiments"
+	"hyperm/internal/membership"
+	"hyperm/internal/node"
+	"hyperm/internal/transport"
+)
+
+// Acceptance suite of streaming incremental publish (core/stream.go +
+// node/stream.go): a cluster with Tuning.StreamPublish must answer every query
+// byte-identically to a core.System driven by StreamInsert — through absorb,
+// grow, split, and full re-cluster rounds, with caching coordinators in the
+// loop and live churn interleaved. The kernel side is pinned in
+// core/stream_test.go; this file proves the store_rec announce path places
+// every record delta exactly where the simulator's streamOp does.
+
+// TestStreamDifferential sweeps seeded churned topologies, interleaving
+// streamed publishes (enough per holder to cross a re-cluster) and live
+// join/leave churn with byte-identity checks.
+func TestStreamDifferential(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 5
+	}
+	for s := 0; s < seeds; s++ {
+		seed := int64(s + 101)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runStreamDifferential(t, seed)
+		})
+	}
+}
+
+func runStreamDifferential(t *testing.T, seed int64) {
+	params := cacheParams(seed)
+	sys, err := experiments.BuildMarkovSystem(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.PublishAll()
+	// Same kernel tuning on both substrates; every=4 so the per-holder publish
+	// bursts below cross a re-cluster (delete flood + fresh epoch) live.
+	const every = 4
+	sys.SetStreamTuning(core.StreamTuning{ReclusterEvery: every})
+	tuning := node.Tuning{CacheViews: true, StreamPublish: true, ReclusterEvery: every}
+
+	// Pre-start churn so the snapshot includes split zones and a handoff.
+	rng := rand.New(rand.NewSource(seed * 41))
+	const protected = 4 // founders: coordinators and stream holders
+	if _, err := sys.JoinPeer(joinPoints(t, sys, rng)); err != nil {
+		t.Fatalf("oracle join: %v", err)
+	}
+	left := protected + rng.Intn(params.Peers-protected)
+	if _, err := sys.LeavePeer(left); err != nil {
+		t.Fatalf("oracle leave %d: %v", left, err)
+	}
+
+	tr := transport.NewChan()
+	defer tr.Close()
+	cl, err := node.StartClusterTuned(sys, tr, func(int) string { return "" },
+		transport.Policy{Timeout: 30e9}, membership.Options{}, tuning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	cl.Nodes[left].Stop()
+
+	client := node.NewClient(tr, transport.Policy{Timeout: 30e9})
+	ctx := context.Background()
+	qs, radii := queriesFor(t, sys, protected, 6)
+	founders := []int{0, 1, 2, 3}
+
+	check := func(tag string, froms []int) {
+		t.Helper()
+		for i, q := range qs {
+			from := froms[i%len(froms)]
+			wantR := sys.RangeQuery(from, q, radii[i], core.RangeOptions{})
+			gotR, err := client.Range(ctx, cl.Addrs[from], q, radii[i], core.RangeOptions{})
+			if err != nil {
+				t.Fatalf("%s: range query %d from %d: %v", tag, i, from, err)
+			}
+			if !reflect.DeepEqual(normalizeRange(wantR), normalizeRange(gotR)) {
+				t.Errorf("%s: range query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
+					tag, i, from, wantR, gotR)
+			}
+			wantK := sys.KNNQuery(from, q, 5, core.KNNOptions{})
+			gotK, err := client.KNN(ctx, cl.Addrs[from], q, 5, core.KNNOptions{})
+			if err != nil {
+				t.Fatalf("%s: knn query %d from %d: %v", tag, i, from, err)
+			}
+			if !reflect.DeepEqual(normalizeKNN(wantK), normalizeKNN(gotK)) {
+				t.Errorf("%s: knn query %d from peer %d diverged from oracle:\nsim:    %+v\nserved: %+v",
+					tag, i, from, wantK, gotK)
+			}
+		}
+	}
+
+	check("cold", founders)
+
+	// Streamed publish bursts: every+2 inserts at each founder in turn, so
+	// every holder's kernel runs absorb/grow/split rounds AND a full
+	// re-cluster (retire-all deltas, fresh-epoch records) against the live
+	// announce path. Each streamed item must be findable by its own point
+	// query immediately — the freshness PostInsert cannot give — and
+	// byte-identically on both substrates.
+	pubRng := rand.New(rand.NewSource(seed * 43))
+	nextID := 9000
+	publish := func(holder int) {
+		t.Helper()
+		item := append([]float64(nil), qs[pubRng.Intn(len(qs))]...)
+		for d := range item {
+			item[d] += 0.02 * (pubRng.Float64() - 0.5)
+		}
+		sys.StreamInsert(holder, nextID, item)
+		if err := client.Publish(ctx, cl.Addrs[holder], nextID, item); err != nil {
+			t.Fatalf("live streamed publish %d at holder %d: %v", nextID, holder, err)
+		}
+		from := founders[(holder+1)%len(founders)]
+		want := sys.RangeQuery(from, item, 0, core.RangeOptions{})
+		got, err := client.Range(ctx, cl.Addrs[from], item, 0, core.RangeOptions{})
+		if err != nil {
+			t.Fatalf("point query for streamed item %d: %v", nextID, err)
+		}
+		if !reflect.DeepEqual(normalizeRange(want), normalizeRange(got)) {
+			t.Errorf("point query for streamed item %d diverged:\nsim:    %+v\nserved: %+v", nextID, want, got)
+		}
+		found := false
+		for _, id := range got.Items {
+			if id == nextID {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("streamed item %d not found by its own point query", nextID)
+		}
+		nextID++
+	}
+	for _, holder := range founders {
+		for k := 0; k < every+2; k++ {
+			publish(holder)
+		}
+		check(fmt.Sprintf("post-stream-%d", holder), founders)
+	}
+	if sumCounter(cl, "rpc.m.store_rec") == 0 {
+		t.Error("streamed publishes sent no store_rec announcements")
+	}
+
+	// Live mid-stream churn: protocol join and graceful leave while the
+	// summaries carry stream-epoch records, then another publish burst — the
+	// handoff must move stream-created records exactly like built ones, and
+	// announces must route over the post-churn topology.
+	pre := make(map[int][]uint64, len(founders))
+	for _, f := range founders {
+		pre[f] = epochSnapshot(cl.Nodes[f], params.Levels)
+	}
+	points := joinPoints(t, sys, rng)
+	id, err := sys.JoinPeer(points)
+	if err != nil {
+		t.Fatalf("oracle mid-stream join: %v", err)
+	}
+	nd, err := cl.Join(ctx, sys, cl.Addrs[0], points)
+	if err != nil {
+		t.Fatalf("live mid-stream join: %v", err)
+	}
+	if nd.Peer() != id {
+		t.Fatalf("live joiner took id %d, oracle assigned %d", nd.Peer(), id)
+	}
+	victim := -1
+	for v := params.Peers - 1; v >= protected; v-- {
+		if v != left {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no leave victim available")
+	}
+	if _, err := sys.LeavePeer(victim); err != nil {
+		t.Fatalf("oracle mid-stream leave: %v", err)
+	}
+	if err := cl.Nodes[victim].Leave(ctx); err != nil {
+		t.Fatalf("live mid-stream leave: %v", err)
+	}
+	cl.Nodes[victim].Stop()
+
+	for k := 0; k < every+1; k++ {
+		publish(founders[k%len(founders)])
+	}
+	var observers []int
+	for _, f := range founders {
+		if epochsAdvanced(cl.Nodes[f], pre[f]) {
+			observers = append(observers, f)
+		}
+	}
+	t.Logf("mid-stream churn observed by founders %v", observers)
+	if len(observers) > 0 {
+		check("post-churn", observers)
+	}
+}

@@ -16,6 +16,7 @@ const (
 	methodRange        = "range"          // client → node: run a range query as this peer
 	methodKNN          = "knn"            // client → node: run a k-nn query as this peer
 	methodPublish      = "publish"        // client → node: post-insert one item
+	methodPublishBatch = "publish_batch"  // client → node: post-insert many items, one coherence round
 	methodCanSearch    = "can_search"     // node → node: one hop of an overlay lookup
 	methodFetchRange   = "fetch_range"    // node → node: phase-two local range scan
 	methodFetchKNN     = "fetch_knn"      // node → node: phase-two local k-nn scan
@@ -39,7 +40,7 @@ func encodeRangeReq(q []float64, eps float64, opts core.RangeOptions) []byte {
 
 func decodeRangeReq(b []byte) (q []float64, eps float64, opts core.RangeOptions, err error) {
 	d := transport.NewDecoder(b)
-	q = d.Floats()
+	q = d.FloatsShared()
 	eps = d.F64()
 	opts.MaxPeers = d.Int()
 	return q, eps, opts, d.Finish()
@@ -55,7 +56,7 @@ func encodeScores(e *transport.Encoder, scores []core.PeerScore) {
 }
 
 func decodeScores(d *transport.Decoder) []core.PeerScore {
-	n := int(d.U32())
+	n := d.Count(16)
 	if d.Err() != nil || n == 0 {
 		return nil
 	}
@@ -78,7 +79,7 @@ func encodeRangeResp(res core.RangeResult) []byte {
 func decodeRangeResp(b []byte) (core.RangeResult, error) {
 	d := transport.NewDecoder(b)
 	var res core.RangeResult
-	res.Items = d.Ints()
+	res.Items = d.IntsShared()
 	res.Scores = decodeScores(d)
 	res.PeersContacted = d.Int()
 	res.OverlayHops = d.Int()
@@ -98,7 +99,7 @@ func encodeKNNReq(q []float64, k int, opts core.KNNOptions) []byte {
 
 func decodeKNNReq(b []byte) (q []float64, k int, opts core.KNNOptions, err error) {
 	d := transport.NewDecoder(b)
-	q = d.Floats()
+	q = d.FloatsShared()
 	k = d.Int()
 	opts.MaxPeers = d.Int()
 	opts.C = d.F64()
@@ -118,9 +119,9 @@ func encodeKNNResp(res core.KNNResult) []byte {
 func decodeKNNResp(b []byte) (core.KNNResult, error) {
 	d := transport.NewDecoder(b)
 	var res core.KNNResult
-	res.Items = d.Ints()
+	res.Items = d.IntsShared()
 	res.Scores = decodeScores(d)
-	res.EpsPerLevel = d.Floats()
+	res.EpsPerLevel = d.FloatsShared()
 	res.PeersContacted = d.Int()
 	res.OverlayHops = d.Int()
 	return res, d.Finish()
@@ -138,8 +139,40 @@ func encodePublishReq(id int, item []float64) []byte {
 func decodePublishReq(b []byte) (id int, item []float64, err error) {
 	d := transport.NewDecoder(b)
 	id = d.Int()
-	item = d.Floats()
+	item = d.FloatsShared()
 	return id, item, d.Finish()
+}
+
+// ---- publish_batch ----
+
+func encodePublishBatchReq(ids []int, items [][]float64) []byte {
+	var e transport.Encoder
+	size := 4
+	for _, it := range items {
+		size += 8 + 4 + 8*len(it)
+	}
+	e.Grow(size)
+	e.U32(uint32(len(items)))
+	for i, it := range items {
+		e.Int(ids[i])
+		e.Floats(it)
+	}
+	return e.Bytes()
+}
+
+func decodePublishBatchReq(b []byte) (ids []int, items [][]float64, err error) {
+	d := transport.NewDecoder(b)
+	// An item costs at least 12 bytes (id + empty vector), which bounds a
+	// sane count against the message size.
+	if n := d.Count(12); d.Err() == nil && n > 0 {
+		ids = make([]int, n)
+		items = make([][]float64, n)
+		for i := range items {
+			ids[i] = d.Int()
+			items[i] = d.FloatsShared()
+		}
+	}
+	return ids, items, d.Finish()
 }
 
 // ---- can_search ----
@@ -163,7 +196,7 @@ func encodeSearchReq(level int, key []float64, radius float64, full bool) []byte
 func decodeSearchReq(b []byte) (level int, key []float64, radius float64, full bool, err error) {
 	d := transport.NewDecoder(b)
 	level = d.Int()
-	key = d.Floats()
+	key = d.FloatsShared()
 	radius = d.F64()
 	full = d.U8() != 0
 	return level, key, radius, full, d.Finish()
@@ -285,11 +318,11 @@ func decodeAggReq(b []byte) (aggReq, error) {
 	var r aggReq
 	r.From = d.Int()
 	r.Level = d.Int()
-	r.Key = d.Floats()
+	r.Key = d.FloatsShared()
 	r.Radius = d.F64()
 	r.Depth = d.Int()
 	r.Fanout = d.Int()
-	r.Claimed = d.Ints()
+	r.Claimed = d.IntsShared()
 	return r, d.Finish()
 }
 
@@ -314,8 +347,8 @@ func encodeAggResp(views []searchView, claimed []int) ([]byte, error) {
 
 func decodeAggResp(b []byte) (views []searchView, claimed []int, err error) {
 	d := transport.NewDecoder(b)
-	claimed = d.Ints()
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
+	claimed = d.IntsShared()
+	if n := d.Count(32); d.Err() == nil && n > 0 { // id + version + four list prefixes
 		views = make([]searchView, 0, n)
 		for i := 0; i < n; i++ {
 			views = append(views, decodeSearchView(d))
@@ -392,20 +425,37 @@ func decodePeerReq(b []byte) (int, error) {
 	return peer, d.Finish()
 }
 
-// inval_fetch carries the holder's id and the newly published item, so
-// subscribers drop exactly the cached answers the item can change.
-func encodeInvalReq(holder int, item []float64) []byte {
+// inval_fetch carries the holder's id and the newly published items, so
+// subscribers drop exactly the cached answers those items can change. A
+// batched publish ships every item in one notification — one RPC and one
+// registry pass per subscriber instead of one per item.
+func encodeInvalReq(holder int, items [][]float64) []byte {
 	var e transport.Encoder
+	size := 12
+	for _, it := range items {
+		size += 4 + 8*len(it)
+	}
+	e.Grow(size)
 	e.Int(holder)
-	e.Floats(item)
+	e.U32(uint32(len(items)))
+	for _, it := range items {
+		e.Floats(it)
+	}
 	return e.Bytes()
 }
 
-func decodeInvalReq(b []byte) (holder int, item []float64, err error) {
+func decodeInvalReq(b []byte) (holder int, items [][]float64, err error) {
 	d := transport.NewDecoder(b)
 	holder = d.Int()
-	item = d.Floats()
-	return holder, item, d.Finish()
+	// An item costs at least 4 bytes (empty vector length prefix), which
+	// bounds a sane count against the message size.
+	if n := d.Count(4); d.Err() == nil && n > 0 {
+		items = make([][]float64, n)
+		for i := range items {
+			items[i] = d.FloatsShared()
+		}
+	}
+	return holder, items, d.Finish()
 }
 
 // ---- fetch_range ----
@@ -419,7 +469,7 @@ func encodeFetchRangeReq(q []float64, eps float64) []byte {
 
 func decodeFetchRangeReq(b []byte) (q []float64, eps float64, err error) {
 	d := transport.NewDecoder(b)
-	q = d.Floats()
+	q = d.FloatsShared()
 	eps = d.F64()
 	return q, eps, d.Finish()
 }
@@ -432,7 +482,7 @@ func encodeFetchRangeResp(ids []int) []byte {
 
 func decodeFetchRangeResp(b []byte) ([]int, error) {
 	d := transport.NewDecoder(b)
-	ids := d.Ints()
+	ids := d.IntsShared()
 	return ids, d.Finish()
 }
 
@@ -447,7 +497,7 @@ func encodeFetchKNNReq(q []float64, k int) []byte {
 
 func decodeFetchKNNReq(b []byte) (q []float64, k int, err error) {
 	d := transport.NewDecoder(b)
-	q = d.Floats()
+	q = d.FloatsShared()
 	k = d.Int()
 	return q, k, d.Finish()
 }
@@ -466,7 +516,7 @@ func encodeFetchKNNResp(items []core.ItemDist) []byte {
 func decodeFetchKNNResp(b []byte) ([]core.ItemDist, error) {
 	d := transport.NewDecoder(b)
 	var items []core.ItemDist
-	if n := int(d.U32()); d.Err() == nil && n > 0 {
+	if n := d.Count(16); d.Err() == nil && n > 0 {
 		items = make([]core.ItemDist, n)
 		for i := range items {
 			items[i] = core.ItemDist{ID: d.Int(), Dist2: d.F64()}

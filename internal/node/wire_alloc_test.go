@@ -1,0 +1,114 @@
+package node
+
+import (
+	"testing"
+
+	"hyperm/internal/core"
+	"hyperm/internal/membership"
+	"hyperm/internal/overlay"
+	"hyperm/internal/route"
+)
+
+// Allocation fences for the serving path's hot wire decoders. A can_search
+// view carrying R records used to cost >= 3 allocations per record (key
+// vector, centroid vector, payload boxing); with the decoder arena only the
+// interface boxing of each ClusterRef remains. These fences keep that true —
+// a decode regression shows up as a hard failure, not a silent heap bloat at
+// 100k items/node.
+
+// benchView builds a full searchView with records records across owned and
+// replica stores — the dominant response shape under query load.
+func benchView(records int) searchView {
+	v := searchView{ID: 7, Version: 42}
+	v.Zones = []route.Zone{{Lo: []float64{0, 0}, Hi: []float64{0.5, 1}}}
+	v.Neighbors = []membership.Neighbor{
+		{ID: 3, Addr: "peer-3", Zones: []route.Zone{{Lo: []float64{0.5, 0}, Hi: []float64{1, 1}}}},
+	}
+	for i := 0; i < records; i++ {
+		rec := route.RecordView{
+			Seq: i,
+			Entry: overlay.Entry{
+				Key: []float64{float64(i) / float64(records), 0.25}, Radius: 0.1,
+				Payload: core.ClusterRef{
+					Peer: i % 8, Level: 1, Index: i % 4,
+					Center: []float64{1, 2, 3, 4, 5, 6, 7, 8},
+					Radius: 0.5, Items: 10,
+				},
+			},
+		}
+		if i%2 == 0 {
+			v.Owned = append(v.Owned, rec)
+		} else {
+			v.Replicas = append(v.Replicas, rec)
+		}
+	}
+	return v
+}
+
+func TestSearchRespDecodeAllocFence(t *testing.T) {
+	const records = 256
+	body, err := encodeSearchResp(benchView(records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		v, err := decodeSearchResp(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v.Owned)+len(v.Replicas) != records {
+			t.Fatalf("decoded %d records, want %d", len(v.Owned)+len(v.Replicas), records)
+		}
+	})
+	t.Logf("decodeSearchResp with %d records: %.0f allocs", records, allocs)
+	// One boxing per record is structural (Entry.Payload is an interface);
+	// everything else — vectors, zone coordinates — must come from the arena.
+	// The old per-vector decode sat at >= 3x records.
+	if allocs > records+32 {
+		t.Errorf("decodeSearchResp with %d records took %.0f allocs, want <= %d (boxing + arena blocks)",
+			records, allocs, records+32)
+	}
+}
+
+func TestFetchRespDecodeAllocFence(t *testing.T) {
+	ids := make([]int, 512)
+	for i := range ids {
+		ids[i] = i * 3
+	}
+	body := encodeFetchRangeResp(ids)
+	allocs := testing.AllocsPerRun(50, func() {
+		got, err := decodeFetchRangeResp(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("decoded %d ids, want %d", len(got), len(ids))
+		}
+	})
+	t.Logf("decodeFetchRangeResp with %d ids: %.0f allocs", len(ids), allocs)
+	if allocs > 4 {
+		t.Errorf("decodeFetchRangeResp took %.0f allocs, want <= 4 (decoder + arena block)", allocs)
+	}
+}
+
+// TestStoreRecRoundTripAllocFence bounds the publish-delta decode: the per-
+// announce store_rec body carries one record, so the whole decode must stay a
+// small constant.
+func TestStoreRecRoundTripAllocFence(t *testing.T) {
+	v := benchView(1)
+	body, err := membership.EncodeStoreRecReq(membership.StoreRecReq{
+		Level: 1, Del: false, AsOwner: true, Rec: v.Owned[0],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := membership.DecodeStoreRecReq(body); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("DecodeStoreRecReq: %.0f allocs", allocs)
+	if allocs > 8 {
+		t.Errorf("DecodeStoreRecReq took %.0f allocs, want <= 8", allocs)
+	}
+}

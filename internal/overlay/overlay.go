@@ -74,6 +74,30 @@ type Joiner interface {
 	JoinNode(point []float64) (id int, err error)
 }
 
+// Sequencer is implemented by overlays that stamp every inserted record with
+// an overlay-wide sequence number (can.Overlay). The sequence number is the
+// record's identity: replicas share it, searchers deduplicate by it, and
+// streaming publish upserts records in place by it. NextSeq previews the
+// number the next InsertSphere will assign, letting publishers remember the
+// identities of the records they announce.
+type Sequencer interface {
+	NextSeq() int
+}
+
+// StreamUpdater is implemented by overlays supporting in-place record
+// mutation — the substrate of streaming incremental publish. Both operations
+// address a record by its sequence number and flood the record's key-space
+// sphere exactly like InsertSphere's replication, so placement stays on the
+// nodes whose zones the sphere intersects.
+type StreamUpdater interface {
+	// UpsertSphere replaces (or, where absent, stores) the record with seq
+	// everywhere the sphere (key, radius) reaches, returning the hops spent.
+	UpsertSphere(from, seq int, e Entry) (hops int)
+	// DeleteSphere removes the record with seq everywhere the sphere
+	// reaches, returning the hops spent.
+	DeleteSphere(from, seq int, e Entry) (hops int)
+}
+
 // Crasher is implemented by overlays modeling abrupt node failure with
 // takeover: the node's stored records die with the device, a surviving
 // neighbor takes over its key-space region, and the records the region

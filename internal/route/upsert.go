@@ -1,0 +1,49 @@
+package route
+
+// This file holds the store-mutation rules of streaming incremental publish.
+// Like the routing machines, they are shared verbatim by the simulator
+// (can.Overlay) and the live runtime (membership.Manager): a streamed delta
+// lands in each holder's record store through exactly this code, so the two
+// substrates hold byte-identical stores after replaying the same deltas —
+// the property the stream differential test asserts.
+
+// UpsertRecord applies one streamed record delta to a node's stores: the
+// record with rec.Seq is replaced in place wherever it already lives (owned
+// or replica — its storage position, and therefore collection order, is
+// preserved), and appended when absent — to owned on the sphere centroid's
+// owner, to replicas on every other reached node (the same role rule as
+// InsertSphere replication). Returns the updated slices.
+func UpsertRecord(owned, replicas []RecordView, rec RecordView, asOwner bool) ([]RecordView, []RecordView) {
+	for i := range owned {
+		if owned[i].Seq == rec.Seq {
+			owned[i] = rec
+			return owned, replicas
+		}
+	}
+	for i := range replicas {
+		if replicas[i].Seq == rec.Seq {
+			replicas[i] = rec
+			return owned, replicas
+		}
+	}
+	if asOwner {
+		return append(owned, rec), replicas
+	}
+	return owned, append(replicas, rec)
+}
+
+// DeleteRecord removes the record with seq from a node's stores, preserving
+// the storage order of the survivors. Reports whether anything was removed.
+func DeleteRecord(owned, replicas []RecordView, seq int) ([]RecordView, []RecordView, bool) {
+	for i := range owned {
+		if owned[i].Seq == seq {
+			return append(owned[:i], owned[i+1:]...), replicas, true
+		}
+	}
+	for i := range replicas {
+		if replicas[i].Seq == seq {
+			return owned, append(replicas[:i], replicas[i+1:]...), true
+		}
+	}
+	return owned, replicas, false
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"runtime"
+	"testing"
+)
+
+// Live-heap accounting of the flat layout versus the parallel-slice layout it
+// replaced (`[]int` ids + `[][]float64` rows, one heap object per vector).
+// The flat store wins on three axes: no 24-byte slice header per row, no
+// size-class rounding per vector, and no per-object GC scan work — blocks are
+// pointer-free. These tests measure the first two directly with MemStats and
+// keep Store.HeapBytes honest against what the runtime actually charges.
+
+// liveHeap forces a collection and returns the live heap.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func TestFlatLayoutHeapBytesPerItem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement at 100k items")
+	}
+	const items = 100_000
+	for _, dim := range []int{8, 32} {
+		row := make([]float64, dim)
+		for d := range row {
+			row[d] = float64(d)
+		}
+
+		base := liveHeap()
+		s := New(dim)
+		for i := 0; i < items; i++ {
+			s.Append(i, row)
+		}
+		flat := liveHeap() - base
+		accounted := uint64(s.HeapBytes())
+
+		base = liveHeap()
+		ids := make([]int, 0)
+		rows := make([][]float64, 0)
+		for i := 0; i < items; i++ {
+			v := make([]float64, dim)
+			copy(v, row)
+			ids = append(ids, i)
+			rows = append(rows, v)
+		}
+		naive := liveHeap() - base
+		runtime.KeepAlive(ids)
+		runtime.KeepAlive(rows)
+		runtime.KeepAlive(s)
+
+		t.Logf("dim=%d: flat %.1f B/item (HeapBytes accounts %.1f), parallel slices %.1f B/item (%.2fx)",
+			dim, float64(flat)/items, float64(accounted)/items, float64(naive)/items, float64(naive)/float64(flat))
+		if flat >= naive {
+			t.Errorf("dim=%d: flat layout (%d B) not below parallel slices (%d B)", dim, flat, naive)
+		}
+		// HeapBytes must track the real charge closely — it is the number the
+		// serving bench reports. Allow slack for allocator rounding of the id
+		// column and block bookkeeping.
+		if accounted > flat+flat/8 || flat > accounted+accounted/8 {
+			t.Errorf("dim=%d: HeapBytes accounts %d, runtime charged %d (>12.5%% apart)", dim, accounted, flat)
+		}
+	}
+}
+
+// BenchmarkAppend pins the steady-state ingest cost of the flat layout: one
+// block allocation per BlockRows appends, everything else a copy.
+func BenchmarkAppend(b *testing.B) {
+	const dim = 32
+	row := make([]float64, dim)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * dim))
+	s := New(dim)
+	for i := 0; i < b.N; i++ {
+		s.Append(i, row)
+	}
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const dim, n = 8, 3*BlockRows + 17
+	ids := make([]int, n)
+	rows := make([][]float64, n)
+	for i := range rows {
+		ids[i] = 1000 + i
+		rows[i] = make([]float64, dim)
+		for j := range rows[i] {
+			rows[i][j] = rng.NormFloat64()
+		}
+	}
+	s := FromRows(dim, ids, rows)
+	if s.Len() != n || s.Dim() != dim {
+		t.Fatalf("Len/Dim = %d/%d, want %d/%d", s.Len(), s.Dim(), n, dim)
+	}
+	for i := 0; i < n; i++ {
+		if s.ID(i) != ids[i] {
+			t.Fatalf("ID(%d) = %d, want %d", i, s.ID(i), ids[i])
+		}
+		v := s.Vec(i)
+		for j := range v {
+			if v[j] != rows[i][j] {
+				t.Fatalf("Vec(%d)[%d] = %v, want %v", i, j, v[j], rows[i][j])
+			}
+		}
+	}
+}
+
+func TestStableHandles(t *testing.T) {
+	s := New(4)
+	s.Append(0, []float64{1, 2, 3, 4})
+	v0 := s.Vec(0)
+	for i := 1; i < 2*BlockRows; i++ {
+		s.Append(i, []float64{float64(i), 0, 0, 0})
+	}
+	if &v0[0] != &s.Vec(0)[0] {
+		t.Fatal("row 0 moved after appends")
+	}
+	if v0[0] != 1 || v0[3] != 4 {
+		t.Fatalf("row 0 corrupted: %v", v0)
+	}
+}
+
+func TestAppendCopies(t *testing.T) {
+	s := New(2)
+	src := []float64{1, 2}
+	s.Append(7, src)
+	src[0] = 99
+	if s.Vec(0)[0] != 1 {
+		t.Fatal("Append aliased the caller's slice")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(2)
+	for i := 0; i < BlockRows+3; i++ {
+		s.Append(i, []float64{float64(i), -float64(i)})
+	}
+	c := s.Clone()
+	s.Append(9999, []float64{42, 42})
+	c.Append(8888, []float64{7, 7})
+	if c.Len() != BlockRows+4 || s.Len() != BlockRows+4 {
+		t.Fatalf("lens diverged wrong: %d %d", s.Len(), c.Len())
+	}
+	if s.ID(BlockRows+3) != 9999 || c.ID(BlockRows+3) != 8888 {
+		t.Fatalf("appended ids crossed: %d %d", s.ID(BlockRows+3), c.ID(BlockRows+3))
+	}
+	if s.Vec(BlockRows + 3)[0] != 42 || c.Vec(BlockRows + 3)[0] != 7 {
+		t.Fatalf("appended rows crossed: %v %v", s.Vec(BlockRows+3), c.Vec(BlockRows+3))
+	}
+	// Shared full-block rows still agree.
+	if s.Vec(5)[0] != c.Vec(5)[0] {
+		t.Fatal("shared rows diverged")
+	}
+}
+
+func TestRowsViews(t *testing.T) {
+	s := New(2)
+	s.Append(1, []float64{3, 4})
+	rows := s.Rows()
+	if len(rows) != 1 || rows[0][1] != 4 {
+		t.Fatalf("Rows = %v", rows)
+	}
+	if &rows[0][0] != &s.Vec(0)[0] {
+		t.Fatal("Rows copied instead of viewing")
+	}
+}
+
+func TestHeapBytes(t *testing.T) {
+	s := New(8)
+	if s.HeapBytes() != 0 {
+		t.Fatalf("empty store HeapBytes = %d", s.HeapBytes())
+	}
+	s.Append(0, make([]float64, 8))
+	if got := s.HeapBytes(); got < 8*BlockRows*8 {
+		t.Fatalf("HeapBytes = %d, want at least one block", got)
+	}
+}

@@ -72,10 +72,24 @@ func (e *Encoder) String(s string) {
 // Decoder reads a message produced by Encoder. Errors are sticky: after the
 // first short read every accessor returns zero values, and Err/Finish report
 // the failure — callers check once at the end instead of after every field.
+//
+// The FloatsShared/IntsShared variants decode into a chunked arena owned by
+// the decoder instead of allocating one slice per sequence: a message that
+// carries hundreds of short vectors (views, record lists, item batches) costs
+// a handful of block allocations rather than one per vector. The returned
+// slices stay valid for as long as anything references them — the blocks are
+// ordinary GC-managed memory, never a view of a transport buffer — so callers
+// may retain them under the usual shared-read contract, or copy explicitly
+// when they need private mutable storage (store.Append is such a copy point).
 type Decoder struct {
 	b   []byte
 	off int
 	err error
+
+	// arena blocks for FloatsShared; a block is never reallocated once handed
+	// out, so subslices of it are stable.
+	farena []float64
+	iarena []int
 }
 
 // NewDecoder wraps an encoded message.
@@ -154,6 +168,15 @@ func (d *Decoder) F64() float64 {
 	return math.Float64frombits(binary.BigEndian.Uint64(b))
 }
 
+// Count reads a sequence count and bounds it by the remaining payload, given
+// the minimum bytes one element can encode to: a corrupt or adversarial
+// prefix cannot force a huge allocation, it trips the sticky error instead.
+// Composite decoders (zone lists, record lists) must use this rather than a
+// raw U32 before sizing a slice.
+func (d *Decoder) Count(minElemSize int) int {
+	return d.seqLen(minElemSize)
+}
+
 // len reads a sequence length and bounds it by the remaining payload so a
 // corrupt prefix cannot force a huge allocation.
 func (d *Decoder) seqLen(elemSize int) int {
@@ -192,6 +215,79 @@ func (d *Decoder) Ints() []int {
 		out[i] = d.Int()
 	}
 	return out
+}
+
+// arenaBlock is the float/int capacity of one decoder arena block. Big
+// enough that a typical message decodes from one or two blocks, small enough
+// that retaining a few vectors from a message doesn't pin megabytes.
+const arenaBlock = 4096
+
+// FloatsShared reads a length-prefixed []float64 into the decoder's arena:
+// same bytes as Floats, but amortized allocation (see the Decoder comment for
+// the retention contract). Sequences longer than a block get a dedicated
+// exact-size allocation.
+func (d *Decoder) FloatsShared() []float64 {
+	n := d.seqLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > arenaBlock {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = d.F64()
+		}
+		return out
+	}
+	if cap(d.farena)-len(d.farena) < n {
+		// Every future sequence decodes from this message, so its remaining
+		// length bounds the block: small messages get small blocks (retaining
+		// a decoded slice never pins more than ~the message), large ones
+		// amortize across arenaBlock-sized chunks.
+		d.farena = make([]float64, 0, blockCap(n, len(d.b)-d.off))
+	}
+	base := len(d.farena)
+	for i := 0; i < n; i++ {
+		d.farena = append(d.farena, d.F64())
+	}
+	return d.farena[base : base+n : base+n]
+}
+
+// blockCap sizes a fresh arena block: the remaining message bytes cap the
+// useful capacity, arenaBlock caps the chunk, and the sequence being decoded
+// (already validated to fit the message) sets the floor.
+func blockCap(n, remaining int) int {
+	c := remaining / 8
+	if c > arenaBlock {
+		c = arenaBlock
+	}
+	if c < n {
+		c = n
+	}
+	return c
+}
+
+// IntsShared reads a length-prefixed []int into the decoder's arena (the
+// []int twin of FloatsShared).
+func (d *Decoder) IntsShared() []int {
+	n := d.seqLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > arenaBlock {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = d.Int()
+		}
+		return out
+	}
+	if cap(d.iarena)-len(d.iarena) < n {
+		d.iarena = make([]int, 0, blockCap(n, len(d.b)-d.off))
+	}
+	base := len(d.iarena)
+	for i := 0; i < n; i++ {
+		d.iarena = append(d.iarena, d.Int())
+	}
+	return d.iarena[base : base+n : base+n]
 }
 
 // String reads a length-prefixed string.

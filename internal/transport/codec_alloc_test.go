@@ -1,0 +1,161 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Allocation fences for the zero-copy decode path. The arena variants exist
+// so a message carrying hundreds of short vectors costs a handful of block
+// allocations instead of one per vector; these tests pin that ratio so a
+// refactor cannot silently reintroduce per-vector garbage. AllocsPerRun
+// counts are exact for a fixed code path, so the bounds are tight.
+
+// manyVectorMessage encodes vectors short vectors of dim floats each — the
+// shape of a can_search view's record list.
+func manyVectorMessage(vectors, dim int) []byte {
+	var e Encoder
+	for i := 0; i < vectors; i++ {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = float64(i*dim + d)
+		}
+		e.Floats(v)
+	}
+	return e.Bytes()
+}
+
+func TestFloatsSharedAllocFence(t *testing.T) {
+	const vectors, dim = 200, 8
+	msg := manyVectorMessage(vectors, dim)
+
+	// Per-vector decode: one allocation each, 200 total.
+	perVector := testing.AllocsPerRun(50, func() {
+		d := NewDecoder(msg)
+		for i := 0; i < vectors; i++ {
+			if d.Floats() == nil {
+				t.Fatal("short decode")
+			}
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Arena decode: the decoder itself plus ceil(200*8/arenaBlock) blocks.
+	shared := testing.AllocsPerRun(50, func() {
+		d := NewDecoder(msg)
+		for i := 0; i < vectors; i++ {
+			if d.FloatsShared() == nil {
+				t.Fatal("short decode")
+			}
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("decode of %d vectors: %.0f allocs per-vector, %.0f shared", vectors, perVector, shared)
+	if shared > 4 {
+		t.Errorf("FloatsShared decode of %d vectors took %.0f allocs, want <= 4 (decoder + arena blocks)", vectors, shared)
+	}
+	if shared*10 > perVector {
+		t.Errorf("arena decode (%.0f allocs) is not >=10x below per-vector decode (%.0f)", shared, perVector)
+	}
+}
+
+func TestIntsSharedAllocFence(t *testing.T) {
+	const lists, n = 100, 10
+	var e Encoder
+	for i := 0; i < lists; i++ {
+		v := make([]int, n)
+		for j := range v {
+			v[j] = i*n + j
+		}
+		e.Ints(v)
+	}
+	msg := e.Bytes()
+
+	shared := testing.AllocsPerRun(50, func() {
+		d := NewDecoder(msg)
+		for i := 0; i < lists; i++ {
+			if d.IntsShared() == nil {
+				t.Fatal("short decode")
+			}
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if shared > 4 {
+		t.Errorf("IntsShared decode of %d lists took %.0f allocs, want <= 4", lists, shared)
+	}
+}
+
+// TestArenaBlockBoundedBySmallMessage pins the retention contract: decoding a
+// small message must not allocate an arenaBlock-sized block (a retained slice
+// would pin ~32KiB for a few floats), and an oversized sequence gets its own
+// exact allocation rather than poisoning the arena.
+func TestArenaBlockBoundedBySmallMessage(t *testing.T) {
+	var e Encoder
+	e.Floats([]float64{1, 2, 3})
+	msg := e.Bytes()
+	d := NewDecoder(msg)
+	v := d.FloatsShared()
+	if len(v) != 3 {
+		t.Fatalf("decoded %d floats, want 3", len(v))
+	}
+	if c := cap(d.farena); c > len(msg)/8+1 {
+		t.Errorf("small message grew a %d-cap arena block, want <= message-bounded %d", c, len(msg)/8+1)
+	}
+
+	big := make([]float64, arenaBlock+1)
+	var e2 Encoder
+	e2.Floats(big)
+	d2 := NewDecoder(e2.Bytes())
+	out := d2.FloatsShared()
+	if len(out) != arenaBlock+1 {
+		t.Fatalf("decoded %d floats, want %d", len(out), arenaBlock+1)
+	}
+	if d2.farena != nil {
+		t.Errorf("oversized sequence leaked into the arena (cap %d)", cap(d2.farena))
+	}
+}
+
+// TestCountRejectsImplausibleLength pins the fence the fuzzer motivated: a
+// count whose minimum encoding exceeds the remaining payload must trip the
+// sticky error before anything is allocated.
+func TestCountRejectsImplausibleLength(t *testing.T) {
+	var e Encoder
+	e.U32(1 << 28) // claims ~268M elements in a 4-byte message
+	d := NewDecoder(e.Bytes())
+	if n := d.Count(16); n != 0 {
+		t.Fatalf("Count returned %d for an implausible prefix", n)
+	}
+	if d.Err() == nil {
+		t.Fatal("Count accepted a length exceeding the message")
+	}
+	for _, minElem := range []int{1, 8, 64} {
+		var ok Encoder
+		ok.U32(3)
+		ok.b = append(ok.b, make([]byte, 3*minElem)...)
+		dd := NewDecoder(ok.Bytes())
+		if n := dd.Count(minElem); n != 3 || dd.Err() != nil {
+			t.Fatalf("Count(minElem=%d) = %d, err %v; want 3, nil", minElem, n, dd.Err())
+		}
+	}
+}
+
+func BenchmarkFloatsSharedDecode(b *testing.B) {
+	for _, vectors := range []int{32, 256} {
+		msg := manyVectorMessage(vectors, 8)
+		b.Run(fmt.Sprintf("vectors=%d", vectors), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(msg)))
+			for i := 0; i < b.N; i++ {
+				d := NewDecoder(msg)
+				for j := 0; j < vectors; j++ {
+					d.FloatsShared()
+				}
+			}
+		})
+	}
+}
